@@ -1,0 +1,804 @@
+(* Benchmark harness: regenerates every figure and in-text result of
+   the paper's evaluation (§4) and runs Bechamel micro-benchmarks of
+   the core machinery.
+
+   Usage:
+     bench/main.exe [--quick] [fig4] [fig5] [fig6] [fig7] [headline]
+                    [scarce] [rates] [recovery] [ablation] [gens]
+                    [adaptive] [checkpoint] [poisson] [micro]
+
+   With no selector, everything runs.  --quick shortens the simulated
+   runs (120 s instead of the paper's 500 s) and coarsens sweeps; the
+   shapes still hold, absolute numbers move slightly. *)
+
+open El_model
+module Table = El_metrics.Table
+module Paper = El_harness.Paper
+module Experiment = El_harness.Experiment
+module Policy = El_core.Policy
+
+let heading title = Printf.printf "\n==== %s ====\n\n" title
+let fmt_f f = Printf.sprintf "%.2f" f
+let fmt_f0 f = Printf.sprintf "%.0f" f
+
+(* Shared runs behind Figures 4, 5 and 6: computed once on demand. *)
+let mix_rows : (Paper.speed, Paper.mix_row list) Hashtbl.t = Hashtbl.create 2
+
+let get_mix_rows speed =
+  match Hashtbl.find_opt mix_rows speed with
+  | Some rows -> rows
+  | None ->
+    Printf.printf
+      "(running the Fig. 4/5/6 minimum-space sweeps; this is the expensive \
+       part)\n%!";
+    let rows = Paper.figs_4_5_6 ~speed () in
+    Hashtbl.replace mix_rows speed rows;
+    rows
+
+(* Paper reference series.  The text gives exact anchors at the 5 %
+   mix; the remaining points are read off the published figures and
+   are therefore approximate ("~").  We compare shapes, not decimals. *)
+let paper_fig4_fw =
+  [ (5, "123"); (10, "~130"); (20, "~145"); (30, "~155"); (40, "~165") ]
+
+let paper_fig4_el =
+  [ (5, "34"); (10, "~45"); (20, "~65"); (30, "~85"); (40, "~105") ]
+
+let paper_fig5_fw =
+  [ (5, "11.63"); (10, "~12.0"); (20, "~12.8"); (30, "~13.5"); (40, "~14.3") ]
+
+let paper_fig5_el =
+  [ (5, "12.87"); (10, "~13.5"); (20, "~14.8"); (30, "~16.0"); (40, "~17.2") ]
+
+let ref_for table pct =
+  match List.assoc_opt pct table with Some s -> s | None -> "-"
+
+let fig4 speed =
+  heading "Figure 4: minimum disk space (blocks) vs transaction mix";
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("% 10s tx", Table.Right);
+          ("FW paper", Table.Right);
+          ("FW measured", Table.Right);
+          ("EL paper", Table.Right);
+          ("EL measured", Table.Right);
+          ("EL split", Table.Left);
+          ("ratio", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Paper.mix_row) ->
+      Table.add_row t
+        [
+          string_of_int r.long_pct;
+          ref_for paper_fig4_fw r.long_pct;
+          string_of_int r.fw_blocks;
+          ref_for paper_fig4_el r.long_pct;
+          string_of_int r.el_blocks;
+          (match r.el_sizes with
+          | [| a; b |] -> Printf.sprintf "%d+%d" a b
+          | _ -> "-");
+          fmt_f (float_of_int r.fw_blocks /. float_of_int r.el_blocks);
+        ])
+    (get_mix_rows speed);
+  Table.print t;
+  print_newline ();
+  print_endline
+    "Paper's shape: EL needs a fraction of FW's space; the advantage is\n\
+     largest at 5% long transactions (factor 3.6) and narrows as the\n\
+     long fraction grows."
+
+let fig5 speed =
+  heading "Figure 5: log disk bandwidth (block writes/s) vs transaction mix";
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("% 10s tx", Table.Right);
+          ("FW paper", Table.Right);
+          ("FW measured", Table.Right);
+          ("EL paper", Table.Right);
+          ("EL measured", Table.Right);
+          ("EL overhead", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Paper.mix_row) ->
+      Table.add_row t
+        [
+          string_of_int r.long_pct;
+          ref_for paper_fig5_fw r.long_pct;
+          fmt_f r.fw_bandwidth;
+          ref_for paper_fig5_el r.long_pct;
+          fmt_f r.el_bandwidth;
+          Printf.sprintf "%.1f%%"
+            ((r.el_bandwidth -. r.fw_bandwidth) /. r.fw_bandwidth *. 100.0);
+        ])
+    (get_mix_rows speed);
+  Table.print t;
+  print_newline ();
+  print_endline
+    "Paper's shape: EL writes slightly more than FW (11% at the 5% mix),\n\
+     and the overhead grows with the fraction of long transactions."
+
+let fig6 speed =
+  heading "Figure 6: main-memory requirements (bytes) vs transaction mix";
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("% 10s tx", Table.Right);
+          ("FW measured", Table.Right);
+          ("EL measured", Table.Right);
+          ("EL/FW", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Paper.mix_row) ->
+      Table.add_row t
+        [
+          string_of_int r.long_pct;
+          string_of_int r.fw_memory;
+          string_of_int r.el_memory;
+          fmt_f (float_of_int r.el_memory /. float_of_int r.fw_memory);
+        ])
+    (get_mix_rows speed);
+  Table.print t;
+  print_newline ();
+  print_endline
+    "Paper's shape: both are small (no numbers are given in the text; the\n\
+     figure shows EL a small multiple of FW -- 'memory requirements are\n\
+     modest'; FW pays 22 B/tx, EL 40 B/tx + 40 B/unflushed object)."
+
+let fig7_cache : (Paper.speed, Paper.fig7_result) Hashtbl.t = Hashtbl.create 2
+
+let get_fig7 speed =
+  match Hashtbl.find_opt fig7_cache speed with
+  | Some r -> r
+  | None ->
+    let r = Paper.fig7 ~speed () in
+    Hashtbl.replace fig7_cache speed r;
+    r
+
+let fig7 speed =
+  heading
+    "Figure 7: EL bandwidth vs disk space (recirculation on, 5% mix, gen 0 \
+     fixed)";
+  let result = get_fig7 speed in
+  Printf.printf
+    "no-recirculation starting point: %s blocks (gen0=%d fixed below)\n\n"
+    (String.concat "+"
+       (Array.to_list (Array.map string_of_int result.no_recirc_sizes)))
+    result.g0;
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("gen1 blocks", Table.Right);
+          ("total blocks", Table.Right);
+          ("bw gen1 (w/s)", Table.Right);
+          ("bw total (w/s)", Table.Right);
+          ("feasible", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (row : Paper.fig7_row) ->
+      Table.add_row t
+        [
+          string_of_int row.g1;
+          string_of_int row.total_blocks;
+          fmt_f row.bw_last;
+          fmt_f row.bw_total;
+          (if row.feasible then "yes" else "no (kills)");
+        ])
+    result.rows;
+  Table.print t;
+  print_newline ();
+  print_endline
+    "Paper's anchors: space falls 34 -> 28 blocks while total bandwidth\n\
+     rises only 12.87 -> 12.99 writes/s; shrinking further kills\n\
+     transactions.";
+  result
+
+let headline speed =
+  heading "In-text headline (5% mix): EL with recirculation vs FW";
+  let h = Paper.headline ~speed ~fig7_result:(get_fig7 speed) () in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("metric", Table.Left); ("paper", Table.Right); ("measured", Table.Right);
+        ]
+  in
+  Table.add_row t [ "FW disk space (blocks)"; "123"; string_of_int h.fw_blocks ];
+  Table.add_row t [ "FW bandwidth (w/s)"; "11.63"; fmt_f h.fw_bandwidth ];
+  Table.add_row t [ "EL disk space (blocks)"; "28"; string_of_int h.el_blocks ];
+  Table.add_row t
+    [
+      "EL split";
+      "18+10";
+      (match h.el_sizes with
+      | [| a; b |] -> Printf.sprintf "%d+%d" a b
+      | _ -> "-");
+    ];
+  Table.add_row t [ "EL bandwidth (w/s)"; "12.99"; fmt_f h.el_bandwidth ];
+  Table.add_row t [ "space reduction factor"; "4.4"; fmt_f h.space_ratio ];
+  Table.add_row t
+    [
+      "bandwidth increase";
+      "12%";
+      Printf.sprintf "%.1f%%" h.bandwidth_increase_pct;
+    ];
+  Table.print t
+
+let scarce speed =
+  heading "In-text: scarce flushing bandwidth (10 drives x 45 ms = 222/s)";
+  let s = Paper.scarce_flush ~speed () in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("metric", Table.Left); ("paper", Table.Right); ("measured", Table.Right);
+        ]
+  in
+  Table.add_row t
+    [ "EL disk space (blocks)"; "31"; string_of_int s.total_blocks ];
+  Table.add_row t
+    [
+      "EL split";
+      "20+11";
+      (match s.el_sizes with
+      | [| a; b |] -> Printf.sprintf "%d+%d" a b
+      | _ -> "-");
+    ];
+  Table.add_row t [ "log bandwidth (w/s)"; "13.96"; fmt_f s.bandwidth ];
+  Table.add_row t
+    [ "mean flush oid distance"; "109,000"; fmt_f0 s.mean_flush_distance ];
+  Table.add_row t
+    [
+      "same, 25 ms baseline";
+      "235,000";
+      fmt_f0 s.baseline_mean_flush_distance;
+    ];
+  Table.add_row t
+    [ "peak flush backlog"; "-"; string_of_int s.flush_backlog_peak ];
+  Table.print t;
+  print_newline ();
+  print_endline
+    "Paper's shape: as the flush service rate approaches the update rate a\n\
+     backlog accumulates, flush scheduling finds closer objects (smaller\n\
+     mean oid distance = better locality), and EL absorbs it with a few\n\
+     extra blocks -- the negative-feedback stability argument.";
+  s
+
+let rates speed =
+  heading "In-text: database update rate vs transaction mix";
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("% 10s tx", Table.Right);
+          ("paper (upd/s)", Table.Right);
+          ("measured (upd/s)", Table.Right);
+        ]
+  in
+  let paper_rate =
+    [ (5, "210"); (10, "220"); (20, "240"); (30, "260"); (40, "280") ]
+  in
+  List.iter
+    (fun (r : Paper.mix_row) ->
+      Table.add_row t
+        [
+          string_of_int r.long_pct;
+          ref_for paper_rate r.long_pct;
+          fmt_f0 r.updates_per_sec;
+        ])
+    (get_mix_rows speed);
+  Table.print t
+
+let recovery_bench speed =
+  heading "Recovery (beyond the paper: it argues small log => fast recovery)";
+  let runtime =
+    match speed with `Full -> Time.of_sec 120 | `Quick -> Time.of_sec 60
+  in
+  let policy = Policy.default ~generation_sizes:[| 18; 12 |] in
+  let cfg =
+    {
+      (Paper.base_config ~kind:(Experiment.Ephemeral policy) ~long_pct:5 ()) with
+      Experiment.runtime;
+    }
+  in
+  let crash_at = Time.mul_int (Time.div_int runtime 4) 3 in
+  let result, recovery, audit = Experiment.run_with_crash cfg ~crash_at in
+  let t =
+    Table.create ~columns:[ ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_row t
+    [ "log blocks configured"; string_of_int result.Experiment.total_blocks ];
+  Table.add_row t
+    [
+      "records scanned at crash";
+      string_of_int recovery.El_recovery.Recovery.records_scanned;
+    ];
+  Table.add_row t
+    [ "redo applied"; string_of_int recovery.El_recovery.Recovery.redo_applied ];
+  Table.add_row t
+    [
+      "committed txs in log";
+      string_of_int (List.length recovery.El_recovery.Recovery.committed_tids);
+    ];
+  Table.add_row t
+    [
+      "audit";
+      (if audit.El_recovery.Recovery.ok then "OK (atomic & durable)"
+       else "FAILED");
+    ];
+  Table.print t;
+  (* recovery-time estimates under the conservative early-90s cost
+     model (15 ms positioning, 1 ms/block, 20 us/record) *)
+  let el_time =
+    El_recovery.Timing.single_pass ~regions:2
+      ~blocks:result.Experiment.total_blocks
+      ~records:recovery.El_recovery.Recovery.records_scanned ()
+  in
+  let fw_time =
+    (* the paper's FW at this mix needs ~123 blocks and two passes *)
+    El_recovery.Timing.fw_two_pass ~blocks:123
+      ~records:(123 * 2000 / 110) ()
+  in
+  Format.printf
+    "@.estimated restart time: EL single pass over %d blocks = %a;@ the \
+     123-block FW span with a traditional two-pass method = %a.@ 'Recovery \
+     in less than a second may be feasible' (Sec. 4) holds.@."
+    result.Experiment.total_blocks El_recovery.Timing.pp el_time
+    El_recovery.Timing.pp fw_time
+
+let ablation speed =
+  heading "Ablations of EL design choices (5% mix, 18+12 blocks)";
+  let base kind = Paper.base_config ~speed ~kind ~long_pct:5 () in
+  let run_policy policy = Experiment.run (base (Experiment.Ephemeral policy)) in
+  let sizes = [| 18; 12 |] in
+  let default = Policy.default ~generation_sizes:sizes in
+  let variants =
+    [
+      ("paper default (recirc, keep-in-log)", default);
+      ("recirculation off", { default with Policy.recirculate = false });
+      ( "force-flush at heads",
+        { default with Policy.unflushed = Policy.Force_flush } );
+      ( "no forwarding backfill",
+        { default with Policy.forward_backfill = false } );
+      ( "lifetime-hint placement (Sec. 6)",
+        { default with Policy.placement = Policy.Lifetime_hint } );
+      ( "eager group commit (1 ms timeout)",
+        { default with Policy.group_commit_timeout = Some (Time.of_ms 1) } );
+    ]
+  in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("variant", Table.Left);
+          ("bw (w/s)", Table.Right);
+          ("kills", Table.Right);
+          ("forced flushes", Table.Right);
+          ("fwd recs", Table.Right);
+          ("recirc recs", Table.Right);
+          ("mem (B)", Table.Right);
+          ("latency (ms)", Table.Right);
+        ]
+  in
+  let row name (r : Experiment.result) =
+    Table.add_row t
+      [
+        name;
+        fmt_f r.Experiment.log_write_rate;
+        string_of_int r.Experiment.killed;
+        string_of_int r.Experiment.forced_flushes;
+        string_of_int r.Experiment.forwarded_records;
+        string_of_int r.Experiment.recirculated_records;
+        string_of_int r.Experiment.peak_memory_bytes;
+        fmt_f (r.Experiment.commit_latency_mean *. 1000.0);
+      ]
+  in
+  List.iter (fun (name, policy) -> row name (run_policy policy)) variants;
+  (* flush-scheduling ablation: FIFO instead of nearest-oid *)
+  let fifo =
+    Experiment.run
+      {
+        (base (Experiment.Ephemeral default)) with
+        Experiment.flush_scheduling = El_disk.Flush_array.Fifo;
+        flush_transfer = El_model.Time.of_ms 45;
+      }
+  in
+  let nearest =
+    Experiment.run
+      {
+        (base (Experiment.Ephemeral default)) with
+        Experiment.flush_transfer = El_model.Time.of_ms 45;
+      }
+  in
+  row "45ms flushes, nearest-oid" nearest;
+  row "45ms flushes, FIFO (ablation)" fifo;
+  Table.print t;
+  print_newline ();
+  Printf.printf
+    "flush locality under scarcity: nearest-oid scheduling drops the mean \n\
+     seek to %.0f oids where FIFO stays fully random at %.0f -- the choice \n\
+     behind the paper's locality feedback (Sec. 4).\n"
+    nearest.Experiment.flush_mean_distance fifo.Experiment.flush_mean_distance
+
+
+let gens_sweep speed =
+  heading
+    "Beyond the paper: minimum disk space vs number of generations (5% mix)";
+  let rows = Paper.generation_count_sweep ~speed () in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("generations", Table.Right);
+          ("best sizes", Table.Left);
+          ("total blocks", Table.Right);
+          ("bw (w/s)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Paper.gens_row) ->
+      Table.add_row t
+        [
+          string_of_int r.generations;
+          String.concat "+" (Array.to_list (Array.map string_of_int r.sizes));
+          string_of_int r.total;
+          fmt_f r.bandwidth;
+        ])
+    rows;
+  Table.print t;
+  print_newline ();
+  print_endline
+    "Chain length is a space/bandwidth dial: a single ring can be squeezed\n\
+     smallest but only by recirculating furiously (~2x the write rate);\n\
+     more generations spend a few blocks to cut the rewrite traffic --\n\
+     Sec. 6's point that the optimal number and sizes are\n\
+     application-dependent."
+
+let adaptive_bench speed =
+  heading
+    "Beyond the paper: adaptive generation sizing (the Sec. 6 wish)";
+  let cfg =
+    {
+      (Paper.base_config ~speed ~kind:(Experiment.Firewall 1) ~long_pct:5 ()) with
+      Experiment.runtime =
+        (match speed with
+        | `Full -> El_model.Time.of_sec 120
+        | `Quick -> El_model.Time.of_sec 60);
+    }
+  in
+  (* allow at most 25% more log bandwidth than the generous baseline:
+     the controller then stops near the paper's knee instead of
+     squeezing into the furious-recirculation regime *)
+  let outcome =
+    El_harness.Adaptive.tune cfg ~initial:[| 30; 60 |] ~bandwidth_slack:1.25 ()
+  in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("epoch", Table.Right);
+          ("sizes tried", Table.Left);
+          ("healthy", Table.Left);
+          ("bw (w/s)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (s : El_harness.Adaptive.step) ->
+      Table.add_row t
+        [
+          string_of_int s.epoch;
+          String.concat "+" (Array.to_list (Array.map string_of_int s.sizes));
+          (if s.healthy then "yes"
+           else if not s.feasible then Printf.sprintf "no (%d kills)" s.killed
+           else "no (bandwidth budget)");
+          fmt_f s.bandwidth;
+        ])
+    outcome.El_harness.Adaptive.trajectory;
+  Table.print t;
+  Printf.printf
+    "\nconverged to %s blocks in %d epochs with no workload model -- the\n\
+     'adaptable version of EL that dynamically chooses the sizes itself'\n\
+     that Sec. 6 asks for, realised as a shrink-until-pushback controller.\n"
+    (String.concat "+"
+       (Array.to_list
+          (Array.map string_of_int outcome.El_harness.Adaptive.final_sizes)))
+    outcome.El_harness.Adaptive.epochs_used
+
+let checkpoint_bench speed =
+  heading
+    "Beyond the paper: what ignoring FW's checkpoints hides (5% mix)";
+  let mix = El_workload.Mix.short_long ~long_fraction:0.05 in
+  let runtime =
+    match speed with
+    | `Full -> El_model.Time.of_sec 300
+    | `Quick -> El_model.Time.of_sec 120
+  in
+  let ideal =
+    Experiment.run
+      {
+        (Experiment.default_config ~kind:(Experiment.Firewall 512) ~mix) with
+        Experiment.runtime = runtime;
+      }
+  in
+  let run_ckpt interval_s cost =
+    let engine = El_sim.Engine.create () in
+    let fw =
+      El_core.Fw_manager.create engine ~size_blocks:512
+        ~checkpointing:
+          {
+            El_core.Fw_manager.interval = El_model.Time.of_sec interval_s;
+            cost_blocks = cost;
+          }
+        ()
+    in
+    let sink =
+      {
+        El_workload.Generator.begin_tx =
+          (fun ~tid ~expected_duration ->
+            El_core.Fw_manager.begin_tx fw ~tid ~expected_duration);
+        write_data =
+          (fun ~tid ~oid ~version ~size ->
+            El_core.Fw_manager.write_data fw ~tid ~oid ~version ~size);
+        request_commit =
+          (fun ~tid ~on_ack ->
+            El_core.Fw_manager.request_commit fw ~tid ~on_ack);
+        request_abort =
+          (fun ~tid -> El_core.Fw_manager.request_abort fw ~tid);
+      }
+    in
+    let generator =
+      El_workload.Generator.create engine ~sink ~mix ~arrival_rate:100.0
+        ~runtime ~num_objects:El_model.Params.num_objects ()
+    in
+    El_core.Fw_manager.set_on_kill fw (fun tid ->
+        El_workload.Generator.kill generator tid);
+    El_sim.Engine.run engine ~until:runtime;
+    El_core.Fw_manager.stats fw
+  in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("FW variant", Table.Left);
+          ("peak blocks", Table.Right);
+          ("log writes/s", Table.Right);
+          ("checkpoints", Table.Right);
+        ]
+  in
+  let seconds = El_model.Time.to_sec_f runtime in
+  Table.add_row t
+    [
+      "paper's ideal (none)";
+      string_of_int
+        (match ideal.Experiment.fw_stats with
+        | Some s -> s.El_core.Fw_manager.peak_occupancy
+        | None -> 0);
+      fmt_f ideal.Experiment.log_write_rate;
+      "0";
+    ]
+  ;
+  List.iter
+    (fun (interval_s, cost) ->
+      let s = run_ckpt interval_s cost in
+      Table.add_row t
+        [
+          Printf.sprintf "every %ds, %d blocks" interval_s cost;
+          string_of_int s.El_core.Fw_manager.peak_occupancy;
+          fmt_f (float_of_int s.El_core.Fw_manager.log_writes /. seconds);
+          string_of_int s.El_core.Fw_manager.checkpoints;
+        ])
+    [ (30, 4); (10, 4); (2, 4) ];
+  Table.print t;
+  print_newline ();
+  print_endline
+    "The paper notes its FW baseline omits checkpointing and that 'this\n\
+     omission favors FW'.  Modelled: committed records stay REDO-relevant\n\
+     until the next checkpoint, so sparse checkpoints inflate FW's space\n\
+     while frequent ones inflate its bandwidth.  EL needs neither."
+
+let poisson_bench speed =
+  heading "Beyond the paper: deterministic vs Poisson arrivals (5% mix)";
+  let mix = El_workload.Mix.short_long ~long_fraction:0.05 in
+  let runtime =
+    match speed with
+    | `Full -> El_model.Time.of_sec 300
+    | `Quick -> El_model.Time.of_sec 120
+  in
+  let cfg process =
+    {
+      (Experiment.default_config ~kind:(Experiment.Firewall 512) ~mix) with
+      Experiment.runtime = runtime;
+      arrival_process = process;
+    }
+  in
+  let el_cfg process sizes =
+    {
+      (cfg process) with
+      Experiment.kind =
+        Experiment.Ephemeral (Policy.default ~generation_sizes:sizes);
+    }
+  in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("arrivals", Table.Left);
+          ("FW peak blocks", Table.Right);
+          ("EL 18+16 feasible", Table.Left);
+          ("EL kills", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, process) ->
+      let fw = Experiment.run (cfg process) in
+      let el = Experiment.run (el_cfg process [| 18; 16 |]) in
+      Table.add_row t
+        [
+          name;
+          string_of_int
+            (match fw.Experiment.fw_stats with
+            | Some s -> s.El_core.Fw_manager.peak_occupancy
+            | None -> 0);
+          (if el.Experiment.feasible then "yes" else "no");
+          string_of_int el.Experiment.killed;
+        ])
+    [
+      ("deterministic (paper)", El_workload.Generator.Deterministic);
+      ("Poisson", El_workload.Generator.Poisson);
+    ];
+  Table.print t;
+  print_newline ();
+  print_endline
+    "The paper calls its regular arrivals 'sufficient for a first order\n\
+     evaluation' and defers probabilistic models.  Under Poisson bursts\n\
+     both schemes need a little headroom beyond the deterministic minima."
+
+(* ---- Bechamel micro-benchmarks: one Test.make per figure/table plus
+   the core data structures ---- *)
+
+let micro () =
+  heading "Bechamel micro-benchmarks (simulator and data structures)";
+  let open Bechamel in
+  let open Toolkit in
+  let short_sim kind =
+    Staged.stage (fun () ->
+        let mix = El_workload.Mix.short_long ~long_fraction:0.05 in
+        let cfg =
+          {
+            (Experiment.default_config ~kind ~mix) with
+            Experiment.runtime = El_model.Time.of_sec 5;
+          }
+        in
+        ignore (Experiment.run cfg))
+  in
+  let test_fig4_fw =
+    Test.make ~name:"fig4/5/6: FW 5s sim (123 blocks)"
+      (short_sim (Experiment.Firewall 123))
+  in
+  let test_fig4_el =
+    Test.make ~name:"fig4/5/6: EL 5s sim (18+16, no recirc)"
+      (short_sim
+         (Experiment.Ephemeral
+            {
+              (Policy.default ~generation_sizes:[| 18; 16 |]) with
+              Policy.recirculate = false;
+            }))
+  in
+  let test_fig7 =
+    Test.make ~name:"fig7/headline: EL 5s sim (18+10, recirc)"
+      (short_sim
+         (Experiment.Ephemeral (Policy.default ~generation_sizes:[| 18; 10 |])))
+  in
+  let test_scarce =
+    Test.make ~name:"scarce: EL 5s sim (45 ms flushes)"
+      (Staged.stage (fun () ->
+           let mix = El_workload.Mix.short_long ~long_fraction:0.05 in
+           let cfg =
+             {
+               (Experiment.default_config
+                  ~kind:
+                    (Experiment.Ephemeral
+                       (Policy.default ~generation_sizes:[| 20; 11 |]))
+                  ~mix) with
+               Experiment.runtime = El_model.Time.of_sec 5;
+               Experiment.flush_transfer = El_model.Time.of_ms 45;
+             }
+           in
+           ignore (Experiment.run cfg)))
+  in
+  let test_event_queue =
+    Test.make ~name:"event queue: 1k push+pop"
+      (Staged.stage (fun () ->
+           let q = El_sim.Event_queue.create () in
+           for i = 0 to 999 do
+             El_sim.Event_queue.push q ~time:(i * 7919 mod 1000) i
+           done;
+           while not (El_sim.Event_queue.is_empty q) do
+             ignore (El_sim.Event_queue.pop q)
+           done))
+  in
+  let test_recovery =
+    Test.make ~name:"recovery: single pass over a crash image"
+      (Staged.stage
+         (let policy = Policy.default ~generation_sizes:[| 18; 12 |] in
+          let cfg =
+            {
+              (Experiment.default_config
+                 ~kind:(Experiment.Ephemeral policy)
+                 ~mix:(El_workload.Mix.short_long ~long_fraction:0.05)) with
+              Experiment.runtime = El_model.Time.of_sec 60;
+            }
+          in
+          let live = Experiment.prepare cfg in
+          El_sim.Engine.run live.Experiment.engine ~until:(El_model.Time.of_sec 45);
+          let image =
+            El_recovery.Recovery.crash live.Experiment.engine
+              (Option.get live.Experiment.el)
+          in
+          fun () -> ignore (El_recovery.Recovery.recover image)))
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 2.0) ~kde:None () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-45s %12.0f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "%-45s (no estimate)\n%!" name)
+        results)
+    [
+      test_fig4_fw;
+      test_fig4_el;
+      test_fig7;
+      test_scarce;
+      test_event_queue;
+      test_recovery;
+    ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let speed : Paper.speed = if quick then `Quick else `Full in
+  let selectors = List.filter (fun a -> a <> "--quick") args in
+  let all = selectors = [] in
+  let want s = all || List.mem s selectors in
+  Printf.printf
+    "Ephemeral Logging (Keen & Dally, SIGMOD 1993) -- evaluation reproduction\n";
+  Printf.printf "mode: %s\n"
+    (match speed with
+    | `Full -> "full (500s simulated runs, paper parameters)"
+    | `Quick -> "quick (120s simulated runs)");
+  if want "fig4" then fig4 speed;
+  if want "fig5" then fig5 speed;
+  if want "fig6" then fig6 speed;
+  if want "rates" then rates speed;
+  if want "fig7" then ignore (fig7 speed);
+  if want "headline" then headline speed;
+  if want "scarce" then ignore (scarce speed);
+  if want "recovery" then recovery_bench speed;
+  if want "ablation" then ablation speed;
+  if want "gens" then gens_sweep speed;
+  if want "adaptive" then adaptive_bench speed;
+  if want "checkpoint" then checkpoint_bench speed;
+  if want "poisson" then poisson_bench speed;
+  if want "micro" then micro ()

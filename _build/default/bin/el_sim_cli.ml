@@ -1,0 +1,353 @@
+(* el-sim: command-line front end to the ephemeral-logging simulator.
+
+   Exposes every §3 simulator input: the transaction mix (pdf), the
+   arrival rate, the flush rate (drives x transfer time), the number
+   and sizes of generations, the recirculation flag and the runtime.
+
+   Subcommands:
+     run        one simulation, printing the full report
+     min-space  minimum-disk-space search for EL or FW
+     recover    crash a run midway, recover, audit
+     paper      the published experiments (fig4..fig7, headline, ...)
+*)
+
+open El_model
+open Cmdliner
+module Experiment = El_harness.Experiment
+module Policy = El_core.Policy
+
+(* ---- shared options ---- *)
+
+let mix_term =
+  let doc =
+    "Transaction mix as NAME:PROB:DURATION_S:NRECORDS:SIZE_B, repeatable. \
+     Default: the paper's two types (short:0.95:1:2:100 long:0.05:10:4:100)."
+  in
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ name; prob; dur; n; size ] -> (
+      try
+        Ok
+          (El_workload.Tx_type.make ~name ~probability:(float_of_string prob)
+             ~duration:(Time.of_sec_f (float_of_string dur))
+             ~num_records:(int_of_string n) ~record_size:(int_of_string size))
+      with _ -> Error (`Msg ("bad transaction type: " ^ s)))
+    | _ -> Error (`Msg ("bad transaction type: " ^ s))
+  in
+  let print ppf ty = El_workload.Tx_type.pp ppf ty in
+  let tx_conv = Arg.conv (parse, print) in
+  Arg.(value & opt_all tx_conv [] & info [ "t"; "tx-type" ] ~doc)
+
+let long_pct =
+  let doc = "Shorthand for the paper's mix with $(docv)% 10s transactions." in
+  Arg.(value & opt (some int) None & info [ "long-pct" ] ~doc ~docv:"PCT")
+
+let rate =
+  let doc = "Transaction arrival rate per second." in
+  Arg.(value & opt float 100.0 & info [ "rate" ] ~doc)
+
+let runtime =
+  let doc = "Simulated runtime in seconds." in
+  Arg.(value & opt float 500.0 & info [ "runtime" ] ~doc)
+
+let drives =
+  let doc = "Number of database drives for flushing." in
+  Arg.(value & opt int 10 & info [ "drives" ] ~doc)
+
+let transfer_ms =
+  let doc = "Per-flush transfer time (ms)." in
+  Arg.(value & opt int 25 & info [ "transfer-ms" ] ~doc)
+
+let objects =
+  let doc = "Number of objects in the database." in
+  Arg.(value & opt int Params.num_objects & info [ "objects" ] ~doc)
+
+let seed =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let generations =
+  let doc = "Generation sizes in blocks, e.g. 18,16 (EL only)." in
+  Arg.(value & opt (list int) [ 18; 16 ] & info [ "g"; "generations" ] ~doc)
+
+let recirculate =
+  let doc = "Disable recirculation in the last generation." in
+  Arg.(value & flag & info [ "no-recirculation" ] ~doc)
+
+let firewall =
+  let doc = "Use the firewall baseline with $(docv) blocks instead of EL." in
+  Arg.(value & opt (some int) None & info [ "fw"; "firewall" ] ~doc ~docv:"BLOCKS")
+
+let abort_fraction =
+  let doc = "Fraction of transactions that abort instead of committing." in
+  Arg.(value & opt float 0.0 & info [ "abort-fraction" ] ~doc)
+
+let poisson =
+  let doc = "Use Poisson arrivals instead of the paper's regular spacing." in
+  Arg.(value & flag & info [ "poisson" ] ~doc)
+
+let mix_of opts long_pct =
+  match (opts, long_pct) with
+  | [], None -> El_workload.Mix.short_long ~long_fraction:0.05
+  | [], Some pct ->
+    El_workload.Mix.short_long ~long_fraction:(float_of_int pct /. 100.0)
+  | types, None -> El_workload.Mix.create types
+  | _ :: _, Some _ ->
+    failwith "--tx-type and --long-pct are mutually exclusive"
+
+let config_of types long_pct rate runtime drives transfer_ms objects seed
+    generations no_recirc firewall abort_fraction poisson =
+  let mix = mix_of types long_pct in
+  let kind =
+    match firewall with
+    | Some blocks -> Experiment.Firewall blocks
+    | None ->
+      let policy =
+        {
+          (Policy.default ~generation_sizes:(Array.of_list generations)) with
+          Policy.recirculate = not no_recirc;
+        }
+      in
+      Experiment.Ephemeral policy
+  in
+  {
+    (Experiment.default_config ~kind ~mix) with
+    Experiment.arrival_rate = rate;
+    arrival_process =
+      (if poisson then El_workload.Generator.Poisson
+       else El_workload.Generator.Deterministic);
+    runtime = Time.of_sec_f runtime;
+    flush_drives = drives;
+    flush_transfer = Time.of_ms transfer_ms;
+    num_objects = objects;
+    seed;
+    abort_fraction;
+  }
+
+let config_term =
+  Term.(
+    const config_of $ mix_term $ long_pct $ rate $ runtime $ drives
+    $ transfer_ms $ objects $ seed $ generations $ recirculate $ firewall
+    $ abort_fraction $ poisson)
+
+(* ---- report rendering ---- *)
+
+let print_result (r : Experiment.result) =
+  let t =
+    El_metrics.Table.create
+      ~columns:[ ("metric", El_metrics.Table.Left); ("value", El_metrics.Table.Right) ]
+  in
+  let add k v = El_metrics.Table.add_row t [ k; v ] in
+  add "log blocks configured" (string_of_int r.total_blocks);
+  add "log writes"
+    (Printf.sprintf "%d (%s)" r.log_writes_total
+       (String.concat "+"
+          (Array.to_list (Array.map string_of_int r.log_writes_per_gen))));
+  add "log bandwidth (w/s)" (Printf.sprintf "%.2f" r.log_write_rate);
+  add "peak LM memory (bytes)" (string_of_int r.peak_memory_bytes);
+  add "transactions started" (string_of_int r.started);
+  add "committed (acked)" (string_of_int r.committed);
+  add "aborted" (string_of_int r.aborted);
+  add "killed" (string_of_int r.killed);
+  add "evictions" (string_of_int r.evictions);
+  add "updates/s" (Printf.sprintf "%.1f" r.updates_per_sec);
+  add "flushes" (string_of_int r.flushes_completed);
+  add "forced flushes" (string_of_int r.forced_flushes);
+  add "mean flush oid distance" (Printf.sprintf "%.0f" r.flush_mean_distance);
+  add "peak flush backlog" (string_of_int r.flush_backlog_peak);
+  add "mean commit latency (ms)"
+    (Printf.sprintf "%.1f" (r.commit_latency_mean *. 1000.0));
+  add "forwarded records" (string_of_int r.forwarded_records);
+  add "recirculated records" (string_of_int r.recirculated_records);
+  add "feasible (no kills/evictions)" (if r.feasible then "yes" else "NO");
+  El_metrics.Table.print t
+
+(* ---- subcommands ---- *)
+
+let run_cmd =
+  let action cfg =
+    let r = Experiment.run cfg in
+    print_result r
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one simulation and print the report.")
+    Term.(const action $ config_term)
+
+let min_space_cmd =
+  let action cfg =
+    match cfg.Experiment.kind with
+    | Experiment.Hybrid _ ->
+      prerr_endline "min-space: hybrid search is not supported; use run"
+    | Experiment.Firewall _ ->
+      let blocks, result = El_harness.Min_space.min_fw cfg in
+      Printf.printf "minimum FW log: %d blocks\n\n" blocks;
+      print_result result
+    | Experiment.Ephemeral policy ->
+      let make_policy sizes =
+        { policy with Policy.generation_sizes = sizes }
+      in
+      let sizes0 = policy.Policy.generation_sizes in
+      (match Array.length sizes0 with
+      | 2 ->
+        let candidates = List.init 14 (fun i -> 4 + (2 * i)) in
+        (match
+           El_harness.Min_space.min_el_two_gen cfg ~make_policy
+             ~g0_candidates:candidates ~hi:256
+         with
+        | Some (sizes, result) ->
+          Printf.printf "minimum EL log: %d blocks (%s)\n\n"
+            (Array.fold_left ( + ) 0 sizes)
+            (String.concat "+"
+               (Array.to_list (Array.map string_of_int sizes)));
+          print_result result
+        | None -> prerr_endline "no feasible configuration found")
+      | _ ->
+        let leading = Array.sub sizes0 0 (Array.length sizes0 - 1) in
+        (match
+           El_harness.Min_space.min_el_last_gen cfg ~make_policy ~leading
+             ~hi:256
+         with
+        | Some (last, result) ->
+          Printf.printf
+            "minimum last generation: %d blocks (leading sizes fixed at %s)\n\n"
+            last
+            (String.concat "+"
+               (Array.to_list (Array.map string_of_int leading)));
+          print_result result
+        | None -> prerr_endline "no feasible configuration found"))
+  in
+  Cmd.v
+    (Cmd.info "min-space"
+       ~doc:
+         "Search for the minimum disk space that kills no transaction (the \
+          paper's methodology). With --fw searches the firewall baseline; \
+          with two generations optimises both sizes; with more generations \
+          fixes all but the last.")
+    Term.(const action $ config_term)
+
+let recover_cmd =
+  let crash_at =
+    let doc = "Crash time in seconds (default: runtime * 3/4)." in
+    Arg.(value & opt (some float) None & info [ "crash-at" ] ~doc)
+  in
+  let action cfg crash_at =
+    let crash_at =
+      match crash_at with
+      | Some s -> Time.of_sec_f s
+      | None -> Time.mul_int (Time.div_int cfg.Experiment.runtime 4) 3
+    in
+    let result, recovery, audit = Experiment.run_with_crash cfg ~crash_at in
+    Format.printf "crash at %a into a %a run@." Time.pp crash_at Time.pp
+      cfg.Experiment.runtime;
+    Printf.printf "records scanned: %d\n"
+      recovery.El_recovery.Recovery.records_scanned;
+    Printf.printf "redo applied: %d, skipped: %d\n"
+      recovery.El_recovery.Recovery.redo_applied
+      recovery.El_recovery.Recovery.redo_skipped;
+    Printf.printf "committed transactions in durable log: %d\n"
+      (List.length recovery.El_recovery.Recovery.committed_tids);
+    Format.printf "%a@." El_recovery.Recovery.pp_audit audit;
+    print_newline ();
+    print_result result
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Crash an EL run midway, run single-pass recovery and audit it.")
+    Term.(const action $ config_term $ crash_at)
+
+let paper_cmd =
+  let what =
+    let doc = "Which experiment: fig4|fig5|fig6|fig7|headline|scarce|rates." in
+    Arg.(value & pos 0 string "headline" & info [] ~doc ~docv:"EXPERIMENT")
+  in
+  let quick =
+    let doc = "Quick mode (120s simulated runs instead of 500s)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let action what quick =
+    let speed : El_harness.Paper.speed = if quick then `Quick else `Full in
+    let exe = Sys.executable_name in
+    ignore exe;
+    match what with
+    | "headline" ->
+      let h = El_harness.Paper.headline ~speed () in
+      Printf.printf
+        "FW %d blocks @ %.2f w/s; EL %d blocks @ %.2f w/s => %.1fx space, \
+         +%.1f%% bandwidth (paper: 4.4x, +12%%)\n"
+        h.fw_blocks h.fw_bandwidth h.el_blocks h.el_bandwidth h.space_ratio
+        h.bandwidth_increase_pct
+    | "scarce" ->
+      let s = El_harness.Paper.scarce_flush ~speed () in
+      Printf.printf
+        "EL %d blocks @ %.2f w/s; mean flush distance %.0f (25ms baseline \
+         %.0f); paper: 31 blocks, 13.96 w/s, 109k vs 235k\n"
+        s.total_blocks s.bandwidth s.mean_flush_distance
+        s.baseline_mean_flush_distance
+    | "fig7" ->
+      let f = El_harness.Paper.fig7 ~speed () in
+      Printf.printf "gen0 fixed at %d\n" f.g0;
+      List.iter
+        (fun (r : El_harness.Paper.fig7_row) ->
+          Printf.printf "g1=%2d total=%2d bw_last=%.2f bw_total=%.2f %s\n" r.g1
+            r.total_blocks r.bw_last r.bw_total
+            (if r.feasible then "" else "(kills)"))
+        f.rows
+    | "fig4" | "fig5" | "fig6" | "rates" ->
+      let rows = El_harness.Paper.figs_4_5_6 ~speed () in
+      List.iter
+        (fun (r : El_harness.Paper.mix_row) ->
+          Printf.printf
+            "mix=%2d%%: FW %3d blk %.2f w/s %5dB | EL %3d blk (%s) %.2f w/s \
+             %5dB | %3.0f upd/s\n"
+            r.long_pct r.fw_blocks r.fw_bandwidth r.fw_memory r.el_blocks
+            (String.concat "+"
+               (Array.to_list (Array.map string_of_int r.el_sizes)))
+            r.el_bandwidth r.el_memory r.updates_per_sec)
+        rows
+    | other -> Printf.eprintf "unknown experiment %S\n" other
+  in
+  Cmd.v
+    (Cmd.info "paper" ~doc:"Reproduce a published experiment.")
+    Term.(const action $ what $ quick)
+
+let adaptive_cmd =
+  let initial =
+    let doc = "Starting (generous) generation sizes for the controller." in
+    Arg.(value & opt (list int) [ 30; 60 ] & info [ "initial" ] ~doc)
+  in
+  let action cfg initial =
+    let outcome =
+      El_harness.Adaptive.tune cfg ~initial:(Array.of_list initial) ()
+    in
+    List.iter
+      (fun (s : El_harness.Adaptive.step) ->
+        Printf.printf "epoch %2d: %-12s %s (%.2f w/s)\n" s.epoch
+          (String.concat "+" (Array.to_list (Array.map string_of_int s.sizes)))
+          (if s.feasible then "healthy"
+           else Printf.sprintf "UNHEALTHY (%d kills, %d evictions)" s.killed
+              s.evictions)
+          s.bandwidth)
+      outcome.El_harness.Adaptive.trajectory;
+    Printf.printf "final: %s blocks (%s)\n"
+      (String.concat "+"
+         (Array.to_list
+            (Array.map string_of_int outcome.El_harness.Adaptive.final_sizes)))
+      (if outcome.El_harness.Adaptive.converged then "converged"
+       else "epoch budget exhausted")
+  in
+  Cmd.v
+    (Cmd.info "adaptive"
+       ~doc:
+         "Run the adaptive generation-sizing controller (Sec. 6's wished-for \
+          capability): shrink generations epoch by epoch until the workload \
+          pushes back.")
+    Term.(const action $ config_term $ initial)
+
+let () =
+  let info =
+    Cmd.info "el-sim" ~version:"1.0.0"
+      ~doc:"Ephemeral logging simulator (Keen & Dally, SIGMOD 1993)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; min_space_cmd; recover_cmd; paper_cmd; adaptive_cmd ]))

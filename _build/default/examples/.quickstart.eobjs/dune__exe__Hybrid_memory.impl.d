@@ -1,0 +1,1 @@
+examples/hybrid_memory.ml: El_core El_harness El_model El_workload Printf Time

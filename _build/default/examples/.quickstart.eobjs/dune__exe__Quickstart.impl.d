@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array El_core El_harness El_model El_workload Printf String Time

@@ -1,0 +1,1 @@
+examples/recovery_drill.ml: El_core El_harness El_model El_recovery El_workload List Printf Time

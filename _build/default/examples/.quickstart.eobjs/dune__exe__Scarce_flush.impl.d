@@ -1,0 +1,1 @@
+examples/scarce_flush.ml: El_core El_harness El_model El_workload List Printf Time

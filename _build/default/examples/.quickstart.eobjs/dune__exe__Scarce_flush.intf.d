@@ -1,0 +1,1 @@
+examples/scarce_flush.mli:

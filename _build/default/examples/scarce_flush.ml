@@ -1,0 +1,48 @@
+(* Scarce flushing bandwidth: the §4 stress test and its
+   negative-feedback stability argument.
+
+   Committed updates are flushed to the stable database by an array of
+   drives, each picking the pending object nearest its arm (smallest
+   wrapped oid distance).  When the flush service rate barely exceeds
+   the update rate, a backlog builds — and a bigger backlog gives the
+   scheduler more choice, so seeks get SHORTER and the effective
+   service rate rises.  The system stabilises instead of collapsing,
+   with EL absorbing the in-flight updates in a few extra log blocks.
+
+     dune exec examples/scarce_flush.exe
+*)
+
+open El_model
+module Experiment = El_harness.Experiment
+
+let run ~transfer_ms =
+  let policy = El_core.Policy.default ~generation_sizes:[| 20; 16 |] in
+  let mix = El_workload.Mix.short_long ~long_fraction:0.05 in
+  let cfg =
+    {
+      (Experiment.default_config ~kind:(Experiment.Ephemeral policy) ~mix) with
+      Experiment.runtime = Time.of_sec 120;
+      flush_transfer = Time.of_ms transfer_ms;
+    }
+  in
+  (transfer_ms, Experiment.run cfg)
+
+let () =
+  print_endline
+    "flush pressure sweep: 10 drives, update load ~210/s, varying per-flush\n\
+     transfer time (capacity = 10 drives / transfer time)\n";
+  Printf.printf "%12s %12s %14s %12s %16s %10s\n" "transfer" "capacity/s"
+    "flushes done" "backlog max" "mean oid seek" "log w/s";
+  List.iter
+    (fun transfer_ms ->
+      let _, r = run ~transfer_ms in
+      Printf.printf "%10d ms %12.0f %14d %12d %16.0f %10.2f\n" transfer_ms
+        (10.0 /. (float_of_int transfer_ms /. 1000.0))
+        r.Experiment.flushes_completed r.Experiment.flush_backlog_peak
+        r.Experiment.flush_mean_distance r.Experiment.log_write_rate)
+    [ 15; 25; 35; 45 ];
+  print_endline
+    "\nreading the table: as capacity falls toward the ~210 updates/s load\n\
+     (45 ms => 222/s), the backlog grows and the mean seek distance drops\n\
+     sharply -- the locality feedback of Section 4.  The paper's numbers:\n\
+     235k mean distance at 25 ms vs 109k at 45 ms."

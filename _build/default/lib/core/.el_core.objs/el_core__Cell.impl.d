@@ -1,0 +1,1 @@
+lib/core/cell.ml: El_model Ids List Log_record Time

@@ -1,0 +1,1 @@
+lib/core/cell.mli: El_model Ids Log_record Time

@@ -1,0 +1,1 @@
+lib/core/el_manager.ml: Array Cell El_disk El_metrics El_model El_sim Ids Ledger List Log_record Params Policy Printf Time

@@ -1,0 +1,1 @@
+lib/core/el_manager.mli: El_disk El_model El_sim Ids Ledger Log_record Policy Time

@@ -1,0 +1,1 @@
+lib/core/fw_manager.ml: Array El_disk El_metrics El_model El_sim Ids List Params Time

@@ -1,0 +1,1 @@
+lib/core/fw_manager.mli: El_model El_sim Ids Time

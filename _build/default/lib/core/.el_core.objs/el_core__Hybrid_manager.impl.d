@@ -1,0 +1,1 @@
+lib/core/hybrid_manager.ml: Array El_disk El_manager El_metrics El_model El_sim Ids List Params Printf Time

@@ -1,0 +1,1 @@
+lib/core/hybrid_manager.mli: El_disk El_model El_sim Ids Time

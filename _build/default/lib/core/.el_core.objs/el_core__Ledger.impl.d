@@ -1,0 +1,1 @@
+lib/core/ledger.ml: Cell El_metrics El_model Ids List Log_record Params Time

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Array El_model Params Printf Time

@@ -1,0 +1,711 @@
+open El_model
+module Block = El_disk.Block
+module Log_channel = El_disk.Log_channel
+module Flush_array = El_disk.Flush_array
+module Stable_db = El_disk.Stable_db
+
+exception Log_overloaded of string
+
+let overload fmt = Printf.ksprintf (fun s -> raise (Log_overloaded s)) fmt
+
+type slot_state = Free | Filling | Sealed | Durable
+
+(* A buffer destined for a known block slot of its generation.  Hooks
+   fire when the disk write completes (group commit acks). *)
+type buffer = {
+  b_slot : int;
+  b_block : Cell.tracked Block.t;
+  mutable b_hooks : (Time.t -> unit) list;
+  b_seq : int;  (* distinguishes successive current buffers for timeouts *)
+}
+
+type gen = {
+  g_index : int;
+  g_size : int;
+  g_last : bool;
+  g_blocks : Cell.tracked Block.t option array;  (* logical content by slot *)
+  g_durable : Cell.tracked Block.t option array;  (* what a crash would read *)
+  g_state : slot_state array;
+  mutable g_head : int;  (* oldest occupied slot *)
+  mutable g_tail : int;  (* next slot to assign *)
+  mutable g_occupied : int;
+  g_cells : Cell.Cell_list.t;
+  g_channel : Log_channel.t;
+  g_occupancy : El_metrics.Gauge.t;
+  mutable g_current : buffer option;  (* incoming records being grouped *)
+  mutable g_buffer_seq : int;
+  mutable g_stage : Cell.tracked Block.t;  (* recirculation staging (last gen) *)
+  mutable g_stage_origins : int list;  (* slots whose survivors are staged *)
+}
+
+type t = {
+  engine : El_sim.Engine.t;
+  policy : Policy.t;
+  ledger : Ledger.t;
+  flush : Flush_array.t;
+  stable : Stable_db.t;
+  tx_record_size : int;
+  gens : gen array;
+  placements : int Ids.Tid.Table.t;  (* lifetime-hint target generation *)
+  committed_ref : int Ids.Oid.Table.t;
+  mutable on_kill : (Ids.Tid.t -> unit) option;
+  mutable forwarded : int;
+  mutable recirculated : int;
+  mutable stage_writes : int;
+  mutable kills : int;
+  mutable evictions : int;
+  mutable forced_head_flushes : int;
+  mutable nondurable_head_reads : int;
+  mutable acked : int;
+}
+
+let free_slots g = g.g_size - g.g_occupied
+
+let make_gen engine policy ~write_time i =
+  let size = policy.Policy.generation_sizes.(i) in
+  {
+    g_index = i;
+    g_size = size;
+    g_last = i = Policy.num_generations policy - 1;
+    g_blocks = Array.make size None;
+    g_durable = Array.make size None;
+    g_state = Array.make size Free;
+    g_head = 0;
+    g_tail = 0;
+    g_occupied = 0;
+    g_cells = Cell.Cell_list.create ();
+    g_channel =
+      Log_channel.create engine ~write_time
+        ~buffer_pool:policy.Policy.buffers_per_generation ();
+    g_occupancy =
+      El_metrics.Gauge.create ~name:(Printf.sprintf "gen%d occupancy" i) ();
+    g_current = None;
+    g_buffer_seq = 0;
+    g_stage = Block.create ~capacity:policy.Policy.block_payload;
+    g_stage_origins = [];
+  }
+
+let create engine ~policy ~flush ~stable ?(write_time = Params.tau_disk_write)
+    ?(tx_record_size = Params.tx_record_size) () =
+  Policy.validate policy;
+  let gens =
+    Array.init (Policy.num_generations policy)
+      (make_gen engine policy ~write_time)
+  in
+  let remove_cell (c : Cell.t) =
+    (* A cell whose record is not yet in any buffer belongs to no
+       list (its transaction was killed mid-append). *)
+    if c.Cell.slot <> Cell.unplaced_slot then
+      Cell.Cell_list.remove gens.(c.Cell.gen).g_cells c
+  in
+  let t =
+    {
+      engine;
+      policy;
+      ledger = Ledger.create ~remove_cell ();
+      flush;
+      stable;
+      tx_record_size;
+      gens;
+      placements = Ids.Tid.Table.create 256;
+      committed_ref = Ids.Oid.Table.create 1024;
+      on_kill = None;
+      forwarded = 0;
+      recirculated = 0;
+      stage_writes = 0;
+      kills = 0;
+      evictions = 0;
+      forced_head_flushes = 0;
+      nondurable_head_reads = 0;
+      acked = 0;
+    }
+  in
+  Flush_array.set_on_flush flush (fun oid ~version ->
+      Stable_db.apply stable oid ~version;
+      ignore (Ledger.flush_complete t.ledger ~oid ~version));
+  t
+
+let set_on_kill t f = t.on_kill <- Some f
+
+(* ---- record / transaction victim handling ---- *)
+
+let kill_tx t tid =
+  Ledger.kill t.ledger ~tid;
+  t.kills <- t.kills + 1;
+  Ids.Tid.Table.remove t.placements tid;
+  match t.on_kill with Some f -> f tid | None -> ()
+
+(* Force a committed update out of the log: its record becomes garbage
+   now and the update is flushed with a forced (random-I/O) request. *)
+let force_flush_data t cell oid version =
+  Ledger.dispose t.ledger cell;
+  Flush_array.request_forced t.flush oid ~version
+
+let force_flush_tx t tid =
+  match Ledger.find_tx t.ledger tid with
+  | None -> ()
+  | Some e ->
+    let oids =
+      Ids.Oid.Table.fold (fun oid () acc -> oid :: acc) e.Cell.write_set []
+    in
+    List.iter
+      (fun oid ->
+        match Ledger.committed_cell t.ledger oid with
+        | Some (cell, version) -> force_flush_data t cell oid version
+        | None -> ())
+      oids
+(* draining the write set retires the LTT entry and its tx record *)
+
+(* Handle one record that cannot be kept in the log.  [context] only
+   flavours the overload message. *)
+let discard_survivor t (cell : Cell.t) ~context ~count_as =
+  match Ledger.classify t.ledger cell with
+  | Ledger.Keep_active -> (
+    let tid = Ledger.writer_tid cell in
+    match Ledger.tx_state t.ledger tid with
+    | Some `Active -> kill_tx t tid
+    | Some `Commit_pending ->
+      overload
+        "%s: record of commit-pending transaction %d cannot be kept nor killed"
+        context (Ids.Tid.to_int tid)
+    | Some `Committed | None -> assert false)
+  | Ledger.Committed_data (oid, version) ->
+    force_flush_data t cell oid version;
+    (match count_as with
+    | `Eviction -> t.evictions <- t.evictions + 1
+    | `Head_flush -> t.forced_head_flushes <- t.forced_head_flushes + 1)
+  | Ledger.Committed_tx tid ->
+    force_flush_tx t tid;
+    (match count_as with
+    | `Eviction -> t.evictions <- t.evictions + 1
+    | `Head_flush -> t.forced_head_flushes <- t.forced_head_flushes + 1)
+
+(* ---- slot and buffer mechanics ---- *)
+
+let set_occupancy g =
+  El_metrics.Gauge.set g.g_occupancy g.g_occupied
+
+let free_slot g s =
+  assert (s = g.g_head);
+  assert (g.g_occupied > 0);
+  g.g_head <- (s + 1) mod g.g_size;
+  g.g_occupied <- g.g_occupied - 1;
+  g.g_state.(s) <- Free;
+  set_occupancy g
+
+(* Issue a sealed buffer to the generation's channel. *)
+let issue_write t g (buf : buffer) =
+  g.g_state.(buf.b_slot) <- Sealed;
+  Log_channel.write g.g_channel ~on_complete:(fun () ->
+      g.g_state.(buf.b_slot) <-
+        (if g.g_state.(buf.b_slot) = Sealed then Durable
+         else g.g_state.(buf.b_slot));
+      g.g_durable.(buf.b_slot) <- Some buf.b_block;
+      let now = El_sim.Engine.now t.engine in
+      List.iter (fun hook -> hook now) (List.rev buf.b_hooks);
+      buf.b_hooks <- [])
+
+let rec assign_slot t g =
+  (* Durability guard for recirculation: the slot about to be reused
+     may hold the only durable copies of records currently staged in
+     RAM; write the stage out first (§2.2: existing copies must not be
+     overwritten before the recirculated block reaches the tail). *)
+  if g.g_last && List.mem g.g_tail g.g_stage_origins then write_stage t g;
+  if free_slots g = 0 then
+    overload "generation %d: no free block to assign" g.g_index;
+  let s = g.g_tail in
+  g.g_tail <- (s + 1) mod g.g_size;
+  g.g_occupied <- g.g_occupied + 1;
+  set_occupancy g;
+  s
+
+(* Write the recirculation staging buffer at the last generation's
+   tail.  When the generation is completely full, staged records are
+   discarded one way or another (kill / forced flush): the paper's
+   kill-on-no-space rule. *)
+and write_stage t g =
+  if not (Block.is_empty g.g_stage) then begin
+    let content = g.g_stage in
+    g.g_stage <- Block.create ~capacity:t.policy.Policy.block_payload;
+    g.g_stage_origins <- [];
+    if free_slots g = 0 then begin
+      (* No room to recirculate: drop every staged survivor. *)
+      Block.iter
+        (fun (tr : Cell.tracked) ->
+          match tr.Cell.cell with
+          | None -> ()
+          | Some cell ->
+            discard_survivor t cell ~context:"recirculation" ~count_as:`Eviction)
+        content
+    end
+    else begin
+      let s = assign_slot t g in
+      let live = ref 0 in
+      Block.iter
+        (fun (tr : Cell.tracked) ->
+          match tr.Cell.cell with
+          | None -> ()
+          | Some cell ->
+            assert (cell.Cell.slot = Cell.staged_slot);
+            cell.Cell.slot <- s;
+            incr live)
+        content;
+      if !live = 0 then begin
+        (* Everything staged died in the meantime; return the slot by
+           rolling the tail back (nothing was written yet). *)
+        g.g_tail <- s;
+        g.g_occupied <- g.g_occupied - 1;
+        set_occupancy g
+      end
+      else begin
+        g.g_blocks.(s) <- Some content;
+        t.stage_writes <- t.stage_writes + 1;
+        issue_write t g { b_slot = s; b_block = content; b_hooks = []; b_seq = -1 }
+      end
+    end
+  end
+
+(* ---- head advance: discard, forward, recirculate ---- *)
+
+let survivors_of g s =
+  match g.g_blocks.(s) with
+  | None -> []
+  | Some block ->
+    List.filter
+      (fun (tr : Cell.tracked) ->
+        match tr.Cell.cell with
+        | Some c -> c.Cell.gen = g.g_index && c.Cell.slot = s
+        | None -> false)
+      (Block.items block)
+
+let current_slot g =
+  match g.g_current with Some b -> Some b.b_slot | None -> None
+
+let rec seal_current t g =
+  match g.g_current with
+  | None -> ()
+  | Some buf ->
+    g.g_current <- None;
+    issue_write t g buf
+
+(* Move survivors from the head of [g] into a block written at the
+   tail of the next generation, backfilling from subsequent head
+   blocks to fill the outgoing buffer as full as possible (§2.2). *)
+and forward t g s survivors =
+  let next = t.gens.(g.g_index + 1) in
+  (* Under the forced-flush policy, committed updates are flushed
+     rather than carried along. *)
+  let keep, flushed =
+    if t.policy.Policy.unflushed = Policy.Force_flush then
+      List.partition
+        (fun (tr : Cell.tracked) ->
+          match tr.Cell.cell with
+          | None -> false
+          | Some cell -> (
+            match Ledger.classify t.ledger cell with
+            | Ledger.Committed_data _ -> false
+            | Ledger.Keep_active | Ledger.Committed_tx _ -> true))
+        survivors
+    else (survivors, [])
+  in
+  List.iter
+    (fun (tr : Cell.tracked) ->
+      match tr.Cell.cell with
+      | None -> ()
+      | Some cell -> (
+        match Ledger.classify t.ledger cell with
+        | Ledger.Committed_data (oid, version) ->
+          force_flush_data t cell oid version;
+          t.forced_head_flushes <- t.forced_head_flushes + 1
+        | Ledger.Keep_active | Ledger.Committed_tx _ -> ()))
+    flushed;
+  if keep = [] then free_slot g s
+  else begin
+    ensure_space t next ~extra:1;
+    let s' = assign_slot t next in
+    let buf = Block.create ~capacity:t.policy.Policy.block_payload in
+    let moved = ref 0 in
+    (* Walk the generation's cell list from its head: the mandatory
+       survivors of slot [s] come first, then backfill from younger
+       blocks until the outgoing buffer is full. *)
+    let stop = ref false in
+    while not !stop do
+      match Cell.Cell_list.head g.g_cells with
+      | None -> stop := true
+      | Some c ->
+        let size = c.Cell.tracked.Cell.record.Log_record.size in
+        let mandatory = c.Cell.slot = s in
+        let in_open_buffer = Some c.Cell.slot = current_slot g in
+        let durable =
+          c.Cell.slot >= 0 && g.g_state.(c.Cell.slot) = Durable
+        in
+        if
+          (not mandatory)
+          && ((not t.policy.Policy.forward_backfill)
+             || in_open_buffer || not durable)
+        then stop := true
+        else if not (Block.fits buf ~size) then begin
+          if mandatory then
+            (* impossible: one block's survivors cannot exceed a block *)
+            assert false;
+          stop := true
+        end
+        else begin
+          if mandatory && g.g_state.(s) <> Durable then
+            t.nondurable_head_reads <- t.nondurable_head_reads + 1;
+          (match Ledger.classify t.ledger c with
+          | Ledger.Committed_data (oid, version)
+            when t.policy.Policy.unflushed = Policy.Force_flush ->
+            force_flush_data t c oid version;
+            t.forced_head_flushes <- t.forced_head_flushes + 1
+          | Ledger.Keep_active | Ledger.Committed_tx _ | Ledger.Committed_data _
+            ->
+            Cell.Cell_list.remove g.g_cells c;
+            c.Cell.gen <- next.g_index;
+            c.Cell.slot <- s';
+            Cell.Cell_list.insert_tail next.g_cells c;
+            Block.add buf ~size c.Cell.tracked;
+            incr moved)
+        end
+    done;
+    if !moved = 0 then begin
+      (* every candidate was flushed away: give the slot back *)
+      next.g_tail <- s';
+      next.g_occupied <- next.g_occupied - 1;
+      set_occupancy next
+    end
+    else begin
+      t.forwarded <- t.forwarded + !moved;
+      next.g_blocks.(s') <- Some buf;
+      issue_write t next { b_slot = s'; b_block = buf; b_hooks = []; b_seq = -1 }
+    end;
+    free_slot g s
+  end
+
+(* Recirculate the survivors of the last generation's head block
+   through the staging buffer (§2.2: records are removed one block at
+   a time and written back at the tail). *)
+and recirculate t g s survivors =
+  List.iter
+    (fun (tr : Cell.tracked) ->
+      match tr.Cell.cell with
+      | None -> ()
+      | Some cell -> (
+        match Ledger.classify t.ledger cell with
+        | Ledger.Committed_data (oid, version)
+          when t.policy.Policy.unflushed = Policy.Force_flush ->
+          force_flush_data t cell oid version;
+          t.forced_head_flushes <- t.forced_head_flushes + 1
+        | Ledger.Keep_active | Ledger.Committed_tx _ | Ledger.Committed_data _
+          ->
+          let size = tr.Cell.record.Log_record.size in
+          if not (Block.fits g.g_stage ~size) then write_stage t g;
+          Block.add g.g_stage ~size tr;
+          Cell.Cell_list.remove g.g_cells cell;
+          cell.Cell.slot <- Cell.staged_slot;
+          Cell.Cell_list.insert_tail g.g_cells cell;
+          if not (List.mem s g.g_stage_origins) then
+            g.g_stage_origins <- s :: g.g_stage_origins;
+          t.recirculated <- t.recirculated + 1))
+    survivors;
+  free_slot g s
+
+and advance_head t g =
+  if g.g_occupied = 0 then
+    overload "generation %d: empty but more space demanded" g.g_index;
+  let s = g.g_head in
+  (* If the head caught up with the buffer still being filled, the
+     generation is far too small; seal it so it can be processed. *)
+  if Some s = current_slot g then seal_current t g;
+  if g.g_state.(s) <> Durable then
+    t.nondurable_head_reads <- t.nondurable_head_reads + 1;
+  let survivors = survivors_of g s in
+  if survivors = [] then free_slot g s
+  else if not g.g_last then forward t g s survivors
+  else if t.policy.Policy.recirculate then recirculate t g s survivors
+  else begin
+    (* Recirculation off: nothing can be kept past the last head. *)
+    List.iter
+      (fun (tr : Cell.tracked) ->
+        match tr.Cell.cell with
+        | None -> ()
+        | Some cell ->
+          discard_survivor t cell ~context:"last-generation head"
+            ~count_as:`Head_flush)
+      survivors;
+    free_slot g s
+  end
+
+(* Make room for [extra] assignments beyond the paper's k-block gap.
+   Each head advance frees one slot; in the last generation staging
+   writes may take slots back, so progress is forced by evicting or
+   killing once a full sweep has not created room. *)
+and ensure_space t g ~extra =
+  let target = t.policy.Policy.head_tail_gap + extra in
+  if target > g.g_size then
+    overload "generation %d: %d blocks cannot provide %d free" g.g_index
+      g.g_size target;
+  let budget = ref ((2 * g.g_size) + 4) in
+  while free_slots g < target do
+    advance_head t g;
+    decr budget;
+    if !budget <= 0 && free_slots g < target then begin
+      relieve_pressure t g;
+      budget := (2 * g.g_size) + 4
+    end
+  done
+
+and relieve_pressure t g =
+  (* Find a victim, scanning from the head: prefer killing an active
+     transaction (the paper's rule), else evict a committed record. *)
+  let cells = Cell.Cell_list.to_list g.g_cells in
+  let is_active c =
+    Ledger.tx_state t.ledger (Ledger.writer_tid c) = Some `Active
+  in
+  match List.find_opt is_active cells with
+  | Some c -> kill_tx t (Ledger.writer_tid c)
+  | None -> (
+    let evictable c =
+      match Ledger.classify t.ledger c with
+      | Ledger.Committed_data _ | Ledger.Committed_tx _ -> true
+      | Ledger.Keep_active -> false
+    in
+    match List.find_opt evictable cells with
+    | Some c ->
+      discard_survivor t c ~context:"pressure relief" ~count_as:`Eviction
+    | None ->
+      overload
+        "generation %d: full of records of in-flight commits; nothing can be \
+         killed or evicted"
+        g.g_index)
+
+(* ---- incoming records (tail of a chosen generation) ---- *)
+
+let schedule_group_timeout t g buf =
+  match t.policy.Policy.group_commit_timeout with
+  | None -> ()
+  | Some delay ->
+    El_sim.Engine.schedule_after t.engine delay (fun () ->
+        match g.g_current with
+        | Some b when b.b_seq = buf.b_seq -> seal_current t g
+        | Some _ | None -> ())
+
+let current_buffer t g ~size =
+  (match g.g_current with
+  | Some buf when not (Block.fits buf.b_block ~size) -> seal_current t g
+  | Some _ | None -> ());
+  match g.g_current with
+  | Some buf -> buf
+  | None ->
+    ensure_space t g ~extra:1;
+    let s = assign_slot t g in
+    let block = Block.create ~capacity:t.policy.Policy.block_payload in
+    g.g_buffer_seq <- g.g_buffer_seq + 1;
+    let buf = { b_slot = s; b_block = block; b_hooks = []; b_seq = g.g_buffer_seq } in
+    g.g_blocks.(s) <- Some block;
+    g.g_state.(s) <- Filling;
+    g.g_current <- Some buf;
+    schedule_group_timeout t g buf;
+    buf
+
+let append_incoming t ~gen_index (tracked : Cell.tracked) ~hook =
+  let g = t.gens.(gen_index) in
+  let size = tracked.Cell.record.Log_record.size in
+  if size > t.policy.Policy.block_payload then
+    overload "record of %d bytes exceeds the block payload" size;
+  let buf = current_buffer t g ~size in
+  Block.add buf.b_block ~size tracked;
+  (match tracked.Cell.cell with
+  | Some cell ->
+    cell.Cell.gen <- gen_index;
+    cell.Cell.slot <- buf.b_slot;
+    Cell.Cell_list.insert_tail g.g_cells cell
+  | None -> ());
+  match hook with
+  | Some h -> buf.b_hooks <- h :: buf.b_hooks
+  | None -> ()
+
+(* ---- lifetime-hint placement (§6 extension) ---- *)
+
+let placement_gen t ~expected_duration =
+  match t.policy.Policy.placement with
+  | Policy.Youngest -> 0
+  | Policy.Lifetime_hint ->
+    let elapsed = Time.to_sec_f (El_sim.Engine.now t.engine) in
+    if elapsed < 5.0 then 0
+    else begin
+      let n = Array.length t.gens in
+      let wanted = Time.to_sec_f expected_duration *. 1.2 in
+      let rec pick i =
+        if i >= n then n - 1
+        else
+          let g = t.gens.(i) in
+          let rate =
+            float_of_int (Log_channel.writes_started g.g_channel) /. elapsed
+          in
+          let retention =
+            if rate <= 0.0 then infinity else float_of_int g.g_size /. rate
+          in
+          if retention >= wanted then i else pick (i + 1)
+      in
+      pick 0
+    end
+
+let gen_of_tid t tid =
+  match Ids.Tid.Table.find_opt t.placements tid with
+  | Some g -> g
+  | None -> 0
+
+(* ---- the logging interface ---- *)
+
+let begin_tx t ~tid ~expected_duration =
+  let timestamp = El_sim.Engine.now t.engine in
+  let cell =
+    Ledger.begin_tx t.ledger ~tid ~expected_duration ~timestamp
+      ~size:t.tx_record_size
+  in
+  let gen_index = placement_gen t ~expected_duration in
+  if gen_index > 0 then Ids.Tid.Table.replace t.placements tid gen_index;
+  append_incoming t ~gen_index cell.Cell.tracked ~hook:None
+
+let write_data t ~tid ~oid ~version ~size =
+  let timestamp = El_sim.Engine.now t.engine in
+  let cell = Ledger.write_data t.ledger ~tid ~oid ~version ~size ~timestamp in
+  append_incoming t ~gen_index:(gen_of_tid t tid) cell.Cell.tracked ~hook:None
+
+let request_commit t ~tid ~on_ack =
+  let timestamp = El_sim.Engine.now t.engine in
+  let cell =
+    Ledger.request_commit t.ledger ~tid ~timestamp ~size:t.tx_record_size
+  in
+  let hook ack_time =
+    let to_flush = Ledger.commit_durable t.ledger ~tid in
+    List.iter
+      (fun (oid, version) ->
+        (match Ids.Oid.Table.find_opt t.committed_ref oid with
+        | Some v when v >= version -> ()
+        | Some _ | None -> Ids.Oid.Table.replace t.committed_ref oid version);
+        Flush_array.request t.flush oid ~version)
+      to_flush;
+    t.acked <- t.acked + 1;
+    Ids.Tid.Table.remove t.placements tid;
+    on_ack ack_time
+  in
+  append_incoming t ~gen_index:(gen_of_tid t tid) cell.Cell.tracked
+    ~hook:(Some hook)
+
+let request_abort t ~tid =
+  let timestamp = El_sim.Engine.now t.engine in
+  let gen_index = gen_of_tid t tid in
+  let tracked =
+    Ledger.request_abort t.ledger ~tid ~timestamp ~size:t.tx_record_size
+  in
+  Ids.Tid.Table.remove t.placements tid;
+  append_incoming t ~gen_index tracked ~hook:None
+
+let drain t =
+  (* Staged recirculation records need no write here: their durable
+     copies still sit in their origin blocks. *)
+  Array.iter (fun g -> seal_current t g) t.gens
+
+(* ---- introspection ---- *)
+
+type stats = {
+  generation_sizes : int array;
+  log_writes_per_gen : int array;
+  total_log_writes : int;
+  forwarded_records : int;
+  recirculated_records : int;
+  stage_writes : int;
+  kills : int;
+  evictions : int;
+  forced_head_flushes : int;
+  nondurable_head_reads : int;
+  peak_occupancy_per_gen : int array;
+  peak_memory_bytes : int;
+  current_memory_bytes : int;
+  lot_entries : int;
+  ltt_entries : int;
+  buffer_pool_overflows : int;
+}
+
+let stats t =
+  let per_gen =
+    Array.map (fun g -> Log_channel.writes_started g.g_channel) t.gens
+  in
+  {
+    generation_sizes = Array.copy t.policy.Policy.generation_sizes;
+    log_writes_per_gen = per_gen;
+    total_log_writes = Array.fold_left ( + ) 0 per_gen;
+    forwarded_records = t.forwarded;
+    recirculated_records = t.recirculated;
+    stage_writes = t.stage_writes;
+    kills = t.kills;
+    evictions = t.evictions;
+    forced_head_flushes = t.forced_head_flushes;
+    nondurable_head_reads = t.nondurable_head_reads;
+    peak_occupancy_per_gen =
+      Array.map (fun g -> El_metrics.Gauge.max_value g.g_occupancy) t.gens;
+    peak_memory_bytes = Ledger.peak_memory_bytes t.ledger;
+    current_memory_bytes = Ledger.memory_bytes t.ledger;
+    lot_entries = Ledger.lot_size t.ledger;
+    ltt_entries = Ledger.ltt_size t.ledger;
+    buffer_pool_overflows =
+      Array.fold_left
+        (fun acc g -> acc + Log_channel.pool_overflows g.g_channel)
+        0 t.gens;
+  }
+
+let ledger t = t.ledger
+let policy t = t.policy
+let occupied_blocks t = Array.map (fun g -> g.g_occupied) t.gens
+
+let check_invariants t =
+  Ledger.check_invariants t.ledger;
+  Array.iter
+    (fun g ->
+      Cell.Cell_list.check_invariants g.g_cells;
+      assert (g.g_occupied >= 0 && g.g_occupied <= g.g_size);
+      assert (g.g_head >= 0 && g.g_head < g.g_size);
+      assert (g.g_tail >= 0 && g.g_tail < g.g_size);
+      List.iter
+        (fun (c : Cell.t) ->
+          assert (c.Cell.gen = g.g_index);
+          assert (not (Cell.is_garbage c.Cell.tracked));
+          if c.Cell.slot = Cell.staged_slot then
+            (* staged records only exist in the last generation *)
+            assert g.g_last
+          else begin
+            assert (c.Cell.slot >= 0 && c.Cell.slot < g.g_size);
+            (* the record's block really holds it *)
+            match g.g_blocks.(c.Cell.slot) with
+            | Some block ->
+              assert
+                (List.exists
+                   (fun (tr : Cell.tracked) -> tr == c.Cell.tracked)
+                   (El_disk.Block.items block))
+            | None -> assert false
+          end)
+        (Cell.Cell_list.to_list g.g_cells))
+    t.gens
+
+let durable_records t =
+  let acc = ref [] in
+  Array.iter
+    (fun g ->
+      Array.iter
+        (function
+          | None -> ()
+          | Some block ->
+            Block.iter
+              (fun (tr : Cell.tracked) -> acc := tr.Cell.record :: !acc)
+              block)
+        g.g_durable)
+    t.gens;
+  !acc
+
+let committed_reference t =
+  Ids.Oid.Table.fold (fun oid v acc -> (oid, v) :: acc) t.committed_ref []
+
+let acked_commits t = t.acked
+let stable t = t.stable

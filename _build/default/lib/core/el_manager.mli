@@ -1,0 +1,118 @@
+(** The ephemeral-logging log manager (§2).
+
+    Manages the log as a chain of fixed-size generations, each a
+    circular array of disk blocks.  New records enter the tail of
+    generation 0 (or, with the lifetime-hint placement extension, a
+    later generation) through block buffers written with group commit.
+    When a generation needs room, its head advances: garbage records
+    are discarded; survivors are forwarded to the next generation's
+    tail — backfilling the outgoing buffer from subsequent head blocks,
+    as §2.2 prescribes — or recirculated within the last generation via
+    an in-memory staging buffer.  Committed updates are flushed
+    continuously to the stable database version through the
+    {!El_disk.Flush_array}; a flushed update's record becomes garbage.
+
+    Transactions are killed only when a record cannot be kept: with
+    recirculation off, when a still-active transaction's record
+    reaches the head of the last generation; with recirculation on,
+    when the last generation has no room to recirculate.  Kills are
+    reported through the callback installed with {!set_on_kill}.
+
+    If the configuration is so small that not even killing and
+    evicting can make room (e.g. every surviving record belongs to a
+    commit that is in flight), {!Log_overloaded} is raised; the
+    minimum-space search treats this as an infeasible configuration. *)
+
+open El_model
+
+exception Log_overloaded of string
+
+type t
+
+val create :
+  El_sim.Engine.t ->
+  policy:Policy.t ->
+  flush:El_disk.Flush_array.t ->
+  stable:El_disk.Stable_db.t ->
+  ?write_time:Time.t ->
+  ?tx_record_size:int ->
+  unit ->
+  t
+(** Builds the generations and takes ownership of the flush array's
+    completion callback.  [write_time] defaults to the paper's 15 ms
+    τ_Disk_Write; [tx_record_size] to 8 bytes. *)
+
+val set_on_kill : t -> (Ids.Tid.t -> unit) -> unit
+
+(** {2 The logging interface (wired to a workload generator)} *)
+
+val begin_tx : t -> tid:Ids.Tid.t -> expected_duration:Time.t -> unit
+val write_data :
+  t -> tid:Ids.Tid.t -> oid:Ids.Oid.t -> version:int -> size:int -> unit
+
+val request_commit : t -> tid:Ids.Tid.t -> on_ack:(Time.t -> unit) -> unit
+(** Appends the COMMIT record; [on_ack] fires when its block write
+    completes (group commit, Figure 3's t₄), after the commit has been
+    applied to the LOT/LTT and the transaction's updates handed to the
+    flusher. *)
+
+val request_abort : t -> tid:Ids.Tid.t -> unit
+
+val drain : t -> unit
+(** Seals and writes every partially-filled buffer (end of run), so
+    that pending group commits can acknowledge once the engine runs
+    the remaining events. *)
+
+(** {2 Introspection} *)
+
+type stats = {
+  generation_sizes : int array;
+  log_writes_per_gen : int array;  (** completed block writes, per generation *)
+  total_log_writes : int;
+  forwarded_records : int;
+  recirculated_records : int;
+  stage_writes : int;  (** recirculation blocks written at the last tail *)
+  kills : int;
+  evictions : int;  (** committed records force-flushed to make room *)
+  forced_head_flushes : int;
+      (** committed updates flushed because their record reached a
+          head (non-zero under the [Force_flush] policy, or with
+          recirculation off) *)
+  nondurable_head_reads : int;
+      (** head blocks processed before their write completed — only
+          possible in pathologically small configurations *)
+  peak_occupancy_per_gen : int array;  (** blocks, including the gap *)
+  peak_memory_bytes : int;  (** LOT+LTT high-water mark, §4 accounting *)
+  current_memory_bytes : int;
+  lot_entries : int;
+  ltt_entries : int;
+  buffer_pool_overflows : int;
+}
+
+val stats : t -> stats
+val ledger : t -> Ledger.t
+val policy : t -> Policy.t
+
+val check_invariants : t -> unit
+(** Deep structural audit, for tests: circular cell lists intact;
+    every live cell within its generation's bounds (or staged in the
+    last generation's recirculation buffer); occupancy within size;
+    LOT/LTT cross-consistency (see {!Ledger.check_invariants}).
+    Raises [Assert_failure] on violation. *)
+
+val occupied_blocks : t -> int array
+(** Current occupancy per generation. *)
+
+(** {2 Recovery support} *)
+
+val durable_records : t -> Log_record.t list
+(** Every record in every block whose disk write has completed, across
+    all generations — including stale copies in freed-but-not-yet
+    -overwritten slots, exactly what a post-crash scan would read. *)
+
+val committed_reference : t -> (Ids.Oid.t * int) list
+(** Ground truth for recovery tests: for every object, the newest
+    version installed by a transaction whose COMMIT record is durable. *)
+
+val acked_commits : t -> int
+val stable : t -> El_disk.Stable_db.t

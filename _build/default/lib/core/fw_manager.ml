@@ -1,0 +1,291 @@
+open El_model
+module Block = El_disk.Block
+module Log_channel = El_disk.Log_channel
+
+type record_stub = { r_tid : Ids.Tid.t; r_size : int }
+
+type buffer = {
+  b_slot : int;
+  b_block : record_stub Block.t;
+  mutable b_hooks : (Time.t -> unit) list;
+}
+
+type tx = {
+  tid : Ids.Tid.t;
+  begun_at : Time.t;
+  mutable record_slots : int list;
+  mutable terminated : bool;
+}
+
+type checkpointing = { interval : Time.t; cost_blocks : int }
+
+type t = {
+  engine : El_sim.Engine.t;
+  size : int;
+  block_payload : int;
+  gap : int;
+  tx_record_size : int;
+  bytes_per_tx : int;
+  live : int array;  (* per-slot count of records from active transactions *)
+  mutable head : int;
+  mutable tail : int;
+  mutable occupied : int;
+  channel : Log_channel.t;
+  mutable current : buffer option;
+  txs : tx Ids.Tid.Table.t;
+  occupancy : El_metrics.Gauge.t;
+  memory : El_metrics.Gauge.t;
+  mutable kills : int;
+  mutable on_kill : (Ids.Tid.t -> unit) option;
+  checkpointing : checkpointing option;
+  mutable awaiting_checkpoint : int list;  (* slots of committed records *)
+  mutable checkpoints : int;
+  mutable checkpoint_writes : int;
+}
+
+let current_slot t = match t.current with Some b -> Some b.b_slot | None -> None
+
+(* Reclaim eagerly: every block up to the firewall (the head-most slot
+   still holding an active transaction's record) is free space. *)
+let reclaim t =
+  let continue = ref true in
+  while !continue && t.occupied > 0 do
+    if t.live.(t.head) > 0 || Some t.head = current_slot t then
+      continue := false
+    else begin
+      t.head <- (t.head + 1) mod t.size;
+      t.occupied <- t.occupied - 1
+    end
+  done;
+  El_metrics.Gauge.set t.occupancy t.occupied
+
+let take_checkpoint t =
+  match t.checkpointing with
+  | None -> ()
+  | Some c ->
+    t.checkpoints <- t.checkpoints + 1;
+    for _ = 1 to c.cost_blocks do
+      t.checkpoint_writes <- t.checkpoint_writes + 1;
+      Log_channel.write t.channel ~on_complete:(fun () -> ())
+    done;
+    List.iter
+      (fun slot -> t.live.(slot) <- t.live.(slot) - 1)
+      t.awaiting_checkpoint;
+    t.awaiting_checkpoint <- [];
+    reclaim t
+
+let create engine ~size_blocks ?(block_payload = Params.block_payload)
+    ?(head_tail_gap = Params.head_tail_gap)
+    ?(buffers = Params.buffers_per_generation)
+    ?(write_time = Params.tau_disk_write)
+    ?(tx_record_size = Params.tx_record_size)
+    ?(bytes_per_tx = Params.fw_bytes_per_tx) ?checkpointing () =
+  if size_blocks < head_tail_gap + 2 then
+    invalid_arg "Fw_manager.create: log needs at least gap+2 blocks";
+  (match checkpointing with
+  | Some c ->
+    if Time.(c.interval <= Time.zero) || c.cost_blocks < 0 then
+      invalid_arg "Fw_manager.create: bad checkpointing parameters"
+  | None -> ());
+  let t = {
+    engine;
+    size = size_blocks;
+    block_payload;
+    gap = head_tail_gap;
+    tx_record_size;
+    bytes_per_tx;
+    live = Array.make size_blocks 0;
+    head = 0;
+    tail = 0;
+    occupied = 0;
+    channel = Log_channel.create engine ~write_time ~buffer_pool:buffers ();
+    current = None;
+    txs = Ids.Tid.Table.create 1024;
+    occupancy = El_metrics.Gauge.create ~name:"FW occupancy" ();
+    memory = El_metrics.Gauge.create ~name:"FW memory" ();
+    kills = 0;
+    on_kill = None;
+    checkpointing;
+    awaiting_checkpoint = [];
+    checkpoints = 0;
+    checkpoint_writes = 0;
+  }
+  in
+  (* Periodic checkpoints: each one writes its cost to the log and
+     releases every record committed since the previous one. *)
+  (match checkpointing with
+  | None -> ()
+  | Some c ->
+    let rec tick () =
+      El_sim.Engine.schedule_after engine c.interval (fun () ->
+          take_checkpoint t;
+          tick ())
+    in
+    tick ());
+  t
+
+let set_on_kill t f = t.on_kill <- Some f
+let free_slots t = t.size - t.occupied
+
+let drop_tx_records t tx =
+  List.iter (fun slot -> t.live.(slot) <- t.live.(slot) - 1) tx.record_slots;
+  tx.record_slots <- []
+
+let terminate ?(committed = false) t tx =
+  if not tx.terminated then begin
+    tx.terminated <- true;
+    (match (t.checkpointing, committed) with
+    | Some _, true ->
+      (* REDO information must survive until the next checkpoint. *)
+      t.awaiting_checkpoint <- tx.record_slots @ t.awaiting_checkpoint;
+      tx.record_slots <- []
+    | (Some _ | None), _ -> drop_tx_records t tx);
+    Ids.Tid.Table.remove t.txs tx.tid;
+    El_metrics.Gauge.add t.memory (-t.bytes_per_tx);
+    reclaim t
+  end
+
+let kill_oldest_active t =
+  let victim =
+    Ids.Tid.Table.fold
+      (fun _ tx best ->
+        if tx.terminated then best
+        else
+          match best with
+          | None -> Some tx
+          | Some b -> if Time.(tx.begun_at < b.begun_at) then Some tx else best)
+      t.txs None
+  in
+  match victim with
+  | None ->
+    (* Only reachable if the gap invariant is impossible to satisfy. *)
+    invalid_arg "Fw_manager: log full with no active transaction to kill"
+  | Some tx ->
+    terminate t tx;
+    t.kills <- t.kills + 1;
+    (match t.on_kill with Some f -> f tx.tid | None -> ())
+
+let seal_current t =
+  match t.current with
+  | None -> ()
+  | Some buf ->
+    t.current <- None;
+    Log_channel.write t.channel ~on_complete:(fun () ->
+        let now = El_sim.Engine.now t.engine in
+        List.iter (fun hook -> hook now) (List.rev buf.b_hooks);
+        buf.b_hooks <- [];
+        (* the buffer's slot may now be reclaimable *)
+        reclaim t)
+
+let ensure_space t =
+  (* Invariant: at least [gap] free blocks after assigning one. *)
+  while free_slots t < t.gap + 1 do
+    reclaim t;
+    if free_slots t < t.gap + 1 then kill_oldest_active t
+  done
+
+let assign_slot t =
+  let s = t.tail in
+  t.tail <- (s + 1) mod t.size;
+  t.occupied <- t.occupied + 1;
+  El_metrics.Gauge.set t.occupancy t.occupied;
+  s
+
+let current_buffer t ~size =
+  (match t.current with
+  | Some buf when not (Block.fits buf.b_block ~size) -> seal_current t
+  | Some _ | None -> ());
+  match t.current with
+  | Some buf -> buf
+  | None ->
+    ensure_space t;
+    let s = assign_slot t in
+    let buf =
+      { b_slot = s; b_block = Block.create ~capacity:t.block_payload; b_hooks = [] }
+    in
+    t.current <- Some buf;
+    buf
+
+let append t ~tid ~size ~tracked_live ~hook =
+  let buf = current_buffer t ~size in
+  Block.add buf.b_block ~size { r_tid = tid; r_size = size };
+  (if tracked_live then
+     match Ids.Tid.Table.find_opt t.txs tid with
+     | Some tx when not tx.terminated ->
+       tx.record_slots <- buf.b_slot :: tx.record_slots;
+       t.live.(buf.b_slot) <- t.live.(buf.b_slot) + 1
+     | Some _ | None -> ());
+  match hook with
+  | Some h -> buf.b_hooks <- h :: buf.b_hooks
+  | None -> ()
+
+let begin_tx t ~tid ~expected_duration:_ =
+  if Ids.Tid.Table.mem t.txs tid then
+    invalid_arg "Fw_manager.begin_tx: duplicate tid";
+  let tx =
+    {
+      tid;
+      begun_at = El_sim.Engine.now t.engine;
+      record_slots = [];
+      terminated = false;
+    }
+  in
+  Ids.Tid.Table.replace t.txs tid tx;
+  El_metrics.Gauge.add t.memory t.bytes_per_tx;
+  append t ~tid ~size:t.tx_record_size ~tracked_live:true ~hook:None
+
+let write_data t ~tid ~oid:_ ~version:_ ~size =
+  match Ids.Tid.Table.find_opt t.txs tid with
+  | None -> invalid_arg "Fw_manager.write_data: unknown transaction"
+  | Some tx when tx.terminated ->
+    invalid_arg "Fw_manager.write_data: transaction terminated"
+  | Some _ -> append t ~tid ~size ~tracked_live:true ~hook:None
+
+let request_commit t ~tid ~on_ack =
+  match Ids.Tid.Table.find_opt t.txs tid with
+  | None -> invalid_arg "Fw_manager.request_commit: unknown transaction"
+  | Some tx ->
+    (* Termination first: it releases the transaction's log space (the
+       firewall moves past it) and — crucially — removes it from the
+       kill candidates before the append below goes hunting for room.
+       The COMMIT record itself is written but, with no checkpointing
+       modelled (as in the paper), never retained. *)
+    terminate ~committed:true t tx;
+    append t ~tid ~size:t.tx_record_size ~tracked_live:false
+      ~hook:(Some (fun ack_time -> on_ack ack_time))
+
+let request_abort t ~tid =
+  match Ids.Tid.Table.find_opt t.txs tid with
+  | None -> invalid_arg "Fw_manager.request_abort: unknown transaction"
+  | Some tx ->
+    terminate t tx;
+    append t ~tid ~size:t.tx_record_size ~tracked_live:false ~hook:None
+
+let drain t = seal_current t
+
+type stats = {
+  size_blocks : int;
+  log_writes : int;
+  kills : int;
+  peak_occupancy : int;
+  peak_memory_bytes : int;
+  current_memory_bytes : int;
+  live_transactions : int;
+  buffer_pool_overflows : int;
+  checkpoints : int;
+  checkpoint_writes : int;
+}
+
+let stats t =
+  {
+    size_blocks = t.size;
+    log_writes = Log_channel.writes_started t.channel;
+    kills = t.kills;
+    peak_occupancy = El_metrics.Gauge.max_value t.occupancy;
+    peak_memory_bytes = El_metrics.Gauge.max_value t.memory;
+    current_memory_bytes = El_metrics.Gauge.value t.memory;
+    live_transactions = Ids.Tid.Table.length t.txs;
+    buffer_pool_overflows = Log_channel.pool_overflows t.channel;
+    checkpoints = t.checkpoints;
+    checkpoint_writes = t.checkpoint_writes;
+  }

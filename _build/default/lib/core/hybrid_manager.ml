@@ -1,0 +1,444 @@
+open El_model
+module Block = El_disk.Block
+module Log_channel = El_disk.Log_channel
+module Flush_array = El_disk.Flush_array
+module Stable_db = El_disk.Stable_db
+
+(* A remembered record: enough to regenerate it from main memory and
+   to route flush completions.  [flushed] covers data stubs only. *)
+type stub = {
+  s_oid : Ids.Oid.t option;  (* None for tx records *)
+  s_version : int;
+  s_size : int;
+  mutable s_flushed : bool;
+}
+
+type tx_state = Active | Commit_pending | Committed
+
+type tx = {
+  tid : Ids.Tid.t;
+  begun_at : Time.t;
+  mutable state : tx_state;
+  mutable stubs : stub list;  (* oldest first *)
+  mutable anchor : (int * int) option;  (* queue index, slot *)
+  mutable unflushed_count : int;
+}
+
+type buffer = {
+  b_slot : int;
+  b_block : int Block.t;  (* payload sizes only; contents live in stubs *)
+  mutable b_hooks : (Time.t -> unit) list;
+}
+
+type queue = {
+  q_index : int;
+  q_size : int;
+  q_last : bool;
+  anchors : int array;  (* anchored-transaction count per slot *)
+  anchored : tx list array;  (* the transactions anchored per slot *)
+  mutable q_head : int;
+  mutable q_tail : int;
+  mutable q_occupied : int;
+  q_channel : Log_channel.t;
+  mutable q_current : buffer option;
+}
+
+type t = {
+  engine : El_sim.Engine.t;
+  flush : Flush_array.t;
+  stable : Stable_db.t;
+  block_payload : int;
+  gap : int;
+  tx_record_size : int;
+  queues : queue array;
+  txs : tx Ids.Tid.Table.t;
+  unflushed : (Ids.Tid.t * int) Ids.Oid.Table.t;
+      (* committed-unflushed objects: writer and version *)
+  memory : El_metrics.Gauge.t;
+  mutable regenerations : int;
+  mutable regenerated_records : int;
+  mutable kills : int;
+  mutable on_kill : (Ids.Tid.t -> unit) option;
+}
+
+let bytes_per_tx = Params.fw_bytes_per_tx
+let bytes_per_object = Params.el_bytes_per_object
+
+let drop_anchor t tx =
+  match tx.anchor with
+  | None -> ()
+  | Some (qi, slot) ->
+    let q = t.queues.(qi) in
+    q.anchors.(slot) <- q.anchors.(slot) - 1;
+    q.anchored.(slot) <-
+      List.filter (fun x -> not (x == tx)) q.anchored.(slot);
+    tx.anchor <- None
+
+let retire t tx =
+  drop_anchor t tx;
+  Ids.Tid.Table.remove t.txs tx.tid;
+  El_metrics.Gauge.add t.memory (-bytes_per_tx)
+
+let create engine ~queue_sizes ~flush ~stable
+    ?(block_payload = Params.block_payload)
+    ?(head_tail_gap = Params.head_tail_gap)
+    ?(buffers = Params.buffers_per_generation)
+    ?(write_time = Params.tau_disk_write)
+    ?(tx_record_size = Params.tx_record_size) () =
+  if Array.length queue_sizes = 0 then
+    invalid_arg "Hybrid_manager.create: no queues";
+  Array.iter
+    (fun s ->
+      if s < head_tail_gap + 2 then
+        invalid_arg "Hybrid_manager.create: queue needs at least gap+2 blocks")
+    queue_sizes;
+  let n = Array.length queue_sizes in
+  let make_queue i =
+    {
+      q_index = i;
+      q_size = queue_sizes.(i);
+      q_last = i = n - 1;
+      anchors = Array.make queue_sizes.(i) 0;
+      anchored = Array.make queue_sizes.(i) [];
+      q_head = 0;
+      q_tail = 0;
+      q_occupied = 0;
+      q_channel = Log_channel.create engine ~write_time ~buffer_pool:buffers ();
+      q_current = None;
+    }
+  in
+  let t =
+    {
+      engine;
+      flush;
+      stable;
+      block_payload;
+      gap = head_tail_gap;
+      tx_record_size;
+      queues = Array.init n make_queue;
+      txs = Ids.Tid.Table.create 1024;
+      unflushed = Ids.Oid.Table.create 1024;
+      memory = El_metrics.Gauge.create ~name:"hybrid memory" ();
+      regenerations = 0;
+      regenerated_records = 0;
+      kills = 0;
+      on_kill = None;
+    }
+  in
+  Flush_array.set_on_flush flush (fun oid ~version ->
+      Stable_db.apply stable oid ~version;
+      match Ids.Oid.Table.find_opt t.unflushed oid with
+      | Some (tid, v) when v = version -> (
+        Ids.Oid.Table.remove t.unflushed oid;
+        El_metrics.Gauge.add t.memory (-bytes_per_object);
+        match Ids.Tid.Table.find_opt t.txs tid with
+        | None -> ()
+        | Some tx ->
+          List.iter
+            (fun s ->
+              match s.s_oid with
+              | Some o when Ids.Oid.equal o oid && s.s_version = version ->
+                if not s.s_flushed then begin
+                  s.s_flushed <- true;
+                  tx.unflushed_count <- tx.unflushed_count - 1
+                end
+              | Some _ | None -> ())
+            tx.stubs;
+          if tx.state = Committed && tx.unflushed_count = 0 then retire t tx)
+      | Some _ | None -> ());
+  t
+
+let set_on_kill t f = t.on_kill <- Some f
+let free_slots q = q.q_size - q.q_occupied
+
+let current_slot q =
+  match q.q_current with Some b -> Some b.b_slot | None -> None
+
+let seal_current t q =
+  match q.q_current with
+  | None -> ()
+  | Some buf ->
+    q.q_current <- None;
+    Log_channel.write q.q_channel ~on_complete:(fun () ->
+        let now = El_sim.Engine.now t.engine in
+        List.iter (fun h -> h now) (List.rev buf.b_hooks);
+        buf.b_hooks <- [])
+
+let anchor_at t tx q slot =
+  (match tx.anchor with
+  | Some _ -> drop_anchor t tx
+  | None -> ());
+  tx.anchor <- Some (q.q_index, slot);
+  q.anchors.(slot) <- q.anchors.(slot) + 1;
+  q.anchored.(slot) <- tx :: q.anchored.(slot)
+
+let retained_stubs tx =
+  match tx.state with
+  | Active | Commit_pending -> tx.stubs
+  | Committed ->
+    List.filter (fun s -> s.s_oid = None || not s.s_flushed) tx.stubs
+
+(* ---- space management with regeneration ---- *)
+
+(* Raised (and handled internally) when a self-recirculating
+   regeneration finds the last queue completely full. *)
+exception Regeneration_full
+
+let rec assign_slot _t q =
+  if free_slots q = 0 then
+    raise
+      (El_manager.Log_overloaded
+         (Printf.sprintf "hybrid queue %d: no free block" q.q_index));
+  let s = q.q_tail in
+  q.q_tail <- (s + 1) mod q.q_size;
+  q.q_occupied <- q.q_occupied + 1;
+  s
+
+(* Append one record's bytes at the tail of [q]; anchors the
+   transaction there when [anchor] is set (first record of a batch).
+   In [self_regen] mode — the last queue rewriting into itself — no
+   head advance may be triggered (it would re-enter the advance in
+   progress), so a full ring raises {!Regeneration_full} and the
+   caller kills or retires the transaction instead. *)
+and append ?(self_regen = false) t q ~size ~anchor_tx ~hook =
+  if size > t.block_payload then
+    raise (El_manager.Log_overloaded "record exceeds block payload");
+  (match q.q_current with
+  | Some buf when not (Block.fits buf.b_block ~size) -> seal_current t q
+  | Some _ | None -> ());
+  (match q.q_current with
+  | Some _ -> ()
+  | None ->
+    if self_regen then begin
+      if free_slots q = 0 then raise Regeneration_full
+    end
+    else ensure_space t q;
+    let s = assign_slot t q in
+    q.q_current <- Some { b_slot = s; b_block = Block.create ~capacity:t.block_payload; b_hooks = [] });
+  match q.q_current with
+  | None -> assert false
+  | Some buf ->
+    Block.add buf.b_block ~size size;
+    (match anchor_tx with
+    | Some tx when tx.anchor = None -> anchor_at t tx q buf.b_slot
+    | Some _ | None -> ());
+    (match hook with
+    | Some h -> buf.b_hooks <- h :: buf.b_hooks
+    | None -> ())
+
+(* Advance the head one block.  Every transaction anchored there is
+   unhooked and its retained records are rewritten at the tail of the
+   next queue (§6: the manager has no pointers to the rest, so whole
+   transactions are regenerated).  The slot is freed *before* the
+   rewrites so that the appends — which may need space of their own,
+   re-entering this function — always operate on a consistent ring. *)
+and advance_head t q =
+  if q.q_occupied = 0 then
+    raise
+      (El_manager.Log_overloaded
+         (Printf.sprintf "hybrid queue %d: empty but space demanded" q.q_index));
+  let s = q.q_head in
+  if Some s = current_slot q then seal_current t q;
+  let victims = q.anchored.(s) in
+  List.iter (fun tx -> drop_anchor t tx) victims;
+  assert (q.anchors.(s) = 0);
+  q.q_head <- (s + 1) mod q.q_size;
+  q.q_occupied <- q.q_occupied - 1;
+  let destination =
+    t.queues.(min (q.q_index + 1) (Array.length t.queues - 1))
+  in
+  let self_regen = destination == q in
+  List.iter
+    (fun tx ->
+      (* the transaction may have retired or been re-anchored by the
+         recursive pressure of an earlier victim's rewrite *)
+      if Ids.Tid.Table.mem t.txs tx.tid && tx.anchor = None then begin
+        let stubs = retained_stubs tx in
+        t.regenerations <- t.regenerations + 1;
+        try
+          List.iter
+            (fun stub ->
+              t.regenerated_records <- t.regenerated_records + 1;
+              append ~self_regen t destination ~size:stub.s_size
+                ~anchor_tx:(Some tx) ~hook:None)
+            stubs;
+          (* a committed transaction with nothing retained retires *)
+          if stubs = [] then retire t tx
+        with Regeneration_full ->
+          (* The paper's rule: a record that cannot be recirculated for
+             lack of space costs its transaction its life.  Committed
+             transactions merely retire — their flushes are already on
+             their way to the stable version. *)
+          if tx.state = Active then kill_tx t tx else retire t tx
+      end)
+    victims
+
+and ensure_space t q =
+  let target = t.gap + 1 in
+  let budget = ref ((2 * q.q_size) + 4) in
+  while free_slots q < target do
+    advance_head t q;
+    decr budget;
+    if !budget <= 0 && free_slots q < target then begin
+      kill_someone t q;
+      budget := (2 * q.q_size) + 4
+    end
+  done
+
+and kill_someone t q =
+  (* The last queue regenerates into itself; when that makes no
+     progress, kill the oldest active anchored transaction. *)
+  let oldest = ref None in
+  Array.iter
+    (List.iter (fun tx ->
+         if tx.state = Active then
+           match !oldest with
+           | None -> oldest := Some tx
+           | Some b -> if Time.(tx.begun_at < b.begun_at) then oldest := Some tx))
+    q.anchored;
+  match !oldest with
+  | Some tx -> kill_tx t tx
+  | None ->
+    raise
+      (El_manager.Log_overloaded
+         (Printf.sprintf "hybrid queue %d: nothing killable" q.q_index))
+
+and kill_tx t tx =
+  (* all records become garbage; unflushed bookkeeping is dropped *)
+  List.iter
+    (fun s ->
+      match s.s_oid with
+      | Some oid when not s.s_flushed -> (
+        match Ids.Oid.Table.find_opt t.unflushed oid with
+        | Some (tid, _) when Ids.Tid.equal tid tx.tid ->
+          Ids.Oid.Table.remove t.unflushed oid;
+          El_metrics.Gauge.add t.memory (-bytes_per_object)
+        | Some _ | None -> ())
+      | Some _ | None -> ())
+    tx.stubs;
+  retire t tx;
+  t.kills <- t.kills + 1;
+  match t.on_kill with Some f -> f tx.tid | None -> ()
+
+(* ---- logging interface ---- *)
+
+let require_tx t tid =
+  match Ids.Tid.Table.find_opt t.txs tid with
+  | Some tx -> tx
+  | None -> invalid_arg "Hybrid_manager: unknown transaction"
+
+let begin_tx t ~tid ~expected_duration:_ =
+  if Ids.Tid.Table.mem t.txs tid then
+    invalid_arg "Hybrid_manager.begin_tx: duplicate tid";
+  let tx =
+    {
+      tid;
+      begun_at = El_sim.Engine.now t.engine;
+      state = Active;
+      stubs = [ { s_oid = None; s_version = 0; s_size = t.tx_record_size; s_flushed = false } ];
+      anchor = None;
+      unflushed_count = 0;
+    }
+  in
+  Ids.Tid.Table.replace t.txs tid tx;
+  El_metrics.Gauge.add t.memory bytes_per_tx;
+  append t t.queues.(0) ~size:t.tx_record_size ~anchor_tx:(Some tx) ~hook:None
+
+let write_data t ~tid ~oid ~version ~size =
+  let tx = require_tx t tid in
+  if tx.state <> Active then
+    invalid_arg "Hybrid_manager.write_data: transaction not active";
+  tx.stubs <-
+    tx.stubs @ [ { s_oid = Some oid; s_version = version; s_size = size; s_flushed = false } ];
+  append t t.queues.(0) ~size ~anchor_tx:(Some tx) ~hook:None
+
+let request_commit t ~tid ~on_ack =
+  let tx = require_tx t tid in
+  if tx.state <> Active then
+    invalid_arg "Hybrid_manager.request_commit: transaction not active";
+  tx.state <- Commit_pending;
+  tx.stubs <-
+    tx.stubs
+    @ [ { s_oid = None; s_version = 0; s_size = t.tx_record_size; s_flushed = false } ];
+  let hook at =
+    if Ids.Tid.Table.mem t.txs tid then begin
+      tx.state <- Committed;
+      (* hand every update to the flusher; supersede older committed
+         versions of the same objects *)
+      List.iter
+        (fun s ->
+          match s.s_oid with
+          | None -> ()
+          | Some oid ->
+            (match Ids.Oid.Table.find_opt t.unflushed oid with
+            | Some (old_tid, old_version) -> (
+              Ids.Oid.Table.remove t.unflushed oid;
+              El_metrics.Gauge.add t.memory (-bytes_per_object);
+              match Ids.Tid.Table.find_opt t.txs old_tid with
+              | Some old_tx when not (Ids.Tid.equal old_tid tid) ->
+                List.iter
+                  (fun os ->
+                    match os.s_oid with
+                    | Some o
+                      when Ids.Oid.equal o oid && os.s_version = old_version
+                           && not os.s_flushed ->
+                      os.s_flushed <- true;
+                      old_tx.unflushed_count <- old_tx.unflushed_count - 1
+                    | Some _ | None -> ())
+                  old_tx.stubs;
+                if old_tx.state = Committed && old_tx.unflushed_count = 0 then
+                  retire t old_tx
+              | Some _ | None -> ())
+            | None -> ());
+            Ids.Oid.Table.replace t.unflushed oid (tid, s.s_version);
+            El_metrics.Gauge.add t.memory bytes_per_object;
+            tx.unflushed_count <- tx.unflushed_count + 1;
+            Flush_array.request t.flush oid ~version:s.s_version)
+        tx.stubs;
+      if tx.unflushed_count = 0 then retire t tx
+    end;
+    on_ack at
+  in
+  append t t.queues.(0) ~size:t.tx_record_size ~anchor_tx:(Some tx)
+    ~hook:(Some hook)
+
+let request_abort t ~tid =
+  let tx = require_tx t tid in
+  if tx.state <> Active then
+    invalid_arg "Hybrid_manager.request_abort: transaction not active";
+  (* retire first so the space hunt below cannot pick this transaction
+     as a kill victim after the generator already marked it aborted *)
+  retire t tx;
+  append t t.queues.(0) ~size:t.tx_record_size ~anchor_tx:None ~hook:None
+
+let drain t = Array.iter (fun q -> seal_current t q) t.queues
+
+type stats = {
+  queue_sizes : int array;
+  log_writes_per_queue : int array;
+  total_log_writes : int;
+  regenerations : int;
+  regenerated_records : int;
+  kills : int;
+  peak_memory_bytes : int;
+  current_memory_bytes : int;
+  live_transactions : int;
+  unflushed_objects : int;
+}
+
+let stats t =
+  let per_queue =
+    Array.map (fun q -> Log_channel.writes_started q.q_channel) t.queues
+  in
+  {
+    queue_sizes = Array.map (fun q -> q.q_size) t.queues;
+    log_writes_per_queue = per_queue;
+    total_log_writes = Array.fold_left ( + ) 0 per_queue;
+    regenerations = t.regenerations;
+    regenerated_records = t.regenerated_records;
+    kills = t.kills;
+    peak_memory_bytes = El_metrics.Gauge.max_value t.memory;
+    current_memory_bytes = El_metrics.Gauge.value t.memory;
+    live_transactions = Ids.Tid.Table.length t.txs;
+    unflushed_objects = Ids.Oid.Table.length t.unflushed;
+  }

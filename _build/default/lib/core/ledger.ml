@@ -1,0 +1,351 @@
+open El_model
+
+type t = {
+  lot : Cell.lot_entry Ids.Oid.Table.t;
+  ltt : Cell.ltt_entry Ids.Tid.Table.t;
+  remove_cell : Cell.t -> unit;
+  bytes_per_tx : int;
+  bytes_per_object : int;
+  memory : El_metrics.Gauge.t;
+  mutable unflushed : int;
+}
+
+let create ~remove_cell ?(bytes_per_tx = Params.el_bytes_per_tx)
+    ?(bytes_per_object = Params.el_bytes_per_object) () =
+  {
+    lot = Ids.Oid.Table.create 1024;
+    ltt = Ids.Tid.Table.create 1024;
+    remove_cell;
+    bytes_per_tx;
+    bytes_per_object;
+    memory = El_metrics.Gauge.create ~name:"LOT+LTT bytes" ();
+    unflushed = 0;
+  }
+
+let find_tx t tid = Ids.Tid.Table.find_opt t.ltt tid
+
+let is_active t tid =
+  match find_tx t tid with
+  | Some e -> e.Cell.tx_state = `Active
+  | None -> false
+
+let require_tx t tid =
+  match find_tx t tid with
+  | Some e -> e
+  | None -> invalid_arg "Ledger: unknown transaction"
+
+let lot_size t = Ids.Oid.Table.length t.lot
+let ltt_size t = Ids.Tid.Table.length t.ltt
+
+(* ---- memory accounting ---- *)
+
+let mem_add_tx t = El_metrics.Gauge.add t.memory t.bytes_per_tx
+let mem_del_tx t = El_metrics.Gauge.add t.memory (-t.bytes_per_tx)
+let mem_add_obj t = El_metrics.Gauge.add t.memory t.bytes_per_object
+let mem_del_obj t = El_metrics.Gauge.add t.memory (-t.bytes_per_object)
+
+let memory_bytes t = El_metrics.Gauge.value t.memory
+let peak_memory_bytes t = El_metrics.Gauge.max_value t.memory
+let unflushed_objects t = t.unflushed
+
+(* ---- disposal cascade ---- *)
+
+let lot_entry_cleanup t (entry : Cell.lot_entry) =
+  if entry.committed = None && entry.uncommitted = [] then begin
+    Ids.Oid.Table.remove t.lot entry.l_oid;
+    mem_del_obj t
+  end
+
+let dispose_tx_cell t (e : Cell.ltt_entry) =
+  (match e.tx_cell with
+  | Some c ->
+    t.remove_cell c;
+    c.Cell.tracked.Cell.cell <- None;
+    e.tx_cell <- None
+  | None -> ());
+  Ids.Tid.Table.remove t.ltt e.e_tid;
+  mem_del_tx t
+
+(* Dispose a data cell: detach from list and LOT entry, remove the oid
+   from the writer's write set, and — per §2.3 — retire a committed
+   writer whose write set has drained. *)
+let rec dispose_data_cell t cell (entry : Cell.lot_entry) tid =
+  t.remove_cell cell;
+  cell.Cell.tracked.Cell.cell <- None;
+  (match entry.committed with
+  | Some c when c == cell ->
+    entry.committed <- None;
+    t.unflushed <- t.unflushed - 1
+  | Some _ | None ->
+    entry.uncommitted <-
+      List.filter (fun (_, c) -> not (c == cell)) entry.uncommitted);
+  lot_entry_cleanup t entry;
+  match find_tx t tid with
+  | None -> ()  (* writer already fully retired *)
+  | Some e ->
+    Ids.Oid.Table.remove e.write_set entry.l_oid;
+    if e.tx_state = `Committed && Ids.Oid.Table.length e.write_set = 0 then
+      dispose_tx_cell t e
+
+and dispose t (cell : Cell.t) =
+  match cell.Cell.owner with
+  | Cell.Tx_of e ->
+    (* Disposing a tx record cell by force: only sound when the entry
+       is being retired wholesale; callers use abort/kill for that.
+       Here it means "evict": drop the anchor and the entry. *)
+    (match e.tx_cell with
+    | Some c when c == cell -> dispose_tx_cell t e
+    | Some _ | None -> ())
+  | Cell.Data_of (entry, tid) -> dispose_data_cell t cell entry tid
+
+(* ---- transaction lifecycle ---- *)
+
+let begin_tx t ~tid ~expected_duration ~timestamp ~size =
+  if Ids.Tid.Table.mem t.ltt tid then
+    invalid_arg "Ledger.begin_tx: duplicate tid";
+  let record = Log_record.begin_ ~tid ~size ~timestamp in
+  let tracked = Cell.track record in
+  let entry =
+    {
+      Cell.e_tid = tid;
+      expected_duration;
+      begun_at = timestamp;
+      tx_cell = None;
+      write_set = Ids.Oid.Table.create 8;
+      tx_state = `Active;
+    }
+  in
+  let cell =
+    Cell.attach tracked ~gen:0 ~slot:Cell.unplaced_slot ~owner:(Cell.Tx_of entry)
+  in
+  entry.tx_cell <- Some cell;
+  Ids.Tid.Table.replace t.ltt tid entry;
+  mem_add_tx t;
+  cell
+
+let find_lot t oid =
+  match Ids.Oid.Table.find_opt t.lot oid with
+  | Some e -> e
+  | None ->
+    let e =
+      { Cell.l_oid = oid; committed = None; committed_version = 0; uncommitted = [] }
+    in
+    Ids.Oid.Table.replace t.lot oid e;
+    mem_add_obj t;
+    e
+
+let write_data t ~tid ~oid ~version ~size ~timestamp =
+  let e = require_tx t tid in
+  if e.Cell.tx_state <> `Active then
+    invalid_arg "Ledger.write_data: transaction not active";
+  let entry = find_lot t oid in
+  (* An earlier uncommitted update by the same transaction is
+     superseded immediately (REDO logging keeps only newest values). *)
+  let previous =
+    List.find_opt (fun (i, _) -> Ids.Tid.equal i tid) entry.uncommitted
+  in
+  (match previous with
+  | Some (_, old_cell) -> dispose_data_cell t old_cell entry tid
+  | None -> ());
+  (* Disposing the old update may have retired the whole LOT entry;
+     re-resolve so the new cell lands in a live entry. *)
+  let entry = find_lot t oid in
+  let record = Log_record.data ~tid ~oid ~version ~size ~timestamp in
+  let tracked = Cell.track record in
+  let cell =
+    Cell.attach tracked ~gen:0 ~slot:Cell.unplaced_slot
+      ~owner:(Cell.Data_of (entry, tid))
+  in
+  entry.uncommitted <- (tid, cell) :: entry.uncommitted;
+  Ids.Oid.Table.replace e.write_set oid ();
+  cell
+
+let supersede_tx_record t (e : Cell.ltt_entry) cell =
+  (match e.Cell.tx_cell with
+  | Some old ->
+    t.remove_cell old;
+    old.Cell.tracked.Cell.cell <- None
+  | None -> ());
+  e.tx_cell <- Some cell
+
+let request_commit t ~tid ~timestamp ~size =
+  let e = require_tx t tid in
+  if e.Cell.tx_state <> `Active then
+    invalid_arg "Ledger.request_commit: transaction not active";
+  e.tx_state <- `Commit_pending;
+  let record = Log_record.commit ~tid ~size ~timestamp in
+  let tracked = Cell.track record in
+  let cell =
+    Cell.attach tracked ~gen:0 ~slot:Cell.unplaced_slot ~owner:(Cell.Tx_of e)
+  in
+  supersede_tx_record t e cell;
+  cell
+
+let commit_durable t ~tid =
+  let e = require_tx t tid in
+  if e.Cell.tx_state <> `Commit_pending then
+    invalid_arg "Ledger.commit_durable: no commit in flight";
+  e.tx_state <- `Committed;
+  let to_flush = ref [] in
+  let oids = Ids.Oid.Table.fold (fun oid () acc -> oid :: acc) e.write_set [] in
+  List.iter
+    (fun oid ->
+      match Ids.Oid.Table.find_opt t.lot oid with
+      | None -> assert false  (* write set implies a LOT entry *)
+      | Some entry ->
+        (match
+           List.find_opt (fun (i, _) -> Ids.Tid.equal i tid) entry.uncommitted
+         with
+        | None -> assert false
+        | Some (_, cell) ->
+          (* The earlier committed update, if any, is now garbage. *)
+          (match entry.committed with
+          | Some old ->
+            let old_tid =
+              match old.Cell.owner with
+              | Cell.Data_of (_, writer) -> writer
+              | Cell.Tx_of _ -> assert false
+            in
+            dispose_data_cell t old entry old_tid
+          | None -> ());
+          entry.uncommitted <-
+            List.filter (fun (i, _) -> not (Ids.Tid.equal i tid)) entry.uncommitted;
+          entry.committed <- Some cell;
+          t.unflushed <- t.unflushed + 1;
+          (match cell.Cell.tracked.Cell.record.Log_record.kind with
+          | Log_record.Data { version; _ } ->
+            entry.committed_version <- version;
+            to_flush := (oid, version) :: !to_flush
+          | Log_record.Begin | Log_record.Commit | Log_record.Abort ->
+            assert false)))
+    oids;
+  if Ids.Oid.Table.length e.write_set = 0 then dispose_tx_cell t e;
+  !to_flush
+
+let drop_all_records t (e : Cell.ltt_entry) =
+  let oids = Ids.Oid.Table.fold (fun oid () acc -> oid :: acc) e.write_set [] in
+  List.iter
+    (fun oid ->
+      match Ids.Oid.Table.find_opt t.lot oid with
+      | None -> ()
+      | Some entry -> (
+        match
+          List.find_opt (fun (i, _) -> Ids.Tid.equal i e.e_tid) entry.uncommitted
+        with
+        | Some (_, cell) -> dispose_data_cell t cell entry e.e_tid
+        | None -> ()))
+    oids;
+  (* dispose_data_cell already pruned the write set; whatever remains
+     (nothing, normally) is cleared before the entry goes away. *)
+  Ids.Oid.Table.reset e.write_set;
+  dispose_tx_cell t e
+
+let request_abort t ~tid ~timestamp ~size =
+  let e = require_tx t tid in
+  if e.Cell.tx_state <> `Active then
+    invalid_arg "Ledger.request_abort: transaction not active";
+  drop_all_records t e;
+  Cell.track (Log_record.abort ~tid ~size ~timestamp)
+
+let kill t ~tid =
+  let e = require_tx t tid in
+  if e.Cell.tx_state <> `Active then
+    invalid_arg "Ledger.kill: only active transactions can be killed";
+  drop_all_records t e
+
+let committed_cell t oid =
+  match Ids.Oid.Table.find_opt t.lot oid with
+  | None -> None
+  | Some entry -> (
+    match entry.Cell.committed with
+    | Some cell -> Some (cell, entry.committed_version)
+    | None -> None)
+
+let tx_state t tid =
+  match find_tx t tid with
+  | Some e -> Some e.Cell.tx_state
+  | None -> None
+
+let flush_complete t ~oid ~version =
+  match Ids.Oid.Table.find_opt t.lot oid with
+  | None -> false
+  | Some entry -> (
+    match entry.committed with
+    | Some cell when entry.committed_version = version ->
+      let tid =
+        match cell.Cell.owner with
+        | Cell.Data_of (_, writer) -> writer
+        | Cell.Tx_of _ -> assert false
+      in
+      dispose_data_cell t cell entry tid;
+      true
+    | Some _ | None -> false)
+
+type survivor_class =
+  | Keep_active
+  | Committed_data of Ids.Oid.t * int
+  | Committed_tx of Ids.Tid.t
+
+let classify _t (cell : Cell.t) =
+  match cell.Cell.owner with
+  | Cell.Tx_of e -> (
+    match e.Cell.tx_state with
+    | `Active | `Commit_pending -> Keep_active
+    | `Committed -> Committed_tx e.e_tid)
+  | Cell.Data_of (entry, _) -> (
+    match entry.committed with
+    | Some c when c == cell -> Committed_data (entry.l_oid, entry.committed_version)
+    | Some _ | None -> Keep_active)
+
+let writer_tid (cell : Cell.t) =
+  match cell.Cell.owner with
+  | Cell.Tx_of e -> e.Cell.e_tid
+  | Cell.Data_of (_, tid) -> tid
+
+let oldest_active t =
+  Ids.Tid.Table.fold
+    (fun _ (e : Cell.ltt_entry) best ->
+      if e.tx_state <> `Active then best
+      else
+        match best with
+        | None -> Some e
+        | Some b -> if Time.(e.begun_at < b.Cell.begun_at) then Some e else best)
+    t.ltt None
+
+let iter_lot t f = Ids.Oid.Table.iter (fun _ e -> f e) t.lot
+
+let check_invariants t =
+  let unflushed = ref 0 in
+  Ids.Oid.Table.iter
+    (fun oid (entry : Cell.lot_entry) ->
+      assert (Ids.Oid.equal oid entry.l_oid);
+      assert (entry.committed <> None || entry.uncommitted <> []);
+      (match entry.committed with
+      | Some c ->
+        incr unflushed;
+        assert (match c.Cell.tracked.Cell.cell with Some c' -> c' == c | None -> false)
+      | None -> ());
+      List.iter
+        (fun (tid, c) ->
+          assert (match c.Cell.tracked.Cell.cell with Some c' -> c' == c | None -> false);
+          match find_tx t tid with
+          | Some e ->
+            assert (e.Cell.tx_state <> `Committed);
+            assert (Ids.Oid.Table.mem e.write_set oid)
+          | None -> assert false)
+        entry.uncommitted)
+    t.lot;
+  assert (!unflushed = t.unflushed);
+  Ids.Tid.Table.iter
+    (fun tid (e : Cell.ltt_entry) ->
+      assert (Ids.Tid.equal tid e.e_tid);
+      (match e.tx_cell with
+      | Some c -> assert (match c.Cell.tracked.Cell.cell with Some c' -> c' == c | None -> false)
+      | None -> assert false (* live entries always anchor a tx record *));
+      if e.tx_state = `Committed then
+        assert (Ids.Oid.Table.length e.write_set > 0))
+    t.ltt;
+  let expected_mem =
+    (t.bytes_per_tx * ltt_size t) + (t.bytes_per_object * lot_size t)
+  in
+  assert (memory_bytes t = expected_mem)

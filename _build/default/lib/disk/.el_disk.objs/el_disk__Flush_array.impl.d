@@ -1,0 +1,1 @@
+lib/disk/flush_array.ml: Array El_metrics El_model El_sim Hashtbl Ids Time

@@ -1,0 +1,1 @@
+lib/disk/flush_array.mli: El_metrics El_model El_sim Ids Time

@@ -1,0 +1,1 @@
+lib/disk/log_channel.ml: El_model El_sim Queue Time

@@ -1,0 +1,1 @@
+lib/disk/log_channel.mli: El_model El_sim Time

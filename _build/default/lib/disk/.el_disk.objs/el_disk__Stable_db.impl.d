@@ -1,0 +1,1 @@
+lib/disk/stable_db.ml: El_model Ids

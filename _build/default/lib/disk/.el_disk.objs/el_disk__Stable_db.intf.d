@@ -1,0 +1,1 @@
+lib/disk/stable_db.mli: El_model Ids

@@ -1,0 +1,172 @@
+open El_model
+
+type request = {
+  oid : int;
+  mutable version : int;
+  mutable forced : bool;
+  seq : int;  (* arrival order, for FIFO scheduling *)
+}
+
+type drive = {
+  lo : int;
+  span : int;  (* number of oids owned: [lo, lo + span) *)
+  mutable position : int;  (* oid last written; starts at lo *)
+  mutable has_history : bool;  (* false until the first flush *)
+  pending_tbl : (int, request) Hashtbl.t;
+  mutable busy : bool;
+}
+
+type scheduling = Nearest | Fifo
+
+type t = {
+  engine : El_sim.Engine.t;
+  transfer_time : Time.t;
+  num_objects : int;
+  drives : drive array;
+  scheduling : scheduling;
+  mutable on_flush : (Ids.Oid.t -> version:int -> unit) option;
+  mutable next_seq : int;
+  mutable pending_count : int;
+  mutable peak_backlog : int;
+  mutable completed : int;
+  mutable forced_count : int;
+  mutable superseded : int;
+  distances : El_metrics.Running_stat.t;
+}
+
+let create engine ~drives ~transfer_time ~num_objects
+    ?(scheduling = Nearest) () =
+  if drives <= 0 then invalid_arg "Flush_array.create: no drives";
+  if num_objects <= 0 || num_objects mod drives <> 0 then
+    invalid_arg "Flush_array.create: num_objects must be a positive multiple of drives";
+  if Time.(transfer_time <= Time.zero) then
+    invalid_arg "Flush_array.create: non-positive transfer time";
+  let span = num_objects / drives in
+  let make_drive i =
+    {
+      lo = i * span;
+      span;
+      position = i * span;
+      has_history = false;
+      pending_tbl = Hashtbl.create 64;
+      busy = false;
+    }
+  in
+  {
+    engine;
+    transfer_time;
+    num_objects;
+    drives = Array.init drives make_drive;
+    scheduling;
+    on_flush = None;
+    next_seq = 0;
+    pending_count = 0;
+    peak_backlog = 0;
+    completed = 0;
+    forced_count = 0;
+    superseded = 0;
+    distances = El_metrics.Running_stat.create ~name:"flush oid distance" ();
+  }
+
+let set_on_flush t f = t.on_flush <- Some f
+
+let drive_of t oid =
+  let o = Ids.Oid.to_int oid in
+  if o < 0 || o >= t.num_objects then
+    invalid_arg "Flush_array: oid out of range";
+  t.drives.(o / t.drives.(0).span)
+
+(* Pick the pending request closest to the drive's current position
+   (wrapped within its partition) — or the oldest one under FIFO
+   scheduling, the ablation baseline.  Forced requests always win;
+   their order is irrelevant since any forced order is "random" I/O. *)
+let pick_next t d =
+  let best = ref None in
+  let consider r =
+    match !best with
+    | None -> best := Some r
+    | Some b ->
+      let better =
+        if r.forced <> b.forced then r.forced
+        else
+          match t.scheduling with
+          | Fifo -> r.seq < b.seq
+          | Nearest ->
+            let dist x =
+              Ids.Oid.distance ~wrap:d.span (Ids.Oid.of_int x)
+                (Ids.Oid.of_int d.position)
+            in
+            dist r.oid < dist b.oid
+      in
+      if better then best := Some r
+  in
+  Hashtbl.iter (fun _ r -> consider r) d.pending_tbl;
+  !best
+
+let rec dispatch t d =
+  match pick_next t d with
+  | None -> d.busy <- false
+  | Some r ->
+    d.busy <- true;
+    Hashtbl.remove d.pending_tbl r.oid;
+    El_sim.Engine.schedule_after t.engine t.transfer_time (fun () ->
+        if d.has_history then
+          El_metrics.Running_stat.observe t.distances
+            (float_of_int
+               (Ids.Oid.distance ~wrap:d.span (Ids.Oid.of_int r.oid)
+                  (Ids.Oid.of_int d.position)));
+        d.position <- r.oid;
+        d.has_history <- true;
+        t.pending_count <- t.pending_count - 1;
+        t.completed <- t.completed + 1;
+        if r.forced then t.forced_count <- t.forced_count + 1;
+        (match t.on_flush with
+        | Some f -> f (Ids.Oid.of_int r.oid) ~version:r.version
+        | None -> ());
+        dispatch t d)
+
+let enqueue t oid ~version ~forced =
+  let d = drive_of t oid in
+  let o = Ids.Oid.to_int oid in
+  (match Hashtbl.find_opt d.pending_tbl o with
+  | Some r ->
+    (* Supersede in place: keep the single pending slot, newest version. *)
+    r.version <- version;
+    r.forced <- r.forced || forced;
+    t.superseded <- t.superseded + 1
+  | None ->
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Hashtbl.replace d.pending_tbl o { oid = o; version; forced; seq };
+    t.pending_count <- t.pending_count + 1;
+    if t.pending_count > t.peak_backlog then t.peak_backlog <- t.pending_count);
+  if not d.busy then dispatch t d
+
+let request t oid ~version = enqueue t oid ~version ~forced:false
+let request_forced t oid ~version = enqueue t oid ~version ~forced:true
+
+let is_pending t oid =
+  let d = drive_of t oid in
+  Hashtbl.mem d.pending_tbl (Ids.Oid.to_int oid)
+
+let pending t = t.pending_count
+let peak_backlog t = t.peak_backlog
+let flushes_completed t = t.completed
+let forced_flushes t = t.forced_count
+let superseded t = t.superseded
+let mean_distance t = El_metrics.Running_stat.mean t.distances
+let distance_stat t = t.distances
+
+let max_rate_per_sec t =
+  float_of_int (Array.length t.drives) /. Time.to_sec_f t.transfer_time
+
+let drain_time t =
+  let now = El_sim.Engine.now t.engine in
+  let worst = ref now in
+  Array.iter
+    (fun d ->
+      let backlog = Hashtbl.length d.pending_tbl + if d.busy then 1 else 0 in
+      let finish = Time.add now (Time.mul_int t.transfer_time backlog) in
+      if Time.(finish > !worst) then worst := finish)
+    t.drives;
+  !worst

@@ -1,0 +1,61 @@
+open El_model
+
+type t = {
+  engine : El_sim.Engine.t;
+  write_time : Time.t;
+  buffer_pool : int;
+  queue : (unit -> unit) Queue.t;
+  mutable busy : bool;
+  mutable started : int;
+  mutable completed : int;
+  mutable peak : int;
+  mutable overflows : int;
+  mutable busy_until : Time.t;
+}
+
+let create engine ~write_time ~buffer_pool () =
+  if buffer_pool <= 0 then invalid_arg "Log_channel.create: empty pool";
+  {
+    engine;
+    write_time;
+    buffer_pool;
+    queue = Queue.create ();
+    busy = false;
+    started = 0;
+    completed = 0;
+    peak = 0;
+    overflows = 0;
+    busy_until = Time.zero;
+  }
+
+let in_flight t = t.started - t.completed
+
+let rec start_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy <- false
+  | Some on_complete ->
+    t.busy <- true;
+    t.busy_until <- Time.add (El_sim.Engine.now t.engine) t.write_time;
+    El_sim.Engine.schedule_after t.engine t.write_time (fun () ->
+        t.completed <- t.completed + 1;
+        on_complete ();
+        start_next t)
+
+let write t ~on_complete =
+  if in_flight t >= t.buffer_pool then t.overflows <- t.overflows + 1;
+  t.started <- t.started + 1;
+  if in_flight t > t.peak then t.peak <- in_flight t;
+  Queue.add on_complete t.queue;
+  if not t.busy then start_next t
+
+let writes_started t = t.started
+let writes_completed t = t.completed
+let peak_in_flight t = t.peak
+let pool_overflows t = t.overflows
+
+let quiesce_time t =
+  if not t.busy then El_sim.Engine.now t.engine
+  else
+    (* One write in service finishing at [busy_until], the rest queued
+       behind it. *)
+    Time.add t.busy_until (Time.mul_int t.write_time (Queue.length t.queue))

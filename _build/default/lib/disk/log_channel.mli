@@ -1,0 +1,43 @@
+(** The sequential write path of one log generation.
+
+    A channel models the disk that stores a generation's circular
+    array of blocks: writes are issued one at a time, each taking a
+    fixed τ_Disk_Write (15 ms in the paper), and complete in FIFO
+    order.  The log manager fills a buffer, calls {!write}, and is
+    called back on completion — the moment at which the block's
+    records become durable and group-committed transactions can be
+    acknowledged.
+
+    The channel also accounts for the buffer pool: the paper provides
+    four buffers per generation, so at most four writes should ever be
+    outstanding.  The channel does not block when the pool is
+    exceeded (arrivals are open-loop, §3); instead it records the
+    overflow so experiments can detect an under-provisioned pool. *)
+
+open El_model
+
+type t
+
+val create :
+  El_sim.Engine.t -> write_time:Time.t -> buffer_pool:int -> unit -> t
+(** Raises [Invalid_argument] if [buffer_pool] is non-positive. *)
+
+val write : t -> on_complete:(unit -> unit) -> unit
+(** Enqueues one block write.  [on_complete] fires τ after the write
+    reaches the head of the channel's queue. *)
+
+val writes_started : t -> int
+val writes_completed : t -> int
+
+val in_flight : t -> int
+(** Writes issued but not yet completed (queued + in service). *)
+
+val peak_in_flight : t -> int
+
+val pool_overflows : t -> int
+(** Number of writes issued while the buffer pool was already fully
+    occupied — should be 0 in every paper configuration. *)
+
+val quiesce_time : t -> Time.t
+(** The simulated time at which all currently queued writes will have
+    completed (= now when idle).  Used at end of run to drain. *)

@@ -1,0 +1,1 @@
+lib/harness/adaptive.ml: Array El_core El_model Experiment List Option Params

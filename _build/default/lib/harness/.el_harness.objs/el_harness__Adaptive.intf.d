@@ -1,0 +1,1 @@
+lib/harness/adaptive.mli: El_core Experiment

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array El_core El_disk El_metrics El_model El_recovery El_sim El_workload Option Params Time

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: El_core El_disk El_model El_recovery El_sim El_workload Time

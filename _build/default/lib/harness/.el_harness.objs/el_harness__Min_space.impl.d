@@ -1,0 +1,1 @@
+lib/harness/min_space.ml: Array El_core El_model Experiment List Params

@@ -1,0 +1,1 @@
+lib/harness/min_space.mli: El_core El_model Experiment Time

@@ -1,0 +1,1 @@
+lib/harness/paper.ml: Array El_core El_model El_workload Experiment List Min_space Params Time

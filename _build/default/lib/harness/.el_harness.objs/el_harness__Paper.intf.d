@@ -1,0 +1,1 @@
+lib/harness/paper.mli: El_model El_workload Experiment Time

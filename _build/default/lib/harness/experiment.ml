@@ -1,0 +1,260 @@
+open El_model
+module Engine = El_sim.Engine
+module Generator = El_workload.Generator
+module Flush_array = El_disk.Flush_array
+module Stable_db = El_disk.Stable_db
+module El_manager = El_core.El_manager
+module Fw_manager = El_core.Fw_manager
+module Hybrid_manager = El_core.Hybrid_manager
+
+type manager_kind =
+  | Ephemeral of El_core.Policy.t
+  | Firewall of int
+  | Hybrid of int array
+
+type config = {
+  kind : manager_kind;
+  mix : El_workload.Mix.t;
+  arrival_rate : float;
+  arrival_process : Generator.arrival_process;
+  runtime : Time.t;
+  flush_drives : int;
+  flush_transfer : Time.t;
+  flush_scheduling : Flush_array.scheduling;
+  num_objects : int;
+  seed : int;
+  abort_fraction : float;
+}
+
+let default_config ~kind ~mix =
+  {
+    kind;
+    mix;
+    arrival_rate = 100.0;
+    arrival_process = Generator.Deterministic;
+    runtime = Time.of_sec 500;
+    flush_drives = 10;
+    flush_transfer = Time.of_ms 25;
+    flush_scheduling = Flush_array.Nearest;
+    num_objects = Params.num_objects;
+    seed = 42;
+    abort_fraction = 0.0;
+  }
+
+type result = {
+  total_blocks : int;
+  log_writes_per_gen : int array;
+  log_writes_total : int;
+  log_write_rate : float;
+  peak_memory_bytes : int;
+  started : int;
+  committed : int;
+  aborted : int;
+  killed : int;
+  evictions : int;
+  overloaded : bool;
+  feasible : bool;
+  updates_per_sec : float;
+  flushes_completed : int;
+  forced_flushes : int;
+  flush_mean_distance : float;
+  flush_backlog_peak : int;
+  commit_latency_mean : float;
+  forwarded_records : int;
+  recirculated_records : int;
+  el_stats : El_manager.stats option;
+  fw_stats : Fw_manager.stats option;
+  hybrid_stats : Hybrid_manager.stats option;
+}
+
+type live = {
+  engine : Engine.t;
+  generator : Generator.t;
+  flush : Flush_array.t;
+  stable : Stable_db.t;
+  el : El_manager.t option;
+  fw : Fw_manager.t option;
+  hybrid : Hybrid_manager.t option;
+  finish : unit -> result;
+}
+
+let collect cfg live ~overloaded =
+  let generator = live.generator in
+  let el_stats = Option.map El_manager.stats live.el in
+  let fw_stats = Option.map Fw_manager.stats live.fw in
+  let hybrid_stats = Option.map Hybrid_manager.stats live.hybrid in
+  let total_blocks, per_gen, mem_peak, evictions, forwarded, recirculated =
+    match (el_stats, fw_stats, hybrid_stats) with
+    | Some s, None, None ->
+      ( Array.fold_left ( + ) 0 s.El_manager.generation_sizes,
+        s.El_manager.log_writes_per_gen,
+        s.El_manager.peak_memory_bytes,
+        s.El_manager.evictions,
+        s.El_manager.forwarded_records,
+        s.El_manager.recirculated_records )
+    | None, Some s, None ->
+      ( s.Fw_manager.size_blocks,
+        [| s.Fw_manager.log_writes |],
+        s.Fw_manager.peak_memory_bytes,
+        0,
+        0,
+        0 )
+    | None, None, Some s ->
+      ( Array.fold_left ( + ) 0 s.Hybrid_manager.queue_sizes,
+        s.Hybrid_manager.log_writes_per_queue,
+        s.Hybrid_manager.peak_memory_bytes,
+        0,
+        s.Hybrid_manager.regenerated_records,
+        0 )
+    | _ -> assert false
+  in
+  let log_writes_total = Array.fold_left ( + ) 0 per_gen in
+  let seconds = Time.to_sec_f cfg.runtime in
+  let killed = Generator.killed generator in
+  {
+    total_blocks;
+    log_writes_per_gen = per_gen;
+    log_writes_total;
+    log_write_rate = float_of_int log_writes_total /. seconds;
+    peak_memory_bytes = mem_peak;
+    started = Generator.started generator;
+    committed = Generator.committed generator;
+    aborted = Generator.aborted generator;
+    killed;
+    evictions;
+    overloaded;
+    feasible = (not overloaded) && killed = 0 && evictions = 0;
+    updates_per_sec =
+      float_of_int (Generator.data_records_written generator) /. seconds;
+    flushes_completed = Flush_array.flushes_completed live.flush;
+    forced_flushes = Flush_array.forced_flushes live.flush;
+    flush_mean_distance = Flush_array.mean_distance live.flush;
+    flush_backlog_peak = Flush_array.peak_backlog live.flush;
+    commit_latency_mean =
+      El_metrics.Running_stat.mean (Generator.commit_latency generator);
+    forwarded_records = forwarded;
+    recirculated_records = recirculated;
+    el_stats;
+    fw_stats;
+    hybrid_stats;
+  }
+
+let prepare cfg =
+  let engine = Engine.create ~seed:cfg.seed () in
+  let stable = Stable_db.create ~num_objects:cfg.num_objects in
+  let flush =
+    Flush_array.create engine ~drives:cfg.flush_drives
+      ~transfer_time:cfg.flush_transfer ~num_objects:cfg.num_objects
+      ~scheduling:cfg.flush_scheduling ()
+  in
+  let el, fw, hybrid, sink =
+    match cfg.kind with
+    | Ephemeral policy ->
+      let m = El_manager.create engine ~policy ~flush ~stable () in
+      let sink =
+        {
+          Generator.begin_tx =
+            (fun ~tid ~expected_duration ->
+              El_manager.begin_tx m ~tid ~expected_duration);
+          write_data =
+            (fun ~tid ~oid ~version ~size ->
+              El_manager.write_data m ~tid ~oid ~version ~size);
+          request_commit =
+            (fun ~tid ~on_ack -> El_manager.request_commit m ~tid ~on_ack);
+          request_abort = (fun ~tid -> El_manager.request_abort m ~tid);
+        }
+      in
+      (Some m, None, None, sink)
+    | Firewall size_blocks ->
+      let m = Fw_manager.create engine ~size_blocks () in
+      let sink =
+        {
+          Generator.begin_tx =
+            (fun ~tid ~expected_duration ->
+              Fw_manager.begin_tx m ~tid ~expected_duration);
+          write_data =
+            (fun ~tid ~oid ~version ~size ->
+              Fw_manager.write_data m ~tid ~oid ~version ~size);
+          request_commit =
+            (fun ~tid ~on_ack -> Fw_manager.request_commit m ~tid ~on_ack);
+          request_abort = (fun ~tid -> Fw_manager.request_abort m ~tid);
+        }
+      in
+      (None, Some m, None, sink)
+    | Hybrid queue_sizes ->
+      let m = Hybrid_manager.create engine ~queue_sizes ~flush ~stable () in
+      let sink =
+        {
+          Generator.begin_tx =
+            (fun ~tid ~expected_duration ->
+              Hybrid_manager.begin_tx m ~tid ~expected_duration);
+          write_data =
+            (fun ~tid ~oid ~version ~size ->
+              Hybrid_manager.write_data m ~tid ~oid ~version ~size);
+          request_commit =
+            (fun ~tid ~on_ack -> Hybrid_manager.request_commit m ~tid ~on_ack);
+          request_abort = (fun ~tid -> Hybrid_manager.request_abort m ~tid);
+        }
+      in
+      (None, None, Some m, sink)
+  in
+  let generator =
+    Generator.create engine ~sink ~mix:cfg.mix ~arrival_rate:cfg.arrival_rate
+      ~runtime:cfg.runtime ~arrival_process:cfg.arrival_process
+      ~abort_fraction:cfg.abort_fraction ~num_objects:cfg.num_objects ()
+  in
+  (match el with
+  | Some m -> El_manager.set_on_kill m (fun tid -> Generator.kill generator tid)
+  | None -> ());
+  (match fw with
+  | Some m -> Fw_manager.set_on_kill m (fun tid -> Generator.kill generator tid)
+  | None -> ());
+  (match hybrid with
+  | Some m ->
+    Hybrid_manager.set_on_kill m (fun tid -> Generator.kill generator tid)
+  | None -> ());
+  let rec live =
+    {
+      engine;
+      generator;
+      flush;
+      stable;
+      el;
+      fw;
+      hybrid;
+      finish = (fun () -> finish ());
+    }
+  and finish () =
+    let overloaded =
+      try
+        Engine.run engine ~until:cfg.runtime;
+        false
+      with El_manager.Log_overloaded _ -> true
+    in
+    collect cfg live ~overloaded
+  in
+  live
+
+let run cfg =
+  let live = prepare cfg in
+  live.finish ()
+
+let run_with_crash cfg ~crash_at =
+  (match cfg.kind with
+  | Firewall _ | Hybrid _ ->
+    invalid_arg "Experiment.run_with_crash: FW has no recovery model"
+  | Ephemeral _ -> ());
+  if Time.(crash_at > cfg.runtime) then
+    invalid_arg "Experiment.run_with_crash: crash after end of run";
+  let live = prepare cfg in
+  let manager = Option.get live.el in
+  let holder = ref None in
+  Engine.schedule_at live.engine crash_at (fun () ->
+      holder := Some (El_recovery.Recovery.crash live.engine manager));
+  let result = live.finish () in
+  match !holder with
+  | None -> assert false
+  | Some image ->
+    let recovery = El_recovery.Recovery.recover image in
+    let audit = El_recovery.Recovery.audit image recovery in
+    (result, recovery, audit)

@@ -1,0 +1,88 @@
+(** One complete simulation run: engine + disks + log manager +
+    workload generator, wired together and measured.
+
+    This reproduces the simulator of §3: the caller chooses the log
+    manager (EL with a policy, or the FW baseline), the transaction
+    mix, the arrival rate, the flush array (drives × transfer time)
+    and the runtime; {!run} executes the simulation and returns every
+    statistic the paper's evaluation reports. *)
+
+open El_model
+
+type manager_kind =
+  | Ephemeral of El_core.Policy.t
+  | Firewall of int  (** log size in blocks *)
+  | Hybrid of int array  (** §6 EL–FW hybrid, queue sizes in blocks *)
+
+type config = {
+  kind : manager_kind;
+  mix : El_workload.Mix.t;
+  arrival_rate : float;  (** transactions per second (paper: 100) *)
+  arrival_process : El_workload.Generator.arrival_process;
+      (** [Deterministic] (paper) or [Poisson] burstiness *)
+  runtime : Time.t;  (** simulated span (paper: 500 s) *)
+  flush_drives : int;  (** paper: 10 *)
+  flush_transfer : Time.t;  (** paper: 25 ms (45 ms in the scarce test) *)
+  flush_scheduling : El_disk.Flush_array.scheduling;
+      (** [Nearest] (paper) or [Fifo] (ablation) *)
+  num_objects : int;  (** paper: 10^7 *)
+  seed : int;
+  abort_fraction : float;  (** 0 in the paper; >0 for fault injection *)
+}
+
+val default_config : kind:manager_kind -> mix:El_workload.Mix.t -> config
+(** The paper's standard setup: 100 TPS, 500 s, 10 drives × 25 ms,
+    10^7 objects, seed 42, no aborts. *)
+
+type result = {
+  total_blocks : int;  (** configured log size, all generations *)
+  log_writes_per_gen : int array;
+  log_writes_total : int;
+  log_write_rate : float;  (** block writes per second, log only *)
+  peak_memory_bytes : int;
+  started : int;
+  committed : int;
+  aborted : int;
+  killed : int;
+  evictions : int;
+  overloaded : bool;  (** the run aborted with [Log_overloaded] *)
+  feasible : bool;  (** no kills, no evictions, no overload *)
+  updates_per_sec : float;
+  flushes_completed : int;
+  forced_flushes : int;
+  flush_mean_distance : float;
+  flush_backlog_peak : int;
+  commit_latency_mean : float;  (** seconds, t₃→t₄ *)
+  forwarded_records : int;
+  recirculated_records : int;
+  el_stats : El_core.El_manager.stats option;
+  fw_stats : El_core.Fw_manager.stats option;
+  hybrid_stats : El_core.Hybrid_manager.stats option;
+}
+
+val run : config -> result
+
+(** A live, partially-wired simulation — for tests and examples that
+    want to crash it mid-flight or inspect internals. *)
+type live = {
+  engine : El_sim.Engine.t;
+  generator : El_workload.Generator.t;
+  flush : El_disk.Flush_array.t;
+  stable : El_disk.Stable_db.t;
+  el : El_core.El_manager.t option;  (** when [kind] is [Ephemeral] *)
+  fw : El_core.Fw_manager.t option;
+  hybrid : El_core.Hybrid_manager.t option;
+  finish : unit -> result;
+      (** runs the simulation to [runtime] (from wherever the engine
+          is now) and collects the result *)
+}
+
+val prepare : config -> live
+
+val run_with_crash :
+  config -> crash_at:Time.t -> result * El_recovery.Recovery.result * El_recovery.Recovery.audit
+(** Runs an EL simulation, captures a crash image at [crash_at],
+    recovers from it and audits the outcome; then lets the simulation
+    finish for the run statistics.  Raises [Invalid_argument] for a FW
+    config (the paper's FW baseline has no recovery model) or if
+    [crash_at] exceeds the runtime. *)

@@ -1,0 +1,84 @@
+open El_model
+
+let min_feasible ~probe ~lo ~hi =
+  if lo > hi then invalid_arg "Min_space.min_feasible: empty range";
+  let result_at_hi = probe hi in
+  if not result_at_hi.Experiment.feasible then None
+  else begin
+    (* Invariant: [best] is feasible at [best_n]; everything below
+       [lo'] is known infeasible. *)
+    let rec refine lo' best_n best =
+      if lo' >= best_n then Some (best_n, best)
+      else begin
+        let mid = (lo' + best_n) / 2 in
+        let r = probe mid in
+        if r.Experiment.feasible then refine lo' mid r
+        else refine (mid + 1) best_n best
+      end
+    in
+    refine lo hi result_at_hi
+  end
+
+let probe_fw cfg n =
+  Experiment.run { cfg with Experiment.kind = Experiment.Firewall n }
+
+let min_fw cfg =
+  (* A generous run's peak occupancy brackets the answer: the log can
+     never need fewer blocks than it ever simultaneously occupied. *)
+  let rec bracket size =
+    if size > 16384 then failwith "Min_space.min_fw: workload needs >16384 blocks"
+    else begin
+      let r = probe_fw cfg size in
+      if not r.Experiment.feasible then bracket (size * 4)
+      else
+        let peak =
+          match r.Experiment.fw_stats with
+          | Some s -> s.El_core.Fw_manager.peak_occupancy
+          | None -> assert false
+        in
+        (* The paper's k-block gap must stay free on top of the peak. *)
+        (peak, min 16384 (peak + 8))
+    end
+  in
+  let peak, hi = bracket 512 in
+  match min_feasible ~probe:(probe_fw cfg) ~lo:(max 4 (peak - 2)) ~hi with
+  | Some best -> best
+  | None -> failwith "Min_space.min_fw: bracketing failed"
+
+let probe_el cfg ~make_policy sizes =
+  Experiment.run
+    { cfg with Experiment.kind = Experiment.Ephemeral (make_policy sizes) }
+
+let min_el_last_gen cfg ~make_policy ~leading ~hi =
+  let probe n = probe_el cfg ~make_policy (Array.append leading [| n |]) in
+  let lo = Params.head_tail_gap + 1 in
+  min_feasible ~probe ~lo ~hi
+
+let min_el_two_gen cfg ~make_policy ~g0_candidates ~hi =
+  let best = ref None in
+  let consider sizes result =
+    let total = Array.fold_left ( + ) 0 sizes in
+    let better =
+      match !best with
+      | None -> true
+      | Some (best_sizes, best_total, _) ->
+        (* Tie-break toward a larger first generation: it absorbs more
+           records before they are forwarded, so at equal total space
+           it costs less bandwidth (and matches the paper's choice of
+           18+16 over 16+18). *)
+        total < best_total
+        || (total = best_total && sizes.(0) > (best_sizes : int array).(0))
+    in
+    if better then best := Some (sizes, total, result)
+  in
+  List.iter
+    (fun g0 ->
+      match min_el_last_gen cfg ~make_policy ~leading:[| g0 |] ~hi with
+      | Some (g1, result) -> consider [| g0; g1 |] result
+      | None -> ())
+    g0_candidates;
+  match !best with
+  | Some (sizes, _, result) -> Some (sizes, result)
+  | None -> None
+
+let runtime_scale cfg runtime = { cfg with Experiment.runtime = runtime }

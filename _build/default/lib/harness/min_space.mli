@@ -1,0 +1,52 @@
+(** Minimum-disk-space search.
+
+    The paper obtained its space figures by re-running simulations with
+    less and less disk space "until we observed transactions being
+    killed" (§4); the reported figure is the smallest configuration
+    that kills nobody.  This module automates that procedure: a
+    configuration is {e feasible} when the run finishes with no kills,
+    no forced evictions and no overload, and feasibility is monotone
+    in the log size (more space never hurts), so binary search
+    applies. *)
+
+open El_model
+
+val min_feasible :
+  probe:(int -> Experiment.result) ->
+  lo:int ->
+  hi:int ->
+  (int * Experiment.result) option
+(** [min_feasible ~probe ~lo ~hi] is the smallest [n] in [lo, hi]
+    whose probe is feasible, with that probe's result; [None] if even
+    [hi] is infeasible.  Assumes monotone feasibility. *)
+
+val min_fw : Experiment.config -> int * Experiment.result
+(** Minimum single-log size for the firewall scheme under the given
+    workload (the [kind] field of the config is ignored).  Uses a
+    generous sizing run to bracket the search.  Raises [Failure] if no
+    size up to 16384 blocks suffices. *)
+
+val min_el_last_gen :
+  Experiment.config ->
+  make_policy:(int array -> El_core.Policy.t) ->
+  leading:int array ->
+  hi:int ->
+  (int * Experiment.result) option
+(** [min_el_last_gen cfg ~make_policy ~leading ~hi] finds the smallest
+    last-generation size such that [make_policy (leading @ [n])] is
+    feasible, searching n in [gap+1, hi]. *)
+
+val min_el_two_gen :
+  Experiment.config ->
+  make_policy:(int array -> El_core.Policy.t) ->
+  g0_candidates:int list ->
+  hi:int ->
+  (int array * Experiment.result) option
+(** Minimises total blocks over two-generation configurations,
+    trying each first-generation size in [g0_candidates] and binary
+    -searching the second.  Returns the best [sizes] found and its
+    run result. *)
+
+val runtime_scale : Experiment.config -> Time.t -> Experiment.config
+(** Shortens (or lengthens) a config's runtime — used by tests and
+    quick modes; exposed here so callers scale consistently. *)

@@ -1,0 +1,277 @@
+open El_model
+module Policy = El_core.Policy
+
+type speed = [ `Full | `Quick ]
+
+let runtime_of = function
+  | `Full -> Time.of_sec 500
+  | `Quick -> Time.of_sec 120
+
+let paper_mix ~long_fraction = El_workload.Mix.short_long ~long_fraction
+
+let base_config ?(speed = `Full) ~kind ~long_pct () =
+  let mix = paper_mix ~long_fraction:(float_of_int long_pct /. 100.0) in
+  let cfg = Experiment.default_config ~kind ~mix in
+  { cfg with Experiment.runtime = runtime_of speed }
+
+let no_recirc sizes = { (Policy.default ~generation_sizes:sizes) with Policy.recirculate = false }
+let with_recirc sizes = Policy.default ~generation_sizes:sizes
+
+(* Candidate first-generation sizes for the two-generation optimum:
+   a coarse sweep refined around the best point. *)
+let optimize_two_gen cfg ~make_policy ~coarse ~hi =
+  match Min_space.min_el_two_gen cfg ~make_policy ~g0_candidates:coarse ~hi with
+  | None -> None
+  | Some (sizes, result) ->
+    let g0 = sizes.(0) in
+    let refine = List.filter (fun c -> c > 0 && not (List.mem c coarse)) [ g0 - 1; g0 + 1 ] in
+    (match Min_space.min_el_two_gen cfg ~make_policy ~g0_candidates:refine ~hi with
+    | Some (sizes', result')
+      when Array.fold_left ( + ) 0 sizes' < Array.fold_left ( + ) 0 sizes ->
+      Some (sizes', result')
+    | Some _ | None -> Some (sizes, result))
+
+type mix_row = {
+  long_pct : int;
+  fw_blocks : int;
+  el_blocks : int;
+  el_sizes : int array;
+  fw_bandwidth : float;
+  el_bandwidth : float;
+  fw_memory : int;
+  el_memory : int;
+  updates_per_sec : float;
+}
+
+let coarse_candidates = function
+  | `Full -> [ 6; 8; 10; 12; 14; 16; 18; 20; 22; 24; 26; 30 ]
+  | `Quick -> [ 8; 12; 16; 20; 24 ]
+
+let figs_4_5_6 ?(speed = `Full) ?(mixes = [ 5; 10; 20; 30; 40 ]) () =
+  List.map
+    (fun long_pct ->
+      let cfg kind = base_config ~speed ~kind ~long_pct () in
+      let fw_cfg = cfg (Experiment.Firewall 512) in
+      let fw_blocks, fw_result = Min_space.min_fw fw_cfg in
+      let el_cfg = cfg (Experiment.Firewall 512) (* kind replaced by probes *) in
+      let el =
+        optimize_two_gen el_cfg ~make_policy:no_recirc
+          ~coarse:(coarse_candidates speed) ~hi:256
+      in
+      let el_sizes, el_result =
+        match el with
+        | Some (sizes, result) -> (sizes, result)
+        | None -> failwith "figs_4_5_6: no feasible EL configuration found"
+      in
+      {
+        long_pct;
+        fw_blocks;
+        el_blocks = Array.fold_left ( + ) 0 el_sizes;
+        el_sizes;
+        fw_bandwidth = fw_result.Experiment.log_write_rate;
+        el_bandwidth = el_result.Experiment.log_write_rate;
+        fw_memory = fw_result.Experiment.peak_memory_bytes;
+        el_memory = el_result.Experiment.peak_memory_bytes;
+        updates_per_sec = el_result.Experiment.updates_per_sec;
+      })
+    mixes
+
+type fig7_row = {
+  g1 : int;
+  total_blocks : int;
+  bw_last : float;
+  bw_total : float;
+  feasible : bool;
+}
+
+type fig7_result = {
+  g0 : int;
+  no_recirc_sizes : int array;
+  rows : fig7_row list;
+}
+
+let fig7 ?(speed = `Full) () =
+  let cfg = base_config ~speed ~kind:(Experiment.Firewall 512) ~long_pct:5 () in
+  let no_recirc_sizes =
+    match
+      optimize_two_gen cfg ~make_policy:no_recirc
+        ~coarse:(coarse_candidates speed) ~hi:256
+    with
+    | Some (sizes, _) -> sizes
+    | None -> failwith "fig7: no feasible starting configuration"
+  in
+  let g0 = no_recirc_sizes.(0) in
+  let start_g1 = no_recirc_sizes.(1) in
+  (* Recirculation on; shrink the last generation until transactions
+     are killed, recording the bandwidth at each size. *)
+  let rec sweep g1 acc =
+    if g1 < Params.head_tail_gap + 1 then List.rev acc
+    else begin
+      let policy = with_recirc [| g0; g1 |] in
+      let r =
+        Experiment.run { cfg with Experiment.kind = Experiment.Ephemeral policy }
+      in
+      let seconds = Time.to_sec_f cfg.Experiment.runtime in
+      let row =
+        {
+          g1;
+          total_blocks = g0 + g1;
+          bw_last =
+            float_of_int r.Experiment.log_writes_per_gen.(1) /. seconds;
+          bw_total = r.Experiment.log_write_rate;
+          feasible = r.Experiment.feasible;
+        }
+      in
+      if not r.Experiment.feasible then List.rev (row :: acc)
+      else sweep (g1 - 1) (row :: acc)
+    end
+  in
+  { g0; no_recirc_sizes; rows = sweep start_g1 [] }
+
+type headline = {
+  fw_blocks : int;
+  fw_bandwidth : float;
+  el_blocks : int;
+  el_sizes : int array;
+  el_bandwidth : float;
+  space_ratio : float;
+  bandwidth_increase_pct : float;
+}
+
+let headline ?(speed = `Full) ?fig7_result () =
+  let cfg = base_config ~speed ~kind:(Experiment.Firewall 512) ~long_pct:5 () in
+  let fw_blocks, fw_result = Min_space.min_fw cfg in
+  let fig7_result =
+    match fig7_result with Some r -> r | None -> fig7 ~speed ()
+  in
+  let best =
+    List.fold_left
+      (fun best row -> if row.feasible then Some row else best)
+      None fig7_result.rows
+  in
+  match best with
+  | None -> failwith "headline: recirculation sweep found nothing feasible"
+  | Some row ->
+    let fw_bw = fw_result.Experiment.log_write_rate in
+    {
+      fw_blocks;
+      fw_bandwidth = fw_bw;
+      el_blocks = row.total_blocks;
+      el_sizes = [| fig7_result.g0; row.g1 |];
+      el_bandwidth = row.bw_total;
+      space_ratio = float_of_int fw_blocks /. float_of_int row.total_blocks;
+      bandwidth_increase_pct = (row.bw_total -. fw_bw) /. fw_bw *. 100.0;
+    }
+
+type gens_row = {
+  generations : int;
+  sizes : int array;
+  total : int;
+  bandwidth : float;
+}
+
+let generation_count_sweep ?(speed = `Full) ?(long_pct = 5) () =
+  let cfg = base_config ~speed ~kind:(Experiment.Firewall 512) ~long_pct () in
+  let rows = ref [] in
+  let record sizes (result : Experiment.result) =
+    rows :=
+      {
+        generations = Array.length sizes;
+        sizes;
+        total = Array.fold_left ( + ) 0 sizes;
+        bandwidth = result.Experiment.log_write_rate;
+      }
+      :: !rows
+  in
+  (* One generation: a single recirculating ring. *)
+  (match
+     Min_space.min_feasible
+       ~probe:(fun n ->
+         Experiment.run
+           { cfg with Experiment.kind = Experiment.Ephemeral (with_recirc [| n |]) })
+       ~lo:(Params.head_tail_gap + 1) ~hi:512
+   with
+  | Some (n, result) -> record [| n |] result
+  | None -> ());
+  (* Two generations: the paper's configuration. *)
+  (match
+     optimize_two_gen cfg ~make_policy:with_recirc
+       ~coarse:(coarse_candidates speed) ~hi:256
+   with
+  | Some (sizes, result) -> record sizes result
+  | None -> ());
+  (* Three generations: fix the front of the chain near the two-
+     generation optimum and search the middle and last coarsely. *)
+  let g0_candidates = match speed with `Full -> [ 12; 16; 20 ] | `Quick -> [ 16 ] in
+  let g1_candidates = [ 3; 4; 6; 8 ] in
+  let best3 = ref None in
+  List.iter
+    (fun g0 ->
+      List.iter
+        (fun g1 ->
+          match
+            Min_space.min_el_last_gen cfg ~make_policy:with_recirc
+              ~leading:[| g0; g1 |] ~hi:128
+          with
+          | Some (g2, result) ->
+            let sizes = [| g0; g1; g2 |] in
+            let total = Array.fold_left ( + ) 0 sizes in
+            (match !best3 with
+            | Some (_, best_total, _) when best_total <= total -> ()
+            | Some _ | None -> best3 := Some (sizes, total, result))
+          | None -> ())
+        g1_candidates)
+    g0_candidates;
+  (match !best3 with
+  | Some (sizes, _, result) -> record sizes result
+  | None -> ());
+  List.rev !rows
+
+type scarce = {
+  el_sizes : int array;
+  total_blocks : int;
+  bandwidth : float;
+  mean_flush_distance : float;
+  baseline_mean_flush_distance : float;
+  flush_backlog_peak : int;
+}
+
+let scarce_flush ?(speed = `Full) () =
+  let base = base_config ~speed ~kind:(Experiment.Firewall 512) ~long_pct:5 () in
+  let scarce_cfg = { base with Experiment.flush_transfer = Time.of_ms 45 } in
+  (* Follow the paper's procedure: keep the first generation at its
+     no-recirculation optimum for this flush rate and shrink only the
+     last generation (as in Figure 7).  An unconstrained minimisation
+     would instead find a much smaller but furiously recirculating
+     configuration -- a different point of the trade-off than the
+     paper's 20+11. *)
+  let g0 =
+    match
+      optimize_two_gen scarce_cfg ~make_policy:no_recirc
+        ~coarse:(coarse_candidates speed) ~hi:256
+    with
+    | Some (sizes, _) -> sizes.(0)
+    | None -> failwith "scarce_flush: no feasible starting configuration"
+  in
+  let sizes =
+    match
+      Min_space.min_el_last_gen scarce_cfg ~make_policy:with_recirc
+        ~leading:[| g0 |] ~hi:256
+    with
+    | Some (g1, _) -> [| g0; g1 |]
+    | None -> failwith "scarce_flush: no feasible configuration"
+  in
+  let run_at cfg sizes =
+    Experiment.run
+      { cfg with Experiment.kind = Experiment.Ephemeral (with_recirc sizes) }
+  in
+  let r = run_at scarce_cfg sizes in
+  let baseline = run_at base sizes in
+  {
+    el_sizes = sizes;
+    total_blocks = Array.fold_left ( + ) 0 sizes;
+    bandwidth = r.Experiment.log_write_rate;
+    mean_flush_distance = r.Experiment.flush_mean_distance;
+    baseline_mean_flush_distance = baseline.Experiment.flush_mean_distance;
+    flush_backlog_peak = r.Experiment.flush_backlog_peak;
+  }

@@ -1,0 +1,1 @@
+lib/metrics/counter.mli: El_model Format Time

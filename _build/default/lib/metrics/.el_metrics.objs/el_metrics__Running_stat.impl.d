@@ -1,0 +1,1 @@
+lib/metrics/running_stat.ml: Format

@@ -1,0 +1,21 @@
+open El_model
+
+type t = { name : string; mutable count : int }
+
+let create ?(name = "counter") () = { name; count = 0 }
+let name t = t.name
+let incr t = t.count <- t.count + 1
+
+let add t n =
+  if n < 0 then invalid_arg "Counter.add: negative";
+  t.count <- t.count + n
+
+let value t = t.count
+
+let rate_per_sec t ~over =
+  let seconds = Time.to_sec_f over in
+  if seconds <= 0.0 then invalid_arg "Counter.rate_per_sec: zero duration";
+  float_of_int t.count /. seconds
+
+let reset t = t.count <- 0
+let pp ppf t = Format.fprintf ppf "%s: %d" t.name t.count

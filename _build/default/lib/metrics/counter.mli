@@ -1,0 +1,23 @@
+(** A monotonically increasing event counter.  Together with the run
+    duration it yields the paper's rate metrics (block writes per
+    second, flushes per second, updates per second). *)
+
+open El_model
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+val incr : t -> unit
+val add : t -> int -> unit
+(** Raises [Invalid_argument] on a negative increment. *)
+
+val value : t -> int
+
+val rate_per_sec : t -> over:Time.t -> float
+(** [rate_per_sec c ~over] is [value c] divided by [over] in seconds.
+    Raises [Invalid_argument] if [over] is zero. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

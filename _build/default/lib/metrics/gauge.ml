@@ -1,0 +1,24 @@
+type t = { name : string; mutable current : int; mutable peak : int }
+
+let create ?(name = "gauge") () = { name; current = 0; peak = 0 }
+let name t = t.name
+
+let set t v =
+  if v < 0 then invalid_arg "Gauge.set: negative";
+  t.current <- v;
+  if v > t.peak then t.peak <- v
+
+let add t d =
+  let v = t.current + d in
+  if v < 0 then invalid_arg (Printf.sprintf "Gauge.add(%s): went negative" t.name);
+  set t v
+
+let value t = t.current
+let max_value t = t.peak
+
+let reset t =
+  t.current <- 0;
+  t.peak <- 0
+
+let pp ppf t =
+  Format.fprintf ppf "%s: cur=%d max=%d" t.name t.current t.peak

@@ -1,0 +1,27 @@
+(** A gauge tracks a quantity that rises and falls over a run — the
+    number of live transactions, bytes of LOT/LTT memory, occupied
+    disk blocks — and remembers its high-water mark.  The paper's
+    space and memory figures are all maxima of such quantities. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val set : t -> int -> unit
+
+val add : t -> int -> unit
+(** [add g d] adjusts the current value by [d] (which may be
+    negative).  Raises [Invalid_argument] if the value would go
+    negative — every gauge in this library counts things. *)
+
+val value : t -> int
+(** Current value. *)
+
+val max_value : t -> int
+(** High-water mark since creation (or the last {!reset}). *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

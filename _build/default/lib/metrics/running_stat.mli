@@ -1,0 +1,29 @@
+(** Streaming mean/variance (Welford's algorithm).
+
+    Used for quantities the paper reports as averages over a run:
+    the mean oid distance between successively flushed objects (the
+    flush-locality metric of §4) and commit acknowledgement latency. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+val observe : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+(** 0 when no samples have been observed. *)
+
+val variance : t -> float
+(** Population variance; 0 with fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let width t = List.length t.headers
+
+let add_row t cells =
+  if List.length cells <> width t then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align w s =
+  let n = String.length s in
+  if n >= w then s
+  else
+    let fill = String.make (w - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let trim_right s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+  String.sub s 0 !n
+
+let render t =
+  let rows = List.rev t.rows in
+  let cell_rows =
+    t.headers
+    :: List.filter_map (function Cells c -> Some c | Rule -> None) rows
+  in
+  let widths =
+    List.fold_left
+      (fun acc cells ->
+        List.map2 (fun w s -> max w (String.length s)) acc cells)
+      (List.map (fun _ -> 0) t.headers)
+      cell_rows
+  in
+  let line cells =
+    let padded =
+      List.map2
+        (fun (w, align) s -> pad align w s)
+        (List.combine widths t.aligns)
+        cells
+    in
+    trim_right (String.concat "  " padded) ^ "\n"
+  in
+  let rule =
+    let total = List.fold_left ( + ) 0 widths + (2 * (List.length widths - 1)) in
+    String.make total '-' ^ "\n"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.headers);
+  Buffer.add_string buf rule;
+  List.iter
+    (function
+      | Cells c -> Buffer.add_string buf (line c)
+      | Rule -> Buffer.add_string buf rule)
+    rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  flush stdout

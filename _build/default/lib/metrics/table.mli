@@ -1,0 +1,25 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints every figure of the paper as an
+    aligned text table (series name, x value, paper value, measured
+    value).  This module does the column sizing so that reports stay
+    readable in [bench_output.txt]. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Raises [Invalid_argument] on an empty column list. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the
+    header width. *)
+
+val add_rule : t -> unit
+(** Inserts a horizontal rule. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] followed by [print_string] and a flush. *)

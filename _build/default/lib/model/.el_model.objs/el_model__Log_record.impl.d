@@ -1,0 +1,1 @@
+lib/model/log_record.ml: Format Ids Time

@@ -1,0 +1,46 @@
+module Oid = struct
+  type t = int
+
+  let of_int n =
+    if n < 0 then invalid_arg "Oid.of_int: negative";
+    n
+
+  let to_int t = t
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash t = t
+  let pp ppf t = Format.fprintf ppf "o%d" t
+
+  let distance ~wrap a b =
+    if wrap <= 0 then invalid_arg "Oid.distance: non-positive wrap";
+    let d = abs (a - b) mod wrap in
+    min d (wrap - d)
+
+  module Table = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+end
+
+module Tid = struct
+  type t = int
+
+  let of_int n =
+    if n < 0 then invalid_arg "Tid.of_int: negative";
+    n
+
+  let to_int t = t
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash t = t
+  let pp ppf t = Format.fprintf ppf "t%d" t
+
+  module Table = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+end

@@ -1,0 +1,41 @@
+(** Identifiers for the two entity kinds the log tracks.
+
+    Object identifiers ({!Oid}) name items of data in the database —
+    the paper's broad notion of "object" (a tuple, record or OO
+    object).  Transaction identifiers ({!Tid}) name transactions.
+    Both are dense non-negative integers; keeping them as distinct
+    module types prevents accidental mixing. *)
+
+module Oid : sig
+  type t
+
+  val of_int : int -> t
+  (** Raises [Invalid_argument] on a negative argument. *)
+
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  val distance : wrap:int -> t -> t -> int
+  (** [distance ~wrap a b] is the circular distance between two oids
+      whose shared drive owns a range of [wrap] consecutive oids — the
+      paper's locality measure for flush scheduling.  The result is in
+      [0, wrap/2]. *)
+
+  module Table : Hashtbl.S with type key = t
+end
+
+module Tid : sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Table : Hashtbl.S with type key = t
+end

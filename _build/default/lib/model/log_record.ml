@@ -1,0 +1,53 @@
+type kind =
+  | Begin
+  | Commit
+  | Abort
+  | Data of { oid : Ids.Oid.t; version : int }
+
+type t = {
+  tid : Ids.Tid.t;
+  kind : kind;
+  timestamp : Time.t;
+  size : int;
+}
+
+let check_size size =
+  if size <= 0 then invalid_arg "Log_record: non-positive size"
+
+let data ~tid ~oid ~version ~size ~timestamp =
+  check_size size;
+  if version < 0 then invalid_arg "Log_record.data: negative version";
+  { tid; kind = Data { oid; version }; timestamp; size }
+
+let begin_ ~tid ~size ~timestamp =
+  check_size size;
+  { tid; kind = Begin; timestamp; size }
+
+let commit ~tid ~size ~timestamp =
+  check_size size;
+  { tid; kind = Commit; timestamp; size }
+
+let abort ~tid ~size ~timestamp =
+  check_size size;
+  { tid; kind = Abort; timestamp; size }
+
+let is_tx_record t =
+  match t.kind with
+  | Begin | Commit | Abort -> true
+  | Data _ -> false
+
+let oid t =
+  match t.kind with
+  | Data { oid; _ } -> Some oid
+  | Begin | Commit | Abort -> None
+
+let pp_kind ppf = function
+  | Begin -> Format.pp_print_string ppf "BEGIN"
+  | Commit -> Format.pp_print_string ppf "COMMIT"
+  | Abort -> Format.pp_print_string ppf "ABORT"
+  | Data { oid; version } ->
+    Format.fprintf ppf "DATA(%a,v%d)" Ids.Oid.pp oid version
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>[%a %a %dB @@%a]@]" Ids.Tid.pp t.tid pp_kind t.kind
+    t.size Time.pp t.timestamp

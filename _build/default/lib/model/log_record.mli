@@ -1,0 +1,40 @@
+(** Log records.
+
+    The paper distinguishes two kinds of record (§2.1): {e data} log
+    records, which chronicle changes to objects, and {e transaction}
+    (tx) log records, which mark milestones in a transaction's life
+    (BEGIN, COMMIT, ABORT).  We use physical REDO state logging, as
+    the paper assumes throughout: a data record carries only the new
+    value of the object, represented here by a monotonically
+    increasing version number (the payload bytes themselves are
+    irrelevant to the algorithms; only their size matters).
+
+    Every record is timestamped at write time so that recovery can
+    re-establish temporal order even after recirculation shuffles the
+    physical order of the last generation. *)
+
+type kind =
+  | Begin
+  | Commit
+  | Abort
+  | Data of { oid : Ids.Oid.t; version : int }
+
+type t = {
+  tid : Ids.Tid.t;  (** transaction that wrote the record *)
+  kind : kind;
+  timestamp : Time.t;  (** simulated time at which it entered the log *)
+  size : int;  (** bytes the record occupies inside a disk block *)
+}
+
+val data : tid:Ids.Tid.t -> oid:Ids.Oid.t -> version:int -> size:int -> timestamp:Time.t -> t
+val begin_ : tid:Ids.Tid.t -> size:int -> timestamp:Time.t -> t
+val commit : tid:Ids.Tid.t -> size:int -> timestamp:Time.t -> t
+val abort : tid:Ids.Tid.t -> size:int -> timestamp:Time.t -> t
+
+val is_tx_record : t -> bool
+(** [true] for BEGIN/COMMIT/ABORT records, [false] for data records. *)
+
+val oid : t -> Ids.Oid.t option
+(** The updated object, for data records. *)
+
+val pp : Format.formatter -> t -> unit

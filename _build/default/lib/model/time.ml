@@ -1,0 +1,48 @@
+type t = int
+
+let zero = 0
+
+let of_us n =
+  if n < 0 then invalid_arg "Time.of_us: negative";
+  n
+
+let of_ms n = of_us (n * 1_000)
+let of_sec n = of_us (n * 1_000_000)
+
+let of_sec_f s =
+  if s < 0.0 then invalid_arg "Time.of_sec_f: negative";
+  int_of_float (Float.round (s *. 1_000_000.0))
+
+let to_us t = t
+let to_sec_f t = float_of_int t /. 1_000_000.0
+
+let add a b = a + b
+
+let sub a b =
+  if a < b then invalid_arg "Time.sub: negative result";
+  a - b
+
+let mul_int t n =
+  if n < 0 then invalid_arg "Time.mul_int: negative factor";
+  t * n
+
+let div_int t n =
+  if n <= 0 then invalid_arg "Time.div_int: non-positive divisor";
+  t / n
+
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) (a : t) b = Stdlib.( < ) a b
+let ( <= ) (a : t) b = Stdlib.( <= ) a b
+let ( > ) (a : t) b = Stdlib.( > ) a b
+let ( >= ) (a : t) b = Stdlib.( >= ) a b
+let min (a : t) b = Stdlib.min a b
+let max (a : t) b = Stdlib.max a b
+
+let pp ppf t =
+  if t >= 1_000_000 && t mod 1_000 = 0 then
+    Format.fprintf ppf "%.3fs" (to_sec_f t)
+  else if t >= 1_000 && t mod 1_000 = 0 then
+    Format.fprintf ppf "%dms" (t / 1_000)
+  else if t >= 1_000_000 then Format.fprintf ppf "%.6fs" (to_sec_f t)
+  else Format.fprintf ppf "%dus" t

@@ -1,0 +1,55 @@
+(** Simulated time.
+
+    All simulated clocks in the library use integer microseconds so
+    that event ordering is exact and runs are reproducible bit for bit.
+    A value of type {!t} is either an absolute instant (microseconds
+    since the start of the simulation) or a duration; the two are not
+    distinguished by the type, mirroring the paper's usage where every
+    quantity is an offset from simulation start. *)
+
+type t
+(** An instant or duration in integer microseconds. *)
+
+val zero : t
+
+val of_us : int -> t
+(** [of_us n] is [n] microseconds.  [n] must be non-negative. *)
+
+val of_ms : int -> t
+(** [of_ms n] is [n] milliseconds. *)
+
+val of_sec : int -> t
+(** [of_sec n] is [n] seconds. *)
+
+val of_sec_f : float -> t
+(** [of_sec_f s] rounds [s] seconds to the nearest microsecond. *)
+
+val to_us : t -> int
+
+val to_sec_f : t -> float
+(** [to_sec_f t] is [t] expressed in (floating-point) seconds. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** [sub a b] is [a - b].  Raises [Invalid_argument] if the result
+    would be negative: simulated clocks never run backwards. *)
+
+val mul_int : t -> int -> t
+
+val div_int : t -> int -> t
+(** [div_int t n] is [t / n] rounded toward zero, used to split a
+    transaction lifetime into equal record-writing intervals. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints a human-friendly rendering, e.g. ["1.500s"] or ["250us"]. *)

@@ -1,0 +1,1 @@
+lib/recovery/recovery.ml: El_core El_disk El_model El_sim Format Ids List Log_record Time

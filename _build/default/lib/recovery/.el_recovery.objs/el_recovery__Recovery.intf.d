@@ -1,0 +1,1 @@
+lib/recovery/recovery.mli: El_core El_disk El_model El_sim Format Ids Log_record Time

@@ -1,0 +1,1 @@
+lib/recovery/timing.ml: El_model Format List Log_record Params Recovery Time

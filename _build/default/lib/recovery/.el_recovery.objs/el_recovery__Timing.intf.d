@@ -1,0 +1,1 @@
+lib/recovery/timing.mli: El_model Format Recovery Time

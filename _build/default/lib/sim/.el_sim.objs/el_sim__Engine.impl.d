@@ -1,0 +1,1 @@
+lib/sim/engine.ml: El_model Event_queue Random Time

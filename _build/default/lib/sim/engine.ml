@@ -1,0 +1,57 @@
+open El_model
+
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : Time.t;
+  rng : Random.State.t;
+  mutable dispatched : int;
+}
+
+let create ?(seed = 42) () =
+  {
+    queue = Event_queue.create ();
+    clock = Time.zero;
+    rng = Random.State.make [| seed |];
+    dispatched = 0;
+  }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t time f =
+  if Time.(time < t.clock) then
+    invalid_arg "Engine.schedule_at: time is in the past";
+  Event_queue.push t.queue ~time:(Time.to_us time) f
+
+let schedule_after t delay f = schedule_at t (Time.add t.clock delay) f
+
+let dispatch t time f =
+  t.clock <- Time.of_us time;
+  t.dispatched <- t.dispatched + 1;
+  f ()
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    dispatch t time f;
+    true
+
+let run t ~until =
+  let limit = Time.to_us until in
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= limit ->
+      (match Event_queue.pop t.queue with
+      | Some (time, f) ->
+        dispatch t time f;
+        loop ()
+      | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ();
+  if Time.(t.clock < until) then t.clock <- until
+
+let run_all t = while step t do () done
+let events_dispatched t = t.dispatched
+let pending_events t = Event_queue.length t.queue

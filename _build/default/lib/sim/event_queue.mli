@@ -1,0 +1,25 @@
+(** A stable priority queue of timestamped items.
+
+    This is the core data structure of the event-driven simulator: a
+    binary min-heap keyed by [(time, sequence)].  The sequence number
+    is assigned on insertion, so two items scheduled for the same
+    instant are dequeued in insertion order — this FIFO tie-breaking
+    makes simulations fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+(** [push q ~time x] inserts [x] with priority [time].  Amortised
+    O(log n). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the item with the smallest time (insertion
+    order breaks ties), or [None] if the queue is empty. *)
+
+val peek_time : 'a t -> int option
+(** The time of the next item without removing it. *)

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: El_metrics El_model El_sim Ids List Mix Oid_pool Params Random Time Tx_type

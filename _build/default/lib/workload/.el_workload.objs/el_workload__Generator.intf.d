@@ -1,0 +1,1 @@
+lib/workload/generator.mli: El_metrics El_model El_sim Ids Mix Oid_pool Time

@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Format List Random Tx_type

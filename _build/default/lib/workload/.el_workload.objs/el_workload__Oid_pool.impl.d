@@ -1,0 +1,1 @@
+lib/workload/oid_pool.ml: El_model Ids Random

@@ -1,0 +1,1 @@
+lib/workload/oid_pool.mli: El_model Ids Random

@@ -1,0 +1,1 @@
+lib/workload/tx_type.ml: El_model Format Time

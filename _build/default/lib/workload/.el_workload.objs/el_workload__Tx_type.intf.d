@@ -1,0 +1,1 @@
+lib/workload/tx_type.mli: El_model Format Time

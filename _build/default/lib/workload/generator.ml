@@ -1,0 +1,179 @@
+open El_model
+
+type sink = {
+  begin_tx : tid:Ids.Tid.t -> expected_duration:Time.t -> unit;
+  write_data :
+    tid:Ids.Tid.t -> oid:Ids.Oid.t -> version:int -> size:int -> unit;
+  request_commit : tid:Ids.Tid.t -> on_ack:(Time.t -> unit) -> unit;
+  request_abort : tid:Ids.Tid.t -> unit;
+}
+
+type tx_state = Running | Commit_wait | Done | Aborted | Killed
+
+type tx = {
+  tid : Ids.Tid.t;
+  ty : Tx_type.t;
+  mutable state : tx_state;
+  mutable held_oids : Ids.Oid.t list;
+  mutable commit_requested_at : Time.t;
+}
+
+type t = {
+  engine : El_sim.Engine.t;
+  sink : sink;
+  pool : Oid_pool.t;
+  epsilon : Time.t;
+  abort_fraction : float;
+  txs : tx Ids.Tid.Table.t;
+  mutable next_tid : int;
+  mutable started : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable killed : int;
+  mutable active : int;
+  mutable awaiting_ack : int;
+  mutable data_records : int;
+  latency : El_metrics.Running_stat.t;
+}
+
+let release_oids t tx =
+  List.iter (fun oid -> Oid_pool.release t.pool oid) tx.held_oids;
+  tx.held_oids <- []
+
+let write_one_data_record t tx =
+  match Oid_pool.acquire t.pool (El_sim.Engine.rng t.engine) with
+  | None -> ()  (* database fully held: drop the update (stress tests only) *)
+  | Some oid ->
+    tx.held_oids <- oid :: tx.held_oids;
+    let version = Oid_pool.next_version t.pool oid in
+    t.data_records <- t.data_records + 1;
+    t.sink.write_data ~tid:tx.tid ~oid ~version ~size:tx.ty.Tx_type.record_size
+
+let finish t tx =
+  (* End of lifetime: release the write set (the transaction is no
+     longer active once it requests termination), then commit or, for
+     fault-injection runs, abort. *)
+  release_oids t tx;
+  let wants_abort =
+    t.abort_fraction > 0.0
+    && Random.State.float (El_sim.Engine.rng t.engine) 1.0 < t.abort_fraction
+  in
+  if wants_abort then begin
+    tx.state <- Aborted;
+    t.active <- t.active - 1;
+    t.aborted <- t.aborted + 1;
+    t.sink.request_abort ~tid:tx.tid
+  end
+  else begin
+    tx.state <- Commit_wait;
+    t.active <- t.active - 1;
+    t.awaiting_ack <- t.awaiting_ack + 1;
+    tx.commit_requested_at <- El_sim.Engine.now t.engine;
+    t.sink.request_commit ~tid:tx.tid ~on_ack:(fun ack_time ->
+        if tx.state = Commit_wait then begin
+          tx.state <- Done;
+          t.awaiting_ack <- t.awaiting_ack - 1;
+          t.committed <- t.committed + 1;
+          El_metrics.Running_stat.observe t.latency
+            (Time.to_sec_f (Time.sub ack_time tx.commit_requested_at))
+        end)
+  end
+
+let start_tx t mix =
+  let tid = Ids.Tid.of_int t.next_tid in
+  t.next_tid <- t.next_tid + 1;
+  let ty = Mix.sample mix (El_sim.Engine.rng t.engine) in
+  let tx =
+    {
+      tid;
+      ty;
+      state = Running;
+      held_oids = [];
+      commit_requested_at = Time.zero;
+    }
+  in
+  Ids.Tid.Table.replace t.txs tid tx;
+  t.started <- t.started + 1;
+  t.active <- t.active + 1;
+  t.sink.begin_tx ~tid ~expected_duration:ty.Tx_type.duration;
+  List.iter
+    (fun offset ->
+      El_sim.Engine.schedule_after t.engine offset (fun () ->
+          if tx.state = Running then write_one_data_record t tx))
+    (Tx_type.record_schedule ty ~epsilon:t.epsilon);
+  El_sim.Engine.schedule_after t.engine (Tx_type.commit_offset ty) (fun () ->
+      if tx.state = Running then finish t tx)
+
+type arrival_process = Deterministic | Poisson
+
+(* Exponential variate by inversion; clamped away from zero so two
+   arrivals never collapse onto the same microsecond en masse. *)
+let exponential rng ~mean_us =
+  let u = Random.State.float rng 1.0 in
+  let x = -.mean_us *. log (1.0 -. u) in
+  max 1 (int_of_float x)
+
+let create engine ~sink ~mix ~arrival_rate ~runtime
+    ?(arrival_process = Deterministic) ?(epsilon = Params.epsilon)
+    ?(abort_fraction = 0.0) ~num_objects () =
+  if arrival_rate <= 0.0 then invalid_arg "Generator.create: zero rate";
+  if abort_fraction < 0.0 || abort_fraction > 1.0 then
+    invalid_arg "Generator.create: abort fraction outside [0,1]";
+  let t =
+    {
+      engine;
+      sink;
+      pool = Oid_pool.create ~num_objects;
+      epsilon;
+      abort_fraction;
+      txs = Ids.Tid.Table.create 4096;
+      next_tid = 0;
+      started = 0;
+      committed = 0;
+      aborted = 0;
+      killed = 0;
+      active = 0;
+      awaiting_ack = 0;
+      data_records = 0;
+      latency = El_metrics.Running_stat.create ~name:"commit latency (s)" ();
+    }
+  in
+  let mean_us = 1_000_000.0 /. arrival_rate in
+  let next_interval () =
+    match arrival_process with
+    | Deterministic -> Time.of_sec_f (1.0 /. arrival_rate)
+    | Poisson ->
+      Time.of_us (exponential (El_sim.Engine.rng engine) ~mean_us)
+  in
+  let rec arrival at =
+    if Time.(at < runtime) then
+      El_sim.Engine.schedule_at engine at (fun () ->
+          start_tx t mix;
+          arrival (Time.add at (next_interval ())))
+  in
+  arrival Time.zero;
+  t
+
+let kill t tid =
+  match Ids.Tid.Table.find_opt t.txs tid with
+  | None -> invalid_arg "Generator.kill: unknown tid"
+  | Some tx -> (
+    match tx.state with
+    | Killed -> ()
+    | Running ->
+      tx.state <- Killed;
+      release_oids t tx;
+      t.active <- t.active - 1;
+      t.killed <- t.killed + 1
+    | Commit_wait | Done | Aborted ->
+      invalid_arg "Generator.kill: transaction is no longer active")
+
+let oid_pool t = t.pool
+let started t = t.started
+let committed t = t.committed
+let aborted t = t.aborted
+let killed t = t.killed
+let active t = t.active
+let awaiting_ack t = t.awaiting_ack
+let data_records_written t = t.data_records
+let commit_latency t = t.latency

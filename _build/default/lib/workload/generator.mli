@@ -1,0 +1,89 @@
+(** The transaction workload driver (§3, Figure 3).
+
+    Transactions are initiated at regular intervals according to the
+    arrival rate (the paper's deterministic, open-loop arrival
+    pattern).  Each transaction draws its type from the mix, writes a
+    BEGIN record immediately, its N data records at equal intervals of
+    (T−ε)/N, and requests commit at T by writing a COMMIT record; it
+    then waits for the log manager's group-commit acknowledgement.
+    Oids are drawn from an {!Oid_pool} under the no-two-active-writers
+    constraint and released when the transaction requests termination
+    (or is aborted/killed).
+
+    The generator is connected to a log manager through the {!sink}
+    record, and the manager reports kills back through {!kill}. *)
+
+open El_model
+
+(** The face a log manager presents to the workload. *)
+type sink = {
+  begin_tx : tid:Ids.Tid.t -> expected_duration:Time.t -> unit;
+      (** a BEGIN tx record enters the log; [expected_duration] is the
+          lifetime hint available to the §6 placement extension *)
+  write_data :
+    tid:Ids.Tid.t -> oid:Ids.Oid.t -> version:int -> size:int -> unit;
+      (** a data record enters the log *)
+  request_commit : tid:Ids.Tid.t -> on_ack:(Time.t -> unit) -> unit;
+      (** a COMMIT record enters the log; [on_ack] fires when it is
+          durable (time t₄ of Figure 3) *)
+  request_abort : tid:Ids.Tid.t -> unit;
+      (** an ABORT record enters the log; all the transaction's
+          records become garbage *)
+}
+
+type t
+
+(** How transaction initiations are spaced.  The paper uses the
+    deterministic pattern ("transactions are initiated at regular
+    intervals") and names probabilistic models as future work; the
+    Poisson process is provided for studying burstiness. *)
+type arrival_process =
+  | Deterministic  (** every 1/rate seconds exactly *)
+  | Poisson  (** exponential inter-arrival times with mean 1/rate *)
+
+val create :
+  El_sim.Engine.t ->
+  sink:sink ->
+  mix:Mix.t ->
+  arrival_rate:float ->
+  runtime:Time.t ->
+  ?arrival_process:arrival_process ->
+  ?epsilon:Time.t ->
+  ?abort_fraction:float ->
+  num_objects:int ->
+  unit ->
+  t
+(** Schedules the whole arrival process on the engine.  [arrival_rate]
+    is transactions per second (100 in the paper); [runtime] bounds
+    initiation times; [arrival_process] defaults to [Deterministic];
+    [abort_fraction] (default 0) makes that fraction of transactions
+    abort at the end of their lifetime instead of committing, for
+    fault-injection tests. *)
+
+val kill : t -> Ids.Tid.t -> unit
+(** Called by the log manager when it kills a transaction (FW log
+    full; EL record reaching the last head with recirculation off; or
+    unrecirculatable record).  Cancels the transaction's remaining
+    activity and releases its oids.  Idempotent; raises
+    [Invalid_argument] for an unknown tid. *)
+
+val oid_pool : t -> Oid_pool.t
+
+(** Outcome counters, final and in-flight. *)
+
+val started : t -> int
+val committed : t -> int
+(** Transactions whose commit has been acknowledged durable. *)
+
+val aborted : t -> int
+val killed : t -> int
+val active : t -> int
+(** Transactions begun, not yet terminated (commit requested counts as
+    terminated, per the paper's footnote 1 definition of active). *)
+
+val awaiting_ack : t -> int
+val data_records_written : t -> int
+
+val commit_latency : t -> El_metrics.Running_stat.t
+(** Time from commit request (t₃) to acknowledgement (t₄), in
+    simulated seconds. *)

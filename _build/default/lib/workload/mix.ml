@@ -1,0 +1,69 @@
+type t = {
+  types : Tx_type.t list;
+  normalised : (Tx_type.t * float) list;  (* cumulative upper bounds *)
+}
+
+let create types =
+  if types = [] then invalid_arg "Mix.create: empty";
+  let total = List.fold_left (fun s (ty : Tx_type.t) -> s +. ty.probability) 0.0 types in
+  if total <= 0.0 then invalid_arg "Mix.create: zero total probability";
+  let _, rev_cumulative =
+    List.fold_left
+      (fun (acc, out) (ty : Tx_type.t) ->
+        let acc = acc +. (ty.probability /. total) in
+        (acc, (ty, acc) :: out))
+      (0.0, []) types
+  in
+  { types; normalised = List.rev rev_cumulative }
+
+let types t = t.types
+
+let probability t (ty : Tx_type.t) =
+  let total =
+    List.fold_left (fun s (x : Tx_type.t) -> s +. x.probability) 0.0 t.types
+  in
+  match List.find_opt (fun (x : Tx_type.t) -> x.name = ty.name) t.types with
+  | Some x -> x.probability /. total
+  | None -> invalid_arg "Mix.probability: unknown type"
+
+let sample t rng =
+  let u = Random.State.float rng 1.0 in
+  let rec pick = function
+    | [] -> assert false
+    | [ (ty, _) ] -> ty
+    | (ty, upper) :: rest -> if u < upper then ty else pick rest
+  in
+  pick t.normalised
+
+let short_long ~long_fraction =
+  if long_fraction < 0.0 || long_fraction > 1.0 then
+    invalid_arg "Mix.short_long: fraction outside [0,1]";
+  create
+    [
+      Tx_type.short ~probability:(1.0 -. long_fraction);
+      Tx_type.long ~probability:long_fraction;
+    ]
+
+let expected gather t =
+  let total =
+    List.fold_left (fun s (x : Tx_type.t) -> s +. x.probability) 0.0 t.types
+  in
+  List.fold_left
+    (fun s (x : Tx_type.t) -> s +. (x.probability /. total *. gather x))
+    0.0 t.types
+
+let expected_updates_per_tx t =
+  expected (fun x -> float_of_int x.Tx_type.num_records) t
+
+let expected_bytes_per_tx t ~tx_record_size =
+  expected
+    (fun x ->
+      float_of_int ((x.Tx_type.num_records * x.Tx_type.record_size) + (2 * tx_record_size)))
+    t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>mix{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Tx_type.pp)
+    t.types

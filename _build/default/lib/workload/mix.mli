@@ -1,0 +1,32 @@
+(** A probability mix over transaction types — the paper's "pdf"
+    simulator input. *)
+
+type t
+
+val create : Tx_type.t list -> t
+(** Normalises the types' probabilities.  Raises [Invalid_argument]
+    on an empty list or if all probabilities are zero. *)
+
+val types : t -> Tx_type.t list
+
+val probability : t -> Tx_type.t -> float
+(** Normalised probability of a member type (matched by name). *)
+
+val sample : t -> Random.State.t -> Tx_type.t
+(** Draws a type according to the normalised distribution. *)
+
+val short_long : long_fraction:float -> t
+(** The paper's standard two-type workload with the given fraction of
+    10 s transactions (e.g. 0.05 for the 5 % mix).  Raises
+    [Invalid_argument] unless the fraction is within [0, 1]. *)
+
+val expected_updates_per_tx : t -> float
+(** Mean number of data records per transaction — multiplied by the
+    arrival rate this gives the paper's updates-per-second figures
+    (210/s at 5 %, 280/s at 40 %). *)
+
+val expected_bytes_per_tx : t -> tx_record_size:int -> float
+(** Mean log payload per transaction including its BEGIN and COMMIT
+    records — the basis for estimating log bandwidth. *)
+
+val pp : Format.formatter -> t -> unit

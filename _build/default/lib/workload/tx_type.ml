@@ -1,0 +1,45 @@
+open El_model
+
+type t = {
+  name : string;
+  probability : float;
+  duration : Time.t;
+  num_records : int;
+  record_size : int;
+}
+
+let make ~name ~probability ~duration ~num_records ~record_size =
+  if probability < 0.0 then invalid_arg "Tx_type.make: negative probability";
+  if Time.(duration <= Time.zero) then
+    invalid_arg "Tx_type.make: non-positive duration";
+  if num_records <= 0 then invalid_arg "Tx_type.make: no records";
+  if record_size <= 0 then invalid_arg "Tx_type.make: non-positive size";
+  { name; probability; duration; num_records; record_size }
+
+let short ~probability =
+  make ~name:"short" ~probability ~duration:(Time.of_sec 1) ~num_records:2
+    ~record_size:100
+
+let long ~probability =
+  make ~name:"long" ~probability ~duration:(Time.of_sec 10) ~num_records:4
+    ~record_size:100
+
+let record_schedule t ~epsilon =
+  if Time.(epsilon >= t.duration) then
+    invalid_arg "Tx_type.record_schedule: epsilon >= duration";
+  (* Records at j*(T - eps)/N for j = 1..N; the last lands at T - eps. *)
+  let window = Time.sub t.duration epsilon in
+  let interval = Time.div_int window t.num_records in
+  let rec offsets j acc =
+    if j = 0 then acc
+    else
+      let off = if j = t.num_records then window else Time.mul_int interval j in
+      offsets (j - 1) (off :: acc)
+  in
+  offsets t.num_records []
+
+let commit_offset t = t.duration
+
+let pp ppf t =
+  Format.fprintf ppf "%s(p=%.2f T=%a n=%d sz=%d)" t.name t.probability
+    Time.pp t.duration t.num_records t.record_size

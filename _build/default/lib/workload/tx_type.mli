@@ -1,0 +1,43 @@
+(** A transaction type, as the user describes it to the simulator
+    (§3): probability of occurrence, execution lifetime, number of
+    data log records written, and size of each data record.
+
+    The paper's standard workload consists of {!short} (1 s, 2 × 100 B)
+    and {!long} (10 s, 4 × 100 B) transactions. *)
+
+open El_model
+
+type t = {
+  name : string;
+  probability : float;  (** relative frequency; a mix normalises these *)
+  duration : Time.t;  (** lifetime T from BEGIN to COMMIT request *)
+  num_records : int;  (** data log records written over the lifetime *)
+  record_size : int;  (** bytes per data record *)
+}
+
+val make :
+  name:string ->
+  probability:float ->
+  duration:Time.t ->
+  num_records:int ->
+  record_size:int ->
+  t
+(** Validates every field: probability in [0, 1] bounds are not
+    required (mixes normalise) but it must be non-negative; duration
+    positive; counts and sizes positive. *)
+
+val short : probability:float -> t
+(** The paper's 1 s / 2 × 100 B interactive transaction. *)
+
+val long : probability:float -> t
+(** The paper's 10 s / 4 × 100 B complex transaction. *)
+
+val record_schedule : t -> epsilon:Time.t -> Time.t list
+(** Offsets (from BEGIN) at which the type's data records are written:
+    the j-th record at j·(T−ε)/N, the last at T−ε (Figure 3).  Raises
+    [Invalid_argument] if [epsilon >= duration]. *)
+
+val commit_offset : t -> Time.t
+(** Offset of the COMMIT record: the lifetime T. *)
+
+val pp : Format.formatter -> t -> unit

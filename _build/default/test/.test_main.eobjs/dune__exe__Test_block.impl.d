@@ -1,0 +1,1 @@
+test/test_block.ml: Alcotest El_disk List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Array El_core El_model Ids List Log_record QCheck QCheck_alcotest Time

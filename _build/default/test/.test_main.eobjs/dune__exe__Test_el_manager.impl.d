@@ -1,0 +1,1 @@
+test/test_el_manager.ml: Alcotest Array El_core El_disk El_harness El_model El_sim El_workload Ids List Log_record Option Printf Queue Time

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest El_model El_sim List Random Time

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest El_sim List QCheck QCheck_alcotest

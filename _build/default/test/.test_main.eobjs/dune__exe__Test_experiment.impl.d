@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Array El_core El_disk El_harness El_model El_workload Printf Time

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array El_core El_harness El_model El_recovery El_sim El_workload Format Ids List Option Params Printf Time

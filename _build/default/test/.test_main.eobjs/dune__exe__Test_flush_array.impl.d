@@ -1,0 +1,1 @@
+test/test_flush_array.ml: Alcotest El_disk El_metrics El_model El_sim Ids List Time

@@ -1,0 +1,1 @@
+test/test_fw_manager.ml: Alcotest El_core El_harness El_model El_sim El_workload Ids List Printf String Time

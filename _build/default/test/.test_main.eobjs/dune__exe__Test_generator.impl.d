@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest El_metrics El_model El_sim El_workload Hashtbl Ids List Option Printf Time

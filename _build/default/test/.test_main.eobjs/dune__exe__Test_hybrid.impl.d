@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest El_core El_disk El_harness El_model El_sim El_workload Ids Printf Time

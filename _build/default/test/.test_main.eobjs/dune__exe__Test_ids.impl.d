@@ -1,0 +1,1 @@
+test/test_ids.ml: Alcotest El_model Ids QCheck QCheck_alcotest

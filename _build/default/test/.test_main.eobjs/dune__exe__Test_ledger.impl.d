@@ -1,0 +1,1 @@
+test/test_ledger.ml: Alcotest El_core El_model Ids List QCheck QCheck_alcotest Random Time

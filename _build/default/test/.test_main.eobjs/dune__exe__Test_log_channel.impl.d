@@ -1,0 +1,1 @@
+test/test_log_channel.ml: Alcotest El_disk El_model El_sim List Time

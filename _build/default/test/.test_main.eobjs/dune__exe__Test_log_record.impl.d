@@ -1,0 +1,1 @@
+test/test_log_record.ml: Alcotest Astring_like El_model Format Ids List Log_record Option Time

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest El_metrics El_model Gen List QCheck QCheck_alcotest String Time

@@ -1,0 +1,1 @@
+test/test_min_space.ml: Alcotest El_core El_harness El_model El_workload List Printf Time

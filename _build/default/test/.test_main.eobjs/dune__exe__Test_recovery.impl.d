@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest El_core El_disk El_harness El_model El_recovery El_sim El_workload List Option QCheck QCheck_alcotest Time

@@ -1,0 +1,1 @@
+test/test_stable_db.ml: Alcotest El_disk El_model Ids

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest El_model El_workload Hashtbl Ids List Option Printf QCheck QCheck_alcotest Random Time

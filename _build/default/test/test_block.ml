@@ -1,0 +1,56 @@
+module B = El_disk.Block
+
+let test_capacity () =
+  let b = B.create ~capacity:100 in
+  Alcotest.(check int) "capacity" 100 (B.capacity b);
+  Alcotest.(check int) "free" 100 (B.free b);
+  Alcotest.(check bool) "empty" true (B.is_empty b);
+  B.add b ~size:60 "x";
+  Alcotest.(check int) "used" 60 (B.used b);
+  Alcotest.(check bool) "fits 40" true (B.fits b ~size:40);
+  Alcotest.(check bool) "does not fit 41" false (B.fits b ~size:41)
+
+let test_order () =
+  let b = B.create ~capacity:100 in
+  List.iter (fun s -> B.add b ~size:10 s) [ "a"; "b"; "c" ];
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c" ] (B.items b);
+  Alcotest.(check int) "count" 3 (B.count b);
+  let seen = ref [] in
+  B.iter (fun s -> seen := s :: !seen) b;
+  Alcotest.(check (list string)) "iter order" [ "a"; "b"; "c" ] (List.rev !seen)
+
+let test_overflow () =
+  let b = B.create ~capacity:10 in
+  B.add b ~size:10 "full";
+  Alcotest.check_raises "overflow" (Invalid_argument "Block.add: does not fit")
+    (fun () -> B.add b ~size:1 "no");
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Block.fits: non-positive size") (fun () ->
+      ignore (B.fits b ~size:0))
+
+let test_clear () =
+  let b = B.create ~capacity:10 in
+  B.add b ~size:4 "x";
+  B.clear b;
+  Alcotest.(check bool) "empty again" true (B.is_empty b);
+  Alcotest.(check int) "free again" 10 (B.free b);
+  Alcotest.(check (list string)) "no items" [] (B.items b)
+
+let prop_fill =
+  QCheck.Test.make ~name:"block never exceeds capacity" ~count:300
+    QCheck.(list (int_range 1 50))
+    (fun sizes ->
+      let b = B.create ~capacity:100 in
+      List.iter (fun s -> if B.fits b ~size:s then B.add b ~size:s s) sizes;
+      B.used b <= 100
+      && B.used b = List.fold_left ( + ) 0 (B.items b)
+      && B.count b = List.length (B.items b))
+
+let suite =
+  [
+    Alcotest.test_case "capacity accounting" `Quick test_capacity;
+    Alcotest.test_case "insertion order" `Quick test_order;
+    Alcotest.test_case "overflow rejected" `Quick test_overflow;
+    Alcotest.test_case "clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_fill;
+  ]

@@ -1,0 +1,129 @@
+open El_model
+module Cell = El_core.Cell
+module L = El_core.Cell.Cell_list
+
+let dummy_entry tid =
+  {
+    Cell.e_tid = Ids.Tid.of_int tid;
+    expected_duration = Time.of_sec 1;
+    begun_at = Time.zero;
+    tx_cell = None;
+    write_set = Ids.Oid.Table.create 4;
+    tx_state = `Active;
+  }
+
+let make_cell ?(tid = 0) ?(gen = 0) ?(slot = 0) () =
+  let record =
+    Log_record.begin_ ~tid:(Ids.Tid.of_int tid) ~size:8 ~timestamp:Time.zero
+  in
+  let tracked = Cell.track record in
+  Cell.attach tracked ~gen ~slot ~owner:(Cell.Tx_of (dummy_entry tid))
+
+let ids l = List.map (fun c -> Ids.Tid.to_int c.Cell.tracked.Cell.record.Log_record.tid) (L.to_list l)
+
+let test_attach () =
+  let record =
+    Log_record.begin_ ~tid:(Ids.Tid.of_int 1) ~size:8 ~timestamp:Time.zero
+  in
+  let tracked = Cell.track record in
+  Alcotest.(check bool) "born garbage" true (Cell.is_garbage tracked);
+  let cell = Cell.attach tracked ~gen:0 ~slot:3 ~owner:(Cell.Tx_of (dummy_entry 1)) in
+  Alcotest.(check bool) "now non-garbage" false (Cell.is_garbage tracked);
+  Alcotest.(check bool) "self-linked" true (Cell.detached cell);
+  Alcotest.check_raises "double attach"
+    (Invalid_argument "Cell.attach: already has a cell") (fun () ->
+      ignore (Cell.attach tracked ~gen:0 ~slot:3 ~owner:(Cell.Tx_of (dummy_entry 1))))
+
+let test_insert_order () =
+  let l = L.create () in
+  let c0 = make_cell ~tid:0 () and c1 = make_cell ~tid:1 () and c2 = make_cell ~tid:2 () in
+  L.insert_tail l c0;
+  L.insert_tail l c1;
+  L.insert_tail l c2;
+  Alcotest.(check (list int)) "head-to-tail order" [ 0; 1; 2 ] (ids l);
+  (match L.head l with
+  | Some h -> Alcotest.(check int) "h_i is oldest" 0
+      (Ids.Tid.to_int h.Cell.tracked.Cell.record.Log_record.tid)
+  | None -> Alcotest.fail "head");
+  L.check_invariants l
+
+let test_remove_head_middle_tail () =
+  let l = L.create () in
+  let cells = List.init 5 (fun i -> make_cell ~tid:i ()) in
+  List.iter (L.insert_tail l) cells;
+  L.remove l (List.nth cells 2);
+  Alcotest.(check (list int)) "middle gone" [ 0; 1; 3; 4 ] (ids l);
+  L.remove l (List.nth cells 0);
+  Alcotest.(check (list int)) "head advances" [ 1; 3; 4 ] (ids l);
+  L.remove l (List.nth cells 4);
+  Alcotest.(check (list int)) "tail gone" [ 1; 3 ] (ids l);
+  L.check_invariants l;
+  L.remove l (List.nth cells 1);
+  L.remove l (List.nth cells 3);
+  Alcotest.(check bool) "empty" true (L.is_empty l);
+  L.check_invariants l
+
+let test_remove_errors () =
+  let l = L.create () in
+  let c = make_cell () in
+  Alcotest.check_raises "remove from empty"
+    (Invalid_argument "Cell_list.remove: cell not linked") (fun () ->
+      L.remove l c);
+  L.insert_tail l c;
+  let stranger = make_cell ~tid:99 () in
+  Alcotest.check_raises "remove unlinked cell"
+    (Invalid_argument "Cell_list.remove: cell not linked") (fun () ->
+      L.remove l stranger);
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "Cell_list.insert_tail: cell linked") (fun () ->
+      L.insert_tail l c)
+
+let test_reinsert_after_remove () =
+  let l = L.create () in
+  let c0 = make_cell ~tid:0 () and c1 = make_cell ~tid:1 () in
+  L.insert_tail l c0;
+  L.insert_tail l c1;
+  (* Recirculation moves the head cell to the tail. *)
+  L.remove l c0;
+  L.insert_tail l c0;
+  Alcotest.(check (list int)) "rotated" [ 1; 0 ] (ids l);
+  L.check_invariants l
+
+(* Model-based property test: a random sequence of inserts/removes
+   behaves like a reference list. *)
+let prop_model =
+  QCheck.Test.make ~name:"cell list behaves like a queue with removal"
+    ~count:200
+    QCheck.(list (pair bool (int_bound 19)))
+    (fun ops ->
+      let l = L.create () in
+      let cells = Array.init 20 (fun i -> make_cell ~tid:i ()) in
+      let model = ref [] in
+      List.iter
+        (fun (insert, i) ->
+          let c = cells.(i) in
+          if insert then begin
+            if not (List.mem i !model) then begin
+              L.insert_tail l c;
+              model := !model @ [ i ]
+            end
+          end
+          else if List.mem i !model then begin
+            L.remove l c;
+            model := List.filter (fun j -> j <> i) !model
+          end)
+        ops;
+      L.check_invariants l;
+      ids l = !model && L.length l = List.length !model)
+
+let suite =
+  [
+    Alcotest.test_case "attach and garbage flag" `Quick test_attach;
+    Alcotest.test_case "tail insertion keeps head order" `Quick
+      test_insert_order;
+    Alcotest.test_case "removal everywhere" `Quick test_remove_head_middle_tail;
+    Alcotest.test_case "removal errors" `Quick test_remove_errors;
+    Alcotest.test_case "rotation (recirculation move)" `Quick
+      test_reinsert_after_remove;
+    QCheck_alcotest.to_alcotest prop_model;
+  ]

@@ -1,0 +1,89 @@
+open El_model
+module Engine = El_sim.Engine
+
+let test_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  Engine.schedule_at e (Time.of_ms 10) (fun () ->
+      seen := Time.to_us (Engine.now e) :: !seen);
+  Engine.schedule_at e (Time.of_ms 5) (fun () ->
+      seen := Time.to_us (Engine.now e) :: !seen);
+  Engine.run_all e;
+  Alcotest.(check (list int)) "dispatch times" [ 10_000; 5_000 ] !seen
+
+let test_schedule_after () =
+  let e = Engine.create () in
+  let fired = ref Time.zero in
+  Engine.schedule_at e (Time.of_ms 3) (fun () ->
+      Engine.schedule_after e (Time.of_ms 4) (fun () -> fired := Engine.now e));
+  Engine.run_all e;
+  Alcotest.(check int) "relative delay" 7_000 (Time.to_us !fired)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  List.iter
+    (fun ms -> Engine.schedule_at e (Time.of_ms ms) (fun () -> incr count))
+    [ 1; 2; 3; 10; 20 ];
+  Engine.run e ~until:(Time.of_ms 5);
+  Alcotest.(check int) "only early events" 3 !count;
+  Alcotest.(check int) "clock at limit" 5_000 (Time.to_us (Engine.now e));
+  Alcotest.(check int) "pending remain" 2 (Engine.pending_events e);
+  Engine.run_all e;
+  Alcotest.(check int) "all dispatched" 5 !count
+
+let test_no_past_scheduling () =
+  let e = Engine.create () in
+  Engine.schedule_at e (Time.of_ms 10) (fun () -> ());
+  Engine.run_all e;
+  Alcotest.check_raises "past rejected"
+    (Invalid_argument "Engine.schedule_at: time is in the past") (fun () ->
+      Engine.schedule_at e (Time.of_ms 5) (fun () -> ()))
+
+let test_cascading_events () =
+  (* An event scheduling another event at the same instant runs it in
+     the same run_all, after all previously queued work. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e (Time.of_ms 1) (fun () ->
+      log := "first" :: !log;
+      Engine.schedule_after e Time.zero (fun () -> log := "chained" :: !log));
+  Engine.schedule_at e (Time.of_ms 1) (fun () -> log := "second" :: !log);
+  Engine.run_all e;
+  Alcotest.(check (list string))
+    "stable cascade order"
+    [ "first"; "second"; "chained" ]
+    (List.rev !log)
+
+let test_determinism () =
+  let trace seed =
+    let e = Engine.create ~seed () in
+    let out = ref [] in
+    for _ = 1 to 5 do
+      out := Random.State.int (Engine.rng e) 1000 :: !out
+    done;
+    !out
+  in
+  Alcotest.(check (list int)) "same seed, same draws" (trace 7) (trace 7);
+  Alcotest.(check bool) "different seeds differ" true (trace 7 <> trace 8)
+
+let test_events_dispatched () =
+  let e = Engine.create () in
+  for i = 1 to 4 do
+    Engine.schedule_at e (Time.of_ms i) (fun () -> ())
+  done;
+  Engine.run_all e;
+  Alcotest.(check int) "counter" 4 (Engine.events_dispatched e)
+
+let suite =
+  [
+    Alcotest.test_case "clock advances with dispatch" `Quick test_clock_advances;
+    Alcotest.test_case "schedule_after is relative" `Quick test_schedule_after;
+    Alcotest.test_case "run ~until stops and sets clock" `Quick test_run_until;
+    Alcotest.test_case "scheduling in the past is rejected" `Quick
+      test_no_past_scheduling;
+    Alcotest.test_case "same-instant cascades are FIFO" `Quick
+      test_cascading_events;
+    Alcotest.test_case "seeded determinism" `Quick test_determinism;
+    Alcotest.test_case "dispatch counter" `Quick test_events_dispatched;
+  ]

@@ -1,0 +1,93 @@
+module Q = El_sim.Event_queue
+
+let test_fifo_ties () =
+  let q = Q.create () in
+  Q.push q ~time:5 "a";
+  Q.push q ~time:5 "b";
+  Q.push q ~time:5 "c";
+  let order =
+    List.init 3 (fun _ ->
+        match Q.pop q with Some (_, x) -> x | None -> Alcotest.fail "empty")
+  in
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c" ] order
+
+let test_time_order () =
+  let q = Q.create () in
+  List.iter (fun t -> Q.push q ~time:t t) [ 9; 1; 5; 3; 7; 2; 8; 4; 6; 0 ];
+  let rec drain acc =
+    match Q.pop q with Some (t, _) -> drain (t :: acc) | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (drain [])
+
+let test_peek_and_length () =
+  let q = Q.create () in
+  Alcotest.(check (option int)) "empty peek" None (Q.peek_time q);
+  Alcotest.(check bool) "empty" true (Q.is_empty q);
+  Q.push q ~time:3 ();
+  Q.push q ~time:1 ();
+  Alcotest.(check (option int)) "peek min" (Some 1) (Q.peek_time q);
+  Alcotest.(check int) "length" 2 (Q.length q);
+  ignore (Q.pop q);
+  Alcotest.(check int) "length after pop" 1 (Q.length q)
+
+let test_interleaved () =
+  (* Pops interleaved with pushes must still come out ordered by
+     (time, insertion). *)
+  let q = Q.create () in
+  Q.push q ~time:10 `A;
+  Q.push q ~time:20 `B;
+  (match Q.pop q with
+  | Some (10, `A) -> ()
+  | _ -> Alcotest.fail "expected A at 10");
+  Q.push q ~time:15 `C;
+  Q.push q ~time:20 `D;
+  let rest =
+    List.init 3 (fun _ ->
+        match Q.pop q with Some (t, _) -> t | None -> Alcotest.fail "empty")
+  in
+  Alcotest.(check (list int)) "times" [ 15; 20; 20 ] rest
+
+let prop_heap_matches_sort =
+  QCheck.Test.make ~name:"event queue dequeues like a stable sort" ~count:200
+    QCheck.(list (int_bound 50))
+    (fun times ->
+      let q = Q.create () in
+      List.iteri (fun i t -> Q.push q ~time:t (t, i)) times;
+      let rec drain acc =
+        match Q.pop q with Some (_, x) -> drain (x :: acc) | None -> List.rev acc
+      in
+      let got = drain [] in
+      let expected =
+        List.stable_sort
+          (fun (t1, i1) (t2, i2) -> if t1 <> t2 then compare t1 t2 else compare i1 i2)
+          (List.mapi (fun i t -> (t, i)) times)
+      in
+      got = expected)
+
+let prop_grow =
+  QCheck.Test.make ~name:"event queue grows past initial capacity" ~count:10
+    QCheck.(int_range 100 2000)
+    (fun n ->
+      let q = Q.create () in
+      for i = 0 to n - 1 do
+        Q.push q ~time:(n - i) i
+      done;
+      Q.length q = n
+      &&
+      let rec drain last =
+        match Q.pop q with
+        | None -> true
+        | Some (t, _) -> t >= last && drain t
+      in
+      drain min_int)
+
+let suite =
+  [
+    Alcotest.test_case "FIFO among equal times" `Quick test_fifo_ties;
+    Alcotest.test_case "time ordering" `Quick test_time_order;
+    Alcotest.test_case "peek and length" `Quick test_peek_and_length;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    QCheck_alcotest.to_alcotest prop_heap_matches_sort;
+    QCheck_alcotest.to_alcotest prop_grow;
+  ]

@@ -1,0 +1,150 @@
+open El_model
+module Engine = El_sim.Engine
+module F = El_disk.Flush_array
+
+let oid n = Ids.Oid.of_int n
+
+let make ?(drives = 2) ?(transfer_ms = 10) ?(objects = 1000) () =
+  let e = Engine.create () in
+  let f =
+    F.create e ~drives ~transfer_time:(Time.of_ms transfer_ms)
+      ~num_objects:objects ()
+  in
+  (e, f)
+
+let test_basic_flush () =
+  let e, f = make () in
+  let flushed = ref [] in
+  F.set_on_flush f (fun o ~version -> flushed := (Ids.Oid.to_int o, version) :: !flushed);
+  F.request f (oid 3) ~version:1;
+  Engine.run_all e;
+  Alcotest.(check (list (pair int int))) "flushed" [ (3, 1) ] !flushed;
+  Alcotest.(check int) "completed" 1 (F.flushes_completed f);
+  Alcotest.(check int) "pending drained" 0 (F.pending f)
+
+let test_partitioning () =
+  (* 1000 objects over 2 drives: oids < 500 on drive 0.  Two requests
+     on different drives run in parallel; two on the same drive
+     serialize. *)
+  let e, f = make () in
+  F.set_on_flush f (fun _ ~version:_ -> ());
+  F.request f (oid 10) ~version:1;
+  F.request f (oid 600) ~version:1;
+  Engine.run e ~until:(Time.of_ms 10);
+  Alcotest.(check int) "parallel drives" 2 (F.flushes_completed f);
+  F.request f (oid 20) ~version:1;
+  F.request f (oid 30) ~version:1;
+  Engine.run e ~until:(Time.of_ms 20);
+  Alcotest.(check int) "same drive serializes" 3 (F.flushes_completed f);
+  Engine.run_all e;
+  Alcotest.(check int) "all done" 4 (F.flushes_completed f)
+
+let test_nearest_scheduling () =
+  let e, f = make ~drives:1 ~objects:1000 () in
+  let order = ref [] in
+  F.set_on_flush f (fun o ~version:_ -> order := Ids.Oid.to_int o :: !order);
+  (* Drive position starts at 0.  Enqueue while the first request is
+     in service; the drive then picks nearest-first. *)
+  F.request f (oid 100) ~version:1;
+  F.request f (oid 900) ~version:1;  (* wrapped distance from 100: 200 *)
+  F.request f (oid 500) ~version:1;  (* distance from 100: 400 *)
+  F.request f (oid 150) ~version:1;  (* distance from 100: 50 — nearest *)
+  Engine.run_all e;
+  Alcotest.(check (list int)) "shortest-seek order" [ 100; 150; 900; 500 ]
+    (List.rev !order)
+
+let test_supersede () =
+  let e, f = make ~drives:1 () in
+  let flushed = ref [] in
+  F.set_on_flush f (fun o ~version -> flushed := (Ids.Oid.to_int o, version) :: !flushed);
+  F.request f (oid 1) ~version:1;
+  (* While v1 is in service, a pending request for oid 2 gets
+     superseded by v2 before it is picked. *)
+  F.request f (oid 2) ~version:1;
+  F.request f (oid 2) ~version:2;
+  Alcotest.(check int) "superseded in place" 1 (F.superseded f);
+  Engine.run_all e;
+  Alcotest.(check (list (pair int int)))
+    "newest version flushed once"
+    [ (1, 1); (2, 2) ]
+    (List.rev !flushed)
+
+let test_forced_priority () =
+  let e, f = make ~drives:1 ~objects:1000 () in
+  let order = ref [] in
+  F.set_on_flush f (fun o ~version:_ -> order := Ids.Oid.to_int o :: !order);
+  F.request f (oid 10) ~version:1;
+  F.request f (oid 11) ~version:1;  (* would be nearest next *)
+  F.request_forced f (oid 800) ~version:1;
+  Engine.run_all e;
+  Alcotest.(check (list int)) "forced wins" [ 10; 800; 11 ] (List.rev !order);
+  Alcotest.(check int) "forced counted" 1 (F.forced_flushes f)
+
+let test_locality_stat () =
+  let e, f = make ~drives:1 ~objects:1000 () in
+  F.set_on_flush f (fun _ ~version:_ -> ());
+  F.request f (oid 100) ~version:1;
+  Engine.run e ~until:(Time.of_ms 10);
+  F.request f (oid 300) ~version:1;
+  Engine.run_all e;
+  (* One distance sample: |300-100| = 200 (the first flush has no
+     predecessor). *)
+  Alcotest.(check (float 1e-9)) "mean distance" 200.0 (F.mean_distance f);
+  Alcotest.(check int) "one sample"
+    1
+    (El_metrics.Running_stat.count (F.distance_stat f))
+
+let test_backlog_peak () =
+  let e, f = make ~drives:1 () in
+  F.set_on_flush f (fun _ ~version:_ -> ());
+  for i = 0 to 9 do
+    F.request f (oid i) ~version:1
+  done;
+  Alcotest.(check int) "peak backlog" 10 (F.peak_backlog f);
+  Engine.run_all e;
+  Alcotest.(check int) "drained" 0 (F.pending f)
+
+let test_fifo_scheduling () =
+  let e = Engine.create () in
+  let f =
+    F.create e ~drives:1 ~transfer_time:(Time.of_ms 10) ~num_objects:1000
+      ~scheduling:F.Fifo ()
+  in
+  let order = ref [] in
+  F.set_on_flush f (fun o ~version:_ -> order := Ids.Oid.to_int o :: !order);
+  F.request f (oid 100) ~version:1;
+  F.request f (oid 900) ~version:1;
+  F.request f (oid 150) ~version:1;  (* nearest would pick this before 900 *)
+  Engine.run_all e;
+  Alcotest.(check (list int)) "arrival order, not seek order" [ 100; 900; 150 ]
+    (List.rev !order)
+
+let test_validation () =
+  let e = Engine.create () in
+  Alcotest.check_raises "uneven partitioning"
+    (Invalid_argument
+       "Flush_array.create: num_objects must be a positive multiple of drives")
+    (fun () ->
+      ignore (F.create e ~drives:3 ~transfer_time:(Time.of_ms 1) ~num_objects:10 ()));
+  let f = F.create e ~drives:2 ~transfer_time:(Time.of_ms 1) ~num_objects:10 () in
+  Alcotest.check_raises "oid out of range"
+    (Invalid_argument "Flush_array: oid out of range") (fun () ->
+      F.request f (oid 10) ~version:1)
+
+let test_max_rate () =
+  let _, f = make ~drives:10 ~transfer_ms:25 ~objects:1000 () in
+  Alcotest.(check (float 1e-6)) "paper's 400/s" 400.0 (F.max_rate_per_sec f)
+
+let suite =
+  [
+    Alcotest.test_case "basic flush lifecycle" `Quick test_basic_flush;
+    Alcotest.test_case "range partitioning" `Quick test_partitioning;
+    Alcotest.test_case "nearest-oid scheduling" `Quick test_nearest_scheduling;
+    Alcotest.test_case "supersede in place" `Quick test_supersede;
+    Alcotest.test_case "forced requests run first" `Quick test_forced_priority;
+    Alcotest.test_case "locality statistic" `Quick test_locality_stat;
+    Alcotest.test_case "backlog accounting" `Quick test_backlog_peak;
+    Alcotest.test_case "FIFO scheduling ablation" `Quick test_fifo_scheduling;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "aggregate service rate" `Quick test_max_rate;
+  ]

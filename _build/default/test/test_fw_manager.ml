@@ -1,0 +1,182 @@
+open El_model
+module Engine = El_sim.Engine
+module FW = El_core.Fw_manager
+
+let tid n = Ids.Tid.of_int n
+let oid n = Ids.Oid.of_int n
+
+type rig = {
+  engine : Engine.t;
+  fw : FW.t;
+  mutable killed : int list;
+}
+
+let make_rig ?(size = 8) ?(payload = 200) () =
+  let engine = Engine.create () in
+  let fw =
+    FW.create engine ~size_blocks:size ~block_payload:payload ()
+  in
+  let rig = { engine; fw; killed = [] } in
+  FW.set_on_kill fw (fun t -> rig.killed <- Ids.Tid.to_int t :: rig.killed);
+  rig
+
+let start rig n =
+  FW.begin_tx rig.fw ~tid:(tid n) ~expected_duration:(Time.of_sec 1)
+
+let write rig n o size =
+  FW.write_data rig.fw ~tid:(tid n) ~oid:(oid o) ~version:1 ~size
+
+let commit rig n acks =
+  FW.request_commit rig.fw ~tid:(tid n) ~on_ack:(fun at ->
+      acks := (n, Time.to_us at) :: !acks)
+
+let test_ack_on_durability () =
+  let rig = make_rig ~payload:120 () in
+  let acks = ref [] in
+  start rig 1;
+  write rig 1 10 100;
+  commit rig 1 acks;
+  (* 8+100+8 = 116 of 120: still buffered *)
+  Engine.run rig.engine ~until:(Time.of_ms 50);
+  Alcotest.(check int) "no premature ack" 0 (List.length !acks);
+  start rig 2;
+  (* BEGIN(8) overflows -> seal at t=50, durable at t=65 *)
+  Engine.run_all rig.engine;
+  (match !acks with
+  | [ (1, at) ] -> Alcotest.(check int) "ack time" 65_000 at
+  | _ -> Alcotest.fail "one ack expected")
+
+let test_memory_is_22_per_tx () =
+  let rig = make_rig () in
+  for n = 1 to 5 do
+    start rig n
+  done;
+  Alcotest.(check int) "5 live txs" 110 (FW.stats rig.fw).FW.current_memory_bytes;
+  let acks = ref [] in
+  commit rig 1 acks;
+  Alcotest.(check int) "termination frees the entry" 88
+    (FW.stats rig.fw).FW.current_memory_bytes;
+  Alcotest.(check int) "peak remembered" 110
+    (FW.stats rig.fw).FW.peak_memory_bytes
+
+let test_space_reclaimed_at_termination () =
+  let rig = make_rig ~size:8 ~payload:100 () in
+  let acks = ref [] in
+  (* Each tx fills about a block; committing releases its space even
+     though nothing is flushed anywhere. *)
+  for n = 1 to 30 do
+    start rig n;
+    write rig n n 80;
+    commit rig n acks;
+    Engine.run rig.engine
+      ~until:(Time.add (Engine.now rig.engine) (Time.of_ms 50))
+  done;
+  Alcotest.(check (list int)) "no kills" [] rig.killed;
+  Alcotest.(check bool) "blocks written" true ((FW.stats rig.fw).FW.log_writes > 20)
+
+let test_firewall_blocks_reclaim () =
+  let rig = make_rig ~size:6 ~payload:100 () in
+  let acks = ref [] in
+  (* One long transaction pins the firewall at its BEGIN record. *)
+  start rig 999;
+  write rig 999 500 50;
+  for n = 1 to 10 do
+    start rig n;
+    write rig n n 80;
+    commit rig n acks;
+    Engine.run rig.engine
+      ~until:(Time.add (Engine.now rig.engine) (Time.of_ms 50))
+  done;
+  (* 6-block log, ~1 block per short tx: the long tx gets killed when
+     the log wraps into its records. *)
+  Alcotest.(check (list int)) "oldest active killed" [ 999 ] rig.killed;
+  Alcotest.(check int) "kill counted" 1 (FW.stats rig.fw).FW.kills
+
+let test_kill_prefers_oldest () =
+  let rig = make_rig ~size:6 ~payload:100 () in
+  let acks = ref [] in
+  start rig 50;
+  write rig 50 500 50;
+  Engine.run rig.engine ~until:(Time.of_ms 10);
+  start rig 51;
+  write rig 51 501 50;
+  for n = 1 to 12 do
+    start rig n;
+    write rig n n 80;
+    commit rig n acks;
+    Engine.run rig.engine
+      ~until:(Time.add (Engine.now rig.engine) (Time.of_ms 50))
+  done;
+  (match List.rev rig.killed with
+  | 50 :: _ -> ()
+  | l ->
+    Alcotest.failf "expected tx 50 (the oldest) killed first, got %s"
+      (String.concat "," (List.map string_of_int l)))
+
+let test_peak_occupancy_is_span () =
+  let rig = make_rig ~size:64 ~payload:100 () in
+  let acks = ref [] in
+  for n = 1 to 20 do
+    start rig n;
+    write rig n n 80;
+    commit rig n acks;
+    Engine.run rig.engine
+      ~until:(Time.add (Engine.now rig.engine) (Time.of_ms 50))
+  done;
+  let stats = FW.stats rig.fw in
+  (* With every tx terminating quickly, eager reclaim keeps the span
+     small no matter how many blocks were ever written. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "span stays small (peak=%d)" stats.FW.peak_occupancy)
+    true
+    (stats.FW.peak_occupancy <= 4)
+
+let test_committing_tx_is_not_its_own_victim () =
+  (* Regression: when a commit request's own append must make room,
+     the kill hunt used to be able to pick the very transaction that
+     was committing — which the workload generator had already marked
+     terminated, crashing the run.  Squeezed FW runs over the paper's
+     full 500 s hit the coincidence reliably; they must now finish
+     (with ordinary kills) instead of erroring out. *)
+  let mix = El_workload.Mix.short_long ~long_fraction:0.05 in
+  List.iter
+    (fun blocks ->
+      let cfg =
+        El_harness.Experiment.default_config
+          ~kind:(El_harness.Experiment.Firewall blocks) ~mix
+      in
+      let r = El_harness.Experiment.run cfg in
+      Alcotest.(check bool)
+        (Printf.sprintf "squeezed %d-block run kills rather than crashes"
+           blocks)
+        true
+        (r.El_harness.Experiment.killed > 0))
+    [ 115; 118; 120 ]
+
+let test_validation () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Fw_manager.create: log needs at least gap+2 blocks")
+    (fun () -> ignore (FW.create engine ~size_blocks:3 ()));
+  let fw = FW.create engine ~size_blocks:8 () in
+  Alcotest.check_raises "unknown tx"
+    (Invalid_argument "Fw_manager.write_data: unknown transaction") (fun () ->
+      FW.write_data fw ~tid:(tid 1) ~oid:(oid 1) ~version:1 ~size:10)
+
+let suite =
+  [
+    Alcotest.test_case "group-commit ack" `Quick test_ack_on_durability;
+    Alcotest.test_case "22 bytes per transaction" `Quick
+      test_memory_is_22_per_tx;
+    Alcotest.test_case "termination releases log space" `Quick
+      test_space_reclaimed_at_termination;
+    Alcotest.test_case "firewall blocks reclamation; kill frees it" `Quick
+      test_firewall_blocks_reclaim;
+    Alcotest.test_case "kills target the oldest active" `Quick
+      test_kill_prefers_oldest;
+    Alcotest.test_case "peak occupancy tracks the live span" `Quick
+      test_peak_occupancy_is_span;
+    Alcotest.test_case "a committing tx is never its own kill victim" `Quick
+      test_committing_tx_is_not_its_own_victim;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

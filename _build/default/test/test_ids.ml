@@ -1,0 +1,52 @@
+open El_model
+
+let test_roundtrip () =
+  Alcotest.(check int) "oid" 17 (Ids.Oid.to_int (Ids.Oid.of_int 17));
+  Alcotest.(check int) "tid" 0 (Ids.Tid.to_int (Ids.Tid.of_int 0));
+  Alcotest.check_raises "negative oid"
+    (Invalid_argument "Oid.of_int: negative") (fun () ->
+      ignore (Ids.Oid.of_int (-3)))
+
+let test_equality () =
+  Alcotest.(check bool) "oid equal" true
+    (Ids.Oid.equal (Ids.Oid.of_int 4) (Ids.Oid.of_int 4));
+  Alcotest.(check bool) "oid differ" false
+    (Ids.Oid.equal (Ids.Oid.of_int 4) (Ids.Oid.of_int 5));
+  Alcotest.(check int) "compare sign" 1
+    (Ids.Tid.compare (Ids.Tid.of_int 9) (Ids.Tid.of_int 3))
+
+let test_distance () =
+  let d a b = Ids.Oid.distance ~wrap:100 (Ids.Oid.of_int a) (Ids.Oid.of_int b) in
+  Alcotest.(check int) "same" 0 (d 10 10);
+  Alcotest.(check int) "near" 5 (d 10 15);
+  Alcotest.(check int) "wraps" 2 (d 99 1);
+  Alcotest.(check int) "max is wrap/2" 50 (d 0 50);
+  Alcotest.(check int) "symmetric" (d 30 80) (d 80 30)
+
+let test_distance_prop =
+  QCheck.Test.make ~name:"oid distance is a wrapped metric" ~count:500
+    QCheck.(triple (int_bound 999) (int_bound 999) (int_range 1 1000))
+    (fun (a, b, wrap) ->
+      let a = a mod wrap and b = b mod wrap in
+      let d = Ids.Oid.distance ~wrap (Ids.Oid.of_int a) (Ids.Oid.of_int b) in
+      d >= 0 && d <= wrap / 2
+      && d = Ids.Oid.distance ~wrap (Ids.Oid.of_int b) (Ids.Oid.of_int a)
+      && (d = 0) = (a = b))
+
+let test_tables () =
+  let t = Ids.Oid.Table.create 8 in
+  Ids.Oid.Table.replace t (Ids.Oid.of_int 1) "one";
+  Ids.Oid.Table.replace t (Ids.Oid.of_int 1) "uno";
+  Alcotest.(check (option string))
+    "replace semantics" (Some "uno")
+    (Ids.Oid.Table.find_opt t (Ids.Oid.of_int 1));
+  Alcotest.(check int) "length" 1 (Ids.Oid.Table.length t)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip and validation" `Quick test_roundtrip;
+    Alcotest.test_case "equality and comparison" `Quick test_equality;
+    Alcotest.test_case "wrapped distance" `Quick test_distance;
+    QCheck_alcotest.to_alcotest test_distance_prop;
+    Alcotest.test_case "hash tables" `Quick test_tables;
+  ]

@@ -1,0 +1,290 @@
+open El_model
+module Cell = El_core.Cell
+module Ledger = El_core.Ledger
+
+let tid n = Ids.Tid.of_int n
+let oid n = Ids.Oid.of_int n
+let ts ms = Time.of_ms ms
+
+let make () =
+  let removals = ref 0 in
+  let ledger =
+    Ledger.create ~remove_cell:(fun _ -> incr removals) ()
+  in
+  (ledger, removals)
+
+let begin_tx ledger n =
+  Ledger.begin_tx ledger ~tid:(tid n) ~expected_duration:(Time.of_sec 1)
+    ~timestamp:(ts n) ~size:8
+
+let test_begin () =
+  let ledger, _ = make () in
+  let cell = begin_tx ledger 1 in
+  Alcotest.(check int) "LTT entry" 1 (Ledger.ltt_size ledger);
+  Alcotest.(check int) "no LOT entries" 0 (Ledger.lot_size ledger);
+  Alcotest.(check bool) "active" true (Ledger.is_active ledger (tid 1));
+  Alcotest.(check int) "memory = 40" 40 (Ledger.memory_bytes ledger);
+  Alcotest.(check bool) "cell live" false (Cell.is_garbage cell.Cell.tracked);
+  Alcotest.check_raises "duplicate tid"
+    (Invalid_argument "Ledger.begin_tx: duplicate tid") (fun () ->
+      ignore (begin_tx ledger 1));
+  Ledger.check_invariants ledger
+
+let test_write_data () =
+  let ledger, _ = make () in
+  ignore (begin_tx ledger 1);
+  let c =
+    Ledger.write_data ledger ~tid:(tid 1) ~oid:(oid 7) ~version:1 ~size:100
+      ~timestamp:(ts 2)
+  in
+  Alcotest.(check int) "LOT entry created" 1 (Ledger.lot_size ledger);
+  Alcotest.(check int) "memory = 2x40" 80 (Ledger.memory_bytes ledger);
+  Alcotest.(check bool) "uncommitted is kept" true
+    (Ledger.classify ledger c = Ledger.Keep_active);
+  Ledger.check_invariants ledger
+
+let test_unknown_tx () =
+  let ledger, _ = make () in
+  Alcotest.check_raises "unknown" (Invalid_argument "Ledger: unknown transaction")
+    (fun () ->
+      ignore
+        (Ledger.write_data ledger ~tid:(tid 9) ~oid:(oid 1) ~version:1 ~size:10
+           ~timestamp:Time.zero))
+
+let test_commit_cycle () =
+  let ledger, _ = make () in
+  let begin_cell = begin_tx ledger 1 in
+  ignore
+    (Ledger.write_data ledger ~tid:(tid 1) ~oid:(oid 7) ~version:1 ~size:100
+       ~timestamp:(ts 2));
+  let commit_cell =
+    Ledger.request_commit ledger ~tid:(tid 1) ~timestamp:(ts 3) ~size:8
+  in
+  (* The BEGIN record is superseded: one tx cell per transaction. *)
+  Alcotest.(check bool) "begin record now garbage" true
+    (Cell.is_garbage begin_cell.Cell.tracked);
+  Alcotest.(check bool) "not killable while commit pending" true
+    (Ledger.tx_state ledger (tid 1) = Some `Commit_pending);
+  let to_flush = Ledger.commit_durable ledger ~tid:(tid 1) in
+  Alcotest.(check (list (pair int int)))
+    "flush list"
+    [ (7, 1) ]
+    (List.map (fun (o, v) -> (Ids.Oid.to_int o, v)) to_flush);
+  Alcotest.(check bool) "commit record classifies as committed tx" true
+    (Ledger.classify ledger commit_cell = Ledger.Committed_tx (tid 1));
+  Alcotest.(check int) "unflushed objects" 1 (Ledger.unflushed_objects ledger);
+  (* Flushing the update retires the record, the object and then the
+     whole transaction entry. *)
+  Alcotest.(check bool) "flush applies" true
+    (Ledger.flush_complete ledger ~oid:(oid 7) ~version:1);
+  Alcotest.(check int) "LOT empty" 0 (Ledger.lot_size ledger);
+  Alcotest.(check int) "LTT empty" 0 (Ledger.ltt_size ledger);
+  Alcotest.(check int) "memory back to zero" 0 (Ledger.memory_bytes ledger);
+  Alcotest.(check bool) "commit record gone" true
+    (Cell.is_garbage commit_cell.Cell.tracked);
+  Ledger.check_invariants ledger
+
+let test_supersede_committed () =
+  let ledger, _ = make () in
+  ignore (begin_tx ledger 1);
+  ignore
+    (Ledger.write_data ledger ~tid:(tid 1) ~oid:(oid 7) ~version:1 ~size:100
+       ~timestamp:(ts 2));
+  ignore (Ledger.request_commit ledger ~tid:(tid 1) ~timestamp:(ts 3) ~size:8);
+  ignore (Ledger.commit_durable ledger ~tid:(tid 1));
+  (* A second transaction updates the same object and commits before
+     the first update was flushed: the old committed record becomes
+     garbage and tx 1 retires entirely. *)
+  ignore (begin_tx ledger 2);
+  let c2 =
+    Ledger.write_data ledger ~tid:(tid 2) ~oid:(oid 7) ~version:2 ~size:100
+      ~timestamp:(ts 4)
+  in
+  ignore (Ledger.request_commit ledger ~tid:(tid 2) ~timestamp:(ts 5) ~size:8);
+  ignore (Ledger.commit_durable ledger ~tid:(tid 2));
+  Alcotest.(check int) "tx1 retired by supersede" 1 (Ledger.ltt_size ledger);
+  Alcotest.(check bool) "newest is the committed one" true
+    (Ledger.classify ledger c2 = Ledger.Committed_data (oid 7, 2));
+  (* A stale flush completion for version 1 must be ignored. *)
+  Alcotest.(check bool) "stale flush ignored" false
+    (Ledger.flush_complete ledger ~oid:(oid 7) ~version:1);
+  Alcotest.(check bool) "current flush applies" true
+    (Ledger.flush_complete ledger ~oid:(oid 7) ~version:2);
+  Alcotest.(check int) "all retired" 0 (Ledger.ltt_size ledger);
+  Ledger.check_invariants ledger
+
+let test_abort () =
+  let ledger, _ = make () in
+  ignore (begin_tx ledger 1);
+  let c =
+    Ledger.write_data ledger ~tid:(tid 1) ~oid:(oid 3) ~version:1 ~size:50
+      ~timestamp:(ts 2)
+  in
+  let tracked =
+    Ledger.request_abort ledger ~tid:(tid 1) ~timestamp:(ts 3) ~size:8
+  in
+  Alcotest.(check bool) "abort record is garbage from birth" true
+    (Cell.is_garbage tracked);
+  Alcotest.(check bool) "data record garbage" true
+    (Cell.is_garbage c.Cell.tracked);
+  Alcotest.(check int) "tables empty" 0
+    (Ledger.ltt_size ledger + Ledger.lot_size ledger);
+  Alcotest.(check int) "memory zero" 0 (Ledger.memory_bytes ledger);
+  Ledger.check_invariants ledger
+
+let test_kill () =
+  let ledger, _ = make () in
+  ignore (begin_tx ledger 1);
+  ignore
+    (Ledger.write_data ledger ~tid:(tid 1) ~oid:(oid 3) ~version:1 ~size:50
+       ~timestamp:(ts 2));
+  Ledger.kill ledger ~tid:(tid 1);
+  Alcotest.(check int) "all gone" 0
+    (Ledger.ltt_size ledger + Ledger.lot_size ledger);
+  (* Commit-pending transactions cannot be killed. *)
+  ignore (begin_tx ledger 2);
+  ignore (Ledger.request_commit ledger ~tid:(tid 2) ~timestamp:(ts 3) ~size:8);
+  Alcotest.check_raises "commit-pending unkillable"
+    (Invalid_argument "Ledger.kill: only active transactions can be killed")
+    (fun () -> Ledger.kill ledger ~tid:(tid 2));
+  Ledger.check_invariants ledger
+
+let test_empty_write_set_commit () =
+  let ledger, _ = make () in
+  ignore (begin_tx ledger 1);
+  ignore (Ledger.request_commit ledger ~tid:(tid 1) ~timestamp:(ts 1) ~size:8);
+  let to_flush = Ledger.commit_durable ledger ~tid:(tid 1) in
+  Alcotest.(check int) "nothing to flush" 0 (List.length to_flush);
+  Alcotest.(check int) "read-only tx retires immediately" 0
+    (Ledger.ltt_size ledger);
+  Ledger.check_invariants ledger
+
+let test_oldest_active () =
+  let ledger, _ = make () in
+  (match Ledger.oldest_active ledger with
+  | None -> ()
+  | Some _ -> Alcotest.fail "empty ledger has no oldest");
+  ignore (begin_tx ledger 5);
+  ignore (begin_tx ledger 3);
+  (* tid 5 began at ts 5, tid 3 at ts 3: tid 3 is older *)
+  (match Ledger.oldest_active ledger with
+  | Some e -> Alcotest.(check int) "oldest by begin time" 3 (Ids.Tid.to_int e.Cell.e_tid)
+  | None -> Alcotest.fail "expected an oldest");
+  ignore (Ledger.request_commit ledger ~tid:(tid 3) ~timestamp:(ts 10) ~size:8);
+  match Ledger.oldest_active ledger with
+  | Some e ->
+    Alcotest.(check int) "commit-pending excluded" 5 (Ids.Tid.to_int e.Cell.e_tid)
+  | None -> Alcotest.fail "tid 5 still active"
+
+let test_classify_unflushed () =
+  let ledger, _ = make () in
+  ignore (begin_tx ledger 1);
+  let c =
+    Ledger.write_data ledger ~tid:(tid 1) ~oid:(oid 9) ~version:1 ~size:50
+      ~timestamp:(ts 2)
+  in
+  ignore (Ledger.request_commit ledger ~tid:(tid 1) ~timestamp:(ts 3) ~size:8);
+  ignore (Ledger.commit_durable ledger ~tid:(tid 1));
+  Alcotest.(check bool) "committed unflushed data" true
+    (Ledger.classify ledger c = Ledger.Committed_data (oid 9, 1));
+  (match Ledger.committed_cell ledger (oid 9) with
+  | Some (c', v) ->
+    Alcotest.(check bool) "committed_cell finds it" true (c' == c);
+    Alcotest.(check int) "version" 1 v
+  | None -> Alcotest.fail "committed cell expected");
+  (* Forced eviction path: dispose, then the entry drains. *)
+  Ledger.dispose ledger c;
+  Alcotest.(check int) "gone" 0 (Ledger.lot_size ledger + Ledger.ltt_size ledger);
+  Ledger.check_invariants ledger
+
+let test_garbage_is_one_way () =
+  let ledger, _ = make () in
+  ignore (begin_tx ledger 1);
+  let c =
+    Ledger.write_data ledger ~tid:(tid 1) ~oid:(oid 1) ~version:1 ~size:50
+      ~timestamp:(ts 1)
+  in
+  Ledger.kill ledger ~tid:(tid 1);
+  Alcotest.(check bool) "garbage" true (Cell.is_garbage c.Cell.tracked);
+  (* No operation may resurrect the record: re-attaching is the only
+     way back and it is forbidden while... the tracked is permanently
+     garbage because its cell field stays None and attach on a tracked
+     with history is the caller's bug.  We assert the ledger does not
+     do it: a fresh write of the same object makes a new record. *)
+  ignore (begin_tx ledger 2);
+  let c2 =
+    Ledger.write_data ledger ~tid:(tid 2) ~oid:(oid 1) ~version:2 ~size:50
+      ~timestamp:(ts 2)
+  in
+  Alcotest.(check bool) "old tracked still garbage" true
+    (Cell.is_garbage c.Cell.tracked);
+  Alcotest.(check bool) "new record distinct" true (not (c == c2))
+
+let prop_memory_accounting =
+  QCheck.Test.make ~name:"memory = 40*LTT + 40*LOT under random workloads"
+    ~count:60
+    QCheck.(small_int)
+    (fun seed ->
+      let ledger, _ = make () in
+      let rng = Random.State.make [| seed |] in
+      let next_tid = ref 0 in
+      let live = ref [] in
+      let ok = ref true in
+      for step = 0 to 300 do
+        let ts = ts step in
+        (match Random.State.int rng 4 with
+        | 0 ->
+          let n = !next_tid in
+          incr next_tid;
+          ignore
+            (Ledger.begin_tx ledger ~tid:(tid n)
+               ~expected_duration:(Time.of_sec 1) ~timestamp:ts ~size:8);
+          live := n :: !live
+        | 1 -> (
+          match !live with
+          | n :: _ ->
+            ignore
+              (Ledger.write_data ledger ~tid:(tid n)
+                 ~oid:(oid (Random.State.int rng 50))
+                 ~version:step ~size:50 ~timestamp:ts)
+          | [] -> ())
+        | 2 -> (
+          match !live with
+          | n :: rest ->
+            ignore (Ledger.request_commit ledger ~tid:(tid n) ~timestamp:ts ~size:8);
+            ignore (Ledger.commit_durable ledger ~tid:(tid n));
+            live := rest
+          | [] -> ())
+        | _ -> (
+          match !live with
+          | n :: rest ->
+            Ledger.kill ledger ~tid:(tid n);
+            live := rest
+          | [] -> ()));
+        if
+          Ledger.memory_bytes ledger
+          <> (40 * Ledger.ltt_size ledger) + (40 * Ledger.lot_size ledger)
+        then ok := false
+      done;
+      Ledger.check_invariants ledger;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "begin_tx" `Quick test_begin;
+    Alcotest.test_case "write_data" `Quick test_write_data;
+    Alcotest.test_case "unknown transaction" `Quick test_unknown_tx;
+    Alcotest.test_case "full commit cycle" `Quick test_commit_cycle;
+    Alcotest.test_case "commit supersedes older committed update" `Quick
+      test_supersede_committed;
+    Alcotest.test_case "abort drops everything" `Quick test_abort;
+    Alcotest.test_case "kill semantics" `Quick test_kill;
+    Alcotest.test_case "read-only commit retires immediately" `Quick
+      test_empty_write_set_commit;
+    Alcotest.test_case "oldest active selection" `Quick test_oldest_active;
+    Alcotest.test_case "classification and forced eviction" `Quick
+      test_classify_unflushed;
+    Alcotest.test_case "garbage transition is one-way" `Quick
+      test_garbage_is_one_way;
+    QCheck_alcotest.to_alcotest prop_memory_accounting;
+  ]

@@ -1,0 +1,72 @@
+open El_model
+module Engine = El_sim.Engine
+module Ch = El_disk.Log_channel
+
+let test_latency () =
+  let e = Engine.create () in
+  let ch = Ch.create e ~write_time:(Time.of_ms 15) ~buffer_pool:4 () in
+  let done_at = ref Time.zero in
+  Ch.write ch ~on_complete:(fun () -> done_at := Engine.now e);
+  Engine.run_all e;
+  Alcotest.(check int) "tau" 15_000 (Time.to_us !done_at);
+  Alcotest.(check int) "completed" 1 (Ch.writes_completed ch)
+
+let test_fifo_serialization () =
+  (* Two writes issued together finish 15 ms apart: the channel is a
+     single disk arm. *)
+  let e = Engine.create () in
+  let ch = Ch.create e ~write_time:(Time.of_ms 15) ~buffer_pool:4 () in
+  let finishes = ref [] in
+  for i = 1 to 3 do
+    Ch.write ch ~on_complete:(fun () ->
+        finishes := (i, Time.to_us (Engine.now e)) :: !finishes)
+  done;
+  Engine.run_all e;
+  Alcotest.(check (list (pair int int)))
+    "serialized FIFO"
+    [ (1, 15_000); (2, 30_000); (3, 45_000) ]
+    (List.rev !finishes)
+
+let test_pool_overflow () =
+  let e = Engine.create () in
+  let ch = Ch.create e ~write_time:(Time.of_ms 15) ~buffer_pool:2 () in
+  for _ = 1 to 5 do
+    Ch.write ch ~on_complete:(fun () -> ())
+  done;
+  Alcotest.(check int) "overflows counted" 3 (Ch.pool_overflows ch);
+  Alcotest.(check int) "peak in flight" 5 (Ch.peak_in_flight ch);
+  Engine.run_all e;
+  Alcotest.(check int) "drains" 5 (Ch.writes_completed ch);
+  Alcotest.(check int) "none in flight" 0 (Ch.in_flight ch)
+
+let test_quiesce_time () =
+  let e = Engine.create () in
+  let ch = Ch.create e ~write_time:(Time.of_ms 10) ~buffer_pool:4 () in
+  Alcotest.(check int) "idle quiesce is now" 0 (Time.to_us (Ch.quiesce_time ch));
+  Ch.write ch ~on_complete:(fun () -> ());
+  Ch.write ch ~on_complete:(fun () -> ());
+  Alcotest.(check int) "two writes pending" 20_000
+    (Time.to_us (Ch.quiesce_time ch))
+
+let test_interleaved_completion () =
+  let e = Engine.create () in
+  let ch = Ch.create e ~write_time:(Time.of_ms 10) ~buffer_pool:4 () in
+  let log = ref [] in
+  Ch.write ch ~on_complete:(fun () ->
+      log := "w1" :: !log;
+      (* a completion may enqueue further writes *)
+      Ch.write ch ~on_complete:(fun () -> log := "w2" :: !log));
+  Engine.run_all e;
+  Alcotest.(check (list string)) "chained writes" [ "w1"; "w2" ] (List.rev !log);
+  Alcotest.(check int) "clock" 20_000 (Time.to_us (Engine.now e))
+
+let suite =
+  [
+    Alcotest.test_case "fixed write latency" `Quick test_latency;
+    Alcotest.test_case "writes serialize FIFO" `Quick test_fifo_serialization;
+    Alcotest.test_case "buffer pool overflow accounting" `Quick
+      test_pool_overflow;
+    Alcotest.test_case "quiesce time" `Quick test_quiesce_time;
+    Alcotest.test_case "completion can chain writes" `Quick
+      test_interleaved_completion;
+  ]

@@ -1,0 +1,46 @@
+open El_model
+
+let oid n = Ids.Oid.of_int n
+let tid n = Ids.Tid.of_int n
+
+let test_constructors () =
+  let ts = Time.of_ms 5 in
+  let d = Log_record.data ~tid:(tid 1) ~oid:(oid 2) ~version:3 ~size:100 ~timestamp:ts in
+  Alcotest.(check bool) "data is not tx" false (Log_record.is_tx_record d);
+  (match Log_record.oid d with
+  | Some o -> Alcotest.(check int) "oid" 2 (Ids.Oid.to_int o)
+  | None -> Alcotest.fail "data record has an oid");
+  let b = Log_record.begin_ ~tid:(tid 1) ~size:8 ~timestamp:ts in
+  let c = Log_record.commit ~tid:(tid 1) ~size:8 ~timestamp:ts in
+  let a = Log_record.abort ~tid:(tid 1) ~size:8 ~timestamp:ts in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "tx record" true (Log_record.is_tx_record r);
+      Alcotest.(check (option int)) "tx records carry no oid" None
+        (Option.map Ids.Oid.to_int (Log_record.oid r)))
+    [ b; c; a ]
+
+let test_validation () =
+  let ts = Time.zero in
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Log_record: non-positive size") (fun () ->
+      ignore (Log_record.begin_ ~tid:(tid 0) ~size:0 ~timestamp:ts));
+  Alcotest.check_raises "negative version"
+    (Invalid_argument "Log_record.data: negative version") (fun () ->
+      ignore
+        (Log_record.data ~tid:(tid 0) ~oid:(oid 0) ~version:(-1) ~size:10
+           ~timestamp:ts))
+
+let test_pp () =
+  let ts = Time.of_ms 1 in
+  let r = Log_record.commit ~tid:(tid 7) ~size:8 ~timestamp:ts in
+  let s = Format.asprintf "%a" Log_record.pp r in
+  Alcotest.(check bool) "mentions COMMIT" true
+    (Astring_like.contains s "COMMIT")
+
+let suite =
+  [
+    Alcotest.test_case "constructors and kinds" `Quick test_constructors;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "pretty-printing" `Quick test_pp;
+  ]

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "ephemeral_logging"
+    [
+      ("time", Test_time.suite);
+      ("ids", Test_ids.suite);
+      ("log-record", Test_log_record.suite);
+      ("event-queue", Test_event_queue.suite);
+      ("engine", Test_engine.suite);
+      ("metrics", Test_metrics.suite);
+      ("block", Test_block.suite);
+      ("log-channel", Test_log_channel.suite);
+      ("flush-array", Test_flush_array.suite);
+      ("stable-db", Test_stable_db.suite);
+      ("workload", Test_workload.suite);
+      ("generator", Test_generator.suite);
+      ("cell", Test_cell.suite);
+      ("ledger", Test_ledger.suite);
+      ("el-manager", Test_el_manager.suite);
+      ("fw-manager", Test_fw_manager.suite);
+      ("hybrid-manager", Test_hybrid.suite);
+      ("extensions", Test_extensions.suite);
+      ("recovery", Test_recovery.suite);
+      ("experiment", Test_experiment.suite);
+      ("min-space", Test_min_space.suite);
+    ]

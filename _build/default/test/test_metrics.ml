@@ -1,0 +1,95 @@
+open El_model
+module G = El_metrics.Gauge
+module C = El_metrics.Counter
+module S = El_metrics.Running_stat
+module T = El_metrics.Table
+
+let test_gauge () =
+  let g = G.create ~name:"g" () in
+  Alcotest.(check int) "initial" 0 (G.value g);
+  G.add g 5;
+  G.add g 3;
+  G.add g (-6);
+  Alcotest.(check int) "current" 2 (G.value g);
+  Alcotest.(check int) "peak" 8 (G.max_value g);
+  G.set g 1;
+  Alcotest.(check int) "set" 1 (G.value g);
+  Alcotest.(check int) "peak survives set" 8 (G.max_value g);
+  G.reset g;
+  Alcotest.(check int) "reset" 0 (G.max_value g)
+
+let test_gauge_negative () =
+  let g = G.create () in
+  G.add g 2;
+  Alcotest.check_raises "cannot go negative"
+    (Invalid_argument "Gauge.add(gauge): went negative") (fun () -> G.add g (-3))
+
+let test_counter () =
+  let c = C.create ~name:"c" () in
+  C.incr c;
+  C.add c 9;
+  Alcotest.(check int) "value" 10 (C.value c);
+  Alcotest.(check (float 1e-9)) "rate" 2.5
+    (C.rate_per_sec c ~over:(Time.of_sec 4));
+  Alcotest.check_raises "negative add" (Invalid_argument "Counter.add: negative")
+    (fun () -> C.add c (-1))
+
+let test_running_stat () =
+  let s = S.create () in
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (S.mean s);
+  List.iter (S.observe s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (S.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (S.mean s);
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 (S.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (S.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (S.max_value s)
+
+let prop_stat_mean =
+  QCheck.Test.make ~name:"running stat matches direct mean/variance" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = S.create () in
+      List.iter (S.observe s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n
+      in
+      abs_float (S.mean s -. mean) < 1e-6 *. (1.0 +. abs_float mean)
+      && abs_float (S.variance s -. var) < 1e-6 *. (1.0 +. var))
+
+let test_table_render () =
+  let t =
+    T.create ~columns:[ ("name", T.Left); ("count", T.Right) ]
+  in
+  T.add_row t [ "alpha"; "1" ];
+  T.add_row t [ "b"; "23456" ];
+  T.add_rule t;
+  T.add_row t [ "total"; "23457" ];
+  let rendered = T.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check string) "header" "name   count" (List.nth lines 0);
+  Alcotest.(check string) "row pads right-aligned" "alpha      1"
+    (List.nth lines 2);
+  Alcotest.(check string) "rule" "------------" (List.nth lines 4);
+  Alcotest.(check string) "total" "total  23457" (List.nth lines 5)
+
+let test_table_validation () =
+  Alcotest.check_raises "empty columns" (Invalid_argument "Table.create: no columns")
+    (fun () -> ignore (T.create ~columns:[]));
+  let t = T.create ~columns:[ ("a", T.Left) ] in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      T.add_row t [ "x"; "y" ])
+
+let suite =
+  [
+    Alcotest.test_case "gauge tracks current and peak" `Quick test_gauge;
+    Alcotest.test_case "gauge rejects negative totals" `Quick
+      test_gauge_negative;
+    Alcotest.test_case "counter and rates" `Quick test_counter;
+    Alcotest.test_case "running stat" `Quick test_running_stat;
+    QCheck_alcotest.to_alcotest prop_stat_mean;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+    Alcotest.test_case "table validation" `Quick test_table_validation;
+  ]

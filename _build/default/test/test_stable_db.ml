@@ -1,0 +1,46 @@
+open El_model
+module Db = El_disk.Stable_db
+
+let oid n = Ids.Oid.of_int n
+
+let test_apply_monotone () =
+  let db = Db.create ~num_objects:100 in
+  Db.apply db (oid 1) ~version:3;
+  Db.apply db (oid 1) ~version:2;  (* stale redo: ignored *)
+  Alcotest.(check (option int)) "newest wins" (Some 3) (Db.version db (oid 1));
+  Db.apply db (oid 1) ~version:5;
+  Alcotest.(check (option int)) "advance" (Some 5) (Db.version db (oid 1));
+  Alcotest.(check (option int)) "untouched" None (Db.version db (oid 2));
+  Alcotest.(check int) "objects written" 1 (Db.objects_written db)
+
+let test_copy_independent () =
+  let db = Db.create ~num_objects:100 in
+  Db.apply db (oid 1) ~version:1;
+  let snap = Db.copy db in
+  Db.apply db (oid 1) ~version:2;
+  Db.apply db (oid 2) ~version:1;
+  Alcotest.(check (option int)) "copy frozen" (Some 1) (Db.version snap (oid 1));
+  Alcotest.(check (option int)) "copy lacks later" None (Db.version snap (oid 2));
+  Alcotest.(check bool) "copies diverge" false (Db.equal db snap)
+
+let test_equal () =
+  let a = Db.create ~num_objects:10 and b = Db.create ~num_objects:10 in
+  Alcotest.(check bool) "empty equal" true (Db.equal a b);
+  Db.apply a (oid 1) ~version:1;
+  Alcotest.(check bool) "differ" false (Db.equal a b);
+  Db.apply b (oid 1) ~version:1;
+  Alcotest.(check bool) "equal again" true (Db.equal a b)
+
+let test_bounds () =
+  let db = Db.create ~num_objects:10 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stable_db.apply: oid out of range") (fun () ->
+      Db.apply db (oid 10) ~version:1)
+
+let suite =
+  [
+    Alcotest.test_case "idempotent monotone apply" `Quick test_apply_monotone;
+    Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+    Alcotest.test_case "equality" `Quick test_equal;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+  ]

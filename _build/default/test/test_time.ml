@@ -1,0 +1,54 @@
+open El_model
+
+let check = Alcotest.(check int)
+
+let test_conversions () =
+  check "us" 7 (Time.to_us (Time.of_us 7));
+  check "ms" 3_000 (Time.to_us (Time.of_ms 3));
+  check "sec" 2_000_000 (Time.to_us (Time.of_sec 2));
+  check "sec_f rounds" 1_500_000 (Time.to_us (Time.of_sec_f 1.5));
+  check "sec_f rounds to nearest" 1 (Time.to_us (Time.of_sec_f 0.0000014));
+  Alcotest.(check (float 1e-9)) "to_sec_f" 0.25 (Time.to_sec_f (Time.of_ms 250))
+
+let test_arithmetic () =
+  let a = Time.of_ms 10 and b = Time.of_ms 4 in
+  check "add" 14_000 (Time.to_us (Time.add a b));
+  check "sub" 6_000 (Time.to_us (Time.sub a b));
+  check "mul" 30_000 (Time.to_us (Time.mul_int a 3));
+  check "div" 2_500 (Time.to_us (Time.div_int a 4));
+  check "min" 4_000 (Time.to_us (Time.min a b));
+  check "max" 10_000 (Time.to_us (Time.max a b))
+
+let test_invalid () =
+  Alcotest.check_raises "negative us" (Invalid_argument "Time.of_us: negative")
+    (fun () -> ignore (Time.of_us (-1)));
+  Alcotest.check_raises "negative sub"
+    (Invalid_argument "Time.sub: negative result") (fun () ->
+      ignore (Time.sub (Time.of_us 1) (Time.of_us 2)));
+  Alcotest.check_raises "zero div"
+    (Invalid_argument "Time.div_int: non-positive divisor") (fun () ->
+      ignore (Time.div_int (Time.of_us 1) 0))
+
+let test_ordering () =
+  let a = Time.of_us 5 and b = Time.of_us 9 in
+  Alcotest.(check bool) "lt" true Time.(a < b);
+  Alcotest.(check bool) "le refl" true Time.(a <= a);
+  Alcotest.(check bool) "gt" true Time.(b > a);
+  Alcotest.(check bool) "ge" true Time.(b >= b);
+  Alcotest.(check bool) "equal" true (Time.equal a (Time.of_us 5));
+  check "compare" (-1) (Time.compare a b)
+
+let test_pp () =
+  let s t = Format.asprintf "%a" Time.pp t in
+  Alcotest.(check string) "us" "250us" (s (Time.of_us 250));
+  Alcotest.(check string) "ms" "15ms" (s (Time.of_ms 15));
+  Alcotest.(check string) "sec" "2.000s" (s (Time.of_sec 2))
+
+let suite =
+  [
+    Alcotest.test_case "conversions" `Quick test_conversions;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "pretty-printing" `Quick test_pp;
+  ]

@@ -1,0 +1,158 @@
+open El_model
+module Tx = El_workload.Tx_type
+module Mix = El_workload.Mix
+module Pool = El_workload.Oid_pool
+
+(* ---- transaction types ---- *)
+
+let test_paper_types () =
+  let s = Tx.short ~probability:0.95 in
+  Alcotest.(check int) "short records" 2 s.Tx.num_records;
+  Alcotest.(check int) "short duration" 1_000_000 (Time.to_us s.Tx.duration);
+  let l = Tx.long ~probability:0.05 in
+  Alcotest.(check int) "long records" 4 l.Tx.num_records;
+  Alcotest.(check int) "long size" 100 l.Tx.record_size
+
+let test_record_schedule () =
+  (* Figure 3: records every (T-eps)/N, the last at T-eps. *)
+  let ty =
+    Tx.make ~name:"t" ~probability:1.0 ~duration:(Time.of_ms 101)
+      ~num_records:4 ~record_size:10
+  in
+  let offsets = Tx.record_schedule ty ~epsilon:(Time.of_ms 1) in
+  Alcotest.(check (list int))
+    "equally spaced, last at T-eps"
+    [ 25_000; 50_000; 75_000; 100_000 ]
+    (List.map Time.to_us offsets);
+  Alcotest.(check int) "commit at T" 101_000 (Time.to_us (Tx.commit_offset ty))
+
+let test_schedule_validation () =
+  let ty =
+    Tx.make ~name:"t" ~probability:1.0 ~duration:(Time.of_ms 1) ~num_records:1
+      ~record_size:10
+  in
+  Alcotest.check_raises "epsilon too large"
+    (Invalid_argument "Tx_type.record_schedule: epsilon >= duration")
+    (fun () -> ignore (Tx.record_schedule ty ~epsilon:(Time.of_ms 1)))
+
+(* ---- mixes ---- *)
+
+let test_mix_normalisation () =
+  let a = Tx.make ~name:"a" ~probability:3.0 ~duration:(Time.of_sec 1) ~num_records:1 ~record_size:1 in
+  let b = Tx.make ~name:"b" ~probability:1.0 ~duration:(Time.of_sec 1) ~num_records:1 ~record_size:1 in
+  let mix = Mix.create [ a; b ] in
+  Alcotest.(check (float 1e-9)) "a normalised" 0.75 (Mix.probability mix a);
+  Alcotest.(check (float 1e-9)) "b normalised" 0.25 (Mix.probability mix b)
+
+let test_mix_sampling_frequencies () =
+  let mix = Mix.short_long ~long_fraction:0.2 in
+  let rng = Random.State.make [| 11 |] in
+  let longs = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if (Mix.sample mix rng).Tx.name = "long" then incr longs
+  done;
+  let freq = float_of_int !longs /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 2%% of 20%% (got %.3f)" freq)
+    true
+    (abs_float (freq -. 0.2) < 0.02)
+
+let test_mix_expectations () =
+  let mix = Mix.short_long ~long_fraction:0.05 in
+  (* paper: 0.95*2 + 0.05*4 = 2.1 updates per tx => 210/s at 100 TPS *)
+  Alcotest.(check (float 1e-9)) "updates per tx" 2.1
+    (Mix.expected_updates_per_tx mix);
+  (* bytes: 2.1*100 + 16 of tx records *)
+  Alcotest.(check (float 1e-9)) "bytes per tx" 226.0
+    (Mix.expected_bytes_per_tx mix ~tx_record_size:8);
+  let mix40 = Mix.short_long ~long_fraction:0.4 in
+  Alcotest.(check (float 1e-9)) "40% mix: 2.8 updates" 2.8
+    (Mix.expected_updates_per_tx mix40)
+
+let test_mix_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Mix.create: empty")
+    (fun () -> ignore (Mix.create []));
+  Alcotest.check_raises "fraction range"
+    (Invalid_argument "Mix.short_long: fraction outside [0,1]") (fun () ->
+      ignore (Mix.short_long ~long_fraction:1.5))
+
+(* ---- oid pool ---- *)
+
+let test_pool_uniqueness () =
+  let pool = Pool.create ~num_objects:50 in
+  let rng = Random.State.make [| 3 |] in
+  let drawn =
+    List.init 50 (fun _ ->
+        match Pool.acquire pool rng with
+        | Some oid -> Ids.Oid.to_int oid
+        | None -> Alcotest.fail "pool exhausted early")
+  in
+  Alcotest.(check int) "all distinct" 50
+    (List.length (List.sort_uniq compare drawn));
+  Alcotest.(check (option int)) "then exhausted" None
+    (Option.map Ids.Oid.to_int (Pool.acquire pool rng));
+  Alcotest.(check int) "in use" 50 (Pool.in_use pool)
+
+let test_pool_release () =
+  let pool = Pool.create ~num_objects:1 in
+  let rng = Random.State.make [| 3 |] in
+  let o = Option.get (Pool.acquire pool rng) in
+  Pool.release pool o;
+  Alcotest.(check int) "released" 0 (Pool.in_use pool);
+  let o2 = Option.get (Pool.acquire pool rng) in
+  Alcotest.(check int) "reacquirable" (Ids.Oid.to_int o) (Ids.Oid.to_int o2);
+  Alcotest.check_raises "double release"
+    (Invalid_argument "Oid_pool.release: oid not held") (fun () ->
+      Pool.release pool (Ids.Oid.of_int 0);
+      Pool.release pool (Ids.Oid.of_int 0))
+
+let test_pool_versions () =
+  let pool = Pool.create ~num_objects:10 in
+  let o = Ids.Oid.of_int 4 in
+  Alcotest.(check int) "v1" 1 (Pool.next_version pool o);
+  Alcotest.(check int) "v2" 2 (Pool.next_version pool o);
+  Alcotest.(check int) "independent" 1 (Pool.next_version pool (Ids.Oid.of_int 5))
+
+let prop_pool_constraint =
+  QCheck.Test.make ~name:"no oid is held twice concurrently" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let pool = Pool.create ~num_objects:20 in
+      let rng = Random.State.make [| seed |] in
+      let held = Hashtbl.create 16 in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        if Random.State.bool rng && Hashtbl.length held < 20 then (
+          match Pool.acquire pool rng with
+          | Some o ->
+            let k = Ids.Oid.to_int o in
+            if Hashtbl.mem held k then ok := false;
+            Hashtbl.replace held k ()
+          | None -> ())
+        else
+          match Hashtbl.fold (fun k () _ -> Some k) held None with
+          | Some k ->
+            Hashtbl.remove held k;
+            Pool.release pool (Ids.Oid.of_int k)
+          | None -> ()
+      done;
+      !ok && Pool.in_use pool = Hashtbl.length held)
+
+let suite =
+  [
+    Alcotest.test_case "paper transaction types" `Quick test_paper_types;
+    Alcotest.test_case "Figure 3 record schedule" `Quick test_record_schedule;
+    Alcotest.test_case "schedule validation" `Quick test_schedule_validation;
+    Alcotest.test_case "mix normalisation" `Quick test_mix_normalisation;
+    Alcotest.test_case "mix sampling frequencies" `Quick
+      test_mix_sampling_frequencies;
+    Alcotest.test_case "mix expectations (paper rates)" `Quick
+      test_mix_expectations;
+    Alcotest.test_case "mix validation" `Quick test_mix_validation;
+    Alcotest.test_case "oid pool uniqueness & exhaustion" `Quick
+      test_pool_uniqueness;
+    Alcotest.test_case "oid pool release" `Quick test_pool_release;
+    Alcotest.test_case "version counters" `Quick test_pool_versions;
+    QCheck_alcotest.to_alcotest prop_pool_constraint;
+  ]
