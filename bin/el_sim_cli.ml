@@ -342,6 +342,98 @@ let adaptive_cmd =
           pushes back.")
     Term.(const action $ config_term $ initial)
 
+let check_cmd =
+  let seeds =
+    let doc = "Number of seeds to sweep per manager kind." in
+    Arg.(value & opt int 3 & info [ "seeds" ] ~doc)
+  in
+  let stride =
+    let doc =
+      "Events between audit pauses: an integer, or small|medium|large \
+       (50/200/1000).  Smaller strides crash more often and run longer."
+    in
+    let parse = function
+      | "small" -> Ok 50
+      | "medium" -> Ok 200
+      | "large" -> Ok 1000
+      | s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> Ok n
+        | _ -> Error (`Msg ("bad stride: " ^ s)))
+    in
+    let stride_conv = Arg.conv (parse, Format.pp_print_int) in
+    Arg.(value & opt stride_conv 200 & info [ "stride" ] ~doc)
+  in
+  let check_runtime =
+    let doc = "Simulated runtime of each swept run, in seconds." in
+    Arg.(value & opt float 20.0 & info [ "runtime" ] ~doc)
+  in
+  let check_rate =
+    let doc = "Transaction arrival rate of each swept run, per second." in
+    Arg.(value & opt float 40.0 & info [ "rate" ] ~doc)
+  in
+  let action seeds stride runtime rate =
+    let runtime = Time.of_sec_f runtime in
+    let module Sweep = El_check.Sweep in
+    let t =
+      El_metrics.Table.create
+        ~columns:
+          [
+            ("manager", El_metrics.Table.Left);
+            ("seed", El_metrics.Table.Right);
+            ("events", El_metrics.Table.Right);
+            ("pauses", El_metrics.Table.Right);
+            ("recoveries", El_metrics.Table.Right);
+            ("committed", El_metrics.Table.Right);
+            ("killed", El_metrics.Table.Right);
+            ("max scan", El_metrics.Table.Right);
+            ("failures", El_metrics.Table.Right);
+          ]
+    in
+    let failures = ref [] in
+    List.iter
+      (fun (name, kind) ->
+        for seed = 1 to seeds do
+          let cfg = Sweep.standard_config ~kind ~runtime ~rate ~seed () in
+          let o = Sweep.run ~stride cfg in
+          El_metrics.Table.add_row t
+            [
+              name;
+              string_of_int seed;
+              string_of_int o.Sweep.events;
+              string_of_int o.Sweep.points;
+              string_of_int o.Sweep.recoveries;
+              string_of_int o.Sweep.committed;
+              string_of_int o.Sweep.killed;
+              string_of_int o.Sweep.max_records_scanned;
+              (if o.Sweep.overloaded then "overloaded"
+               else string_of_int (List.length o.Sweep.failures));
+            ];
+          List.iter
+            (fun (at, msg) ->
+              failures :=
+                Printf.sprintf "%s seed %d [event %d]: %s" name seed at msg
+                :: !failures)
+            o.Sweep.failures
+        done)
+      (Sweep.standard_kinds ());
+    El_metrics.Table.print t;
+    match List.rev !failures with
+    | [] -> print_endline "all sweeps clean"
+    | fs ->
+      Printf.eprintf "%d audit failure(s):\n" (List.length fs);
+      List.iter prerr_endline fs;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check the simulator: sweep seeded runs of all three log \
+          managers, auditing invariants and (for EL) crash-recovering at \
+          every stride-th event boundary, then compare each manager against \
+          an in-memory reference model.  Exits non-zero on any divergence.")
+    Term.(const action $ seeds $ stride $ check_runtime $ check_rate)
+
 let () =
   let info =
     Cmd.info "el-sim" ~version:"1.0.0"
@@ -350,4 +442,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; min_space_cmd; recover_cmd; paper_cmd; adaptive_cmd ]))
+          [ run_cmd; min_space_cmd; recover_cmd; paper_cmd; adaptive_cmd;
+            check_cmd ]))

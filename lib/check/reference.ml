@@ -1,0 +1,165 @@
+open El_model
+module Generator = El_workload.Generator
+module El_manager = El_core.El_manager
+module Stable_db = El_disk.Stable_db
+
+type state = Active | Commit_pending | Committed | Aborted | Killed
+
+type tx = {
+  mutable state : state;
+  mutable writes : (Ids.Oid.t * int) list;  (** one entry per oid, newest wins *)
+}
+
+type t = {
+  txs : tx Ids.Tid.Table.t;  (** every transaction ever begun *)
+  committed : int Ids.Oid.Table.t;  (** newest committed version per oid *)
+  mutable committed_count : int;
+  mutable violations : string list;  (** newest first *)
+}
+
+let create () =
+  {
+    txs = Ids.Tid.Table.create 1024;
+    committed = Ids.Oid.Table.create 1024;
+    committed_count = 0;
+    violations = [];
+  }
+
+let violation t fmt =
+  Format.kasprintf (fun s -> t.violations <- s :: t.violations) fmt
+
+let find t tid = Ids.Tid.Table.find_opt t.txs tid
+
+let state_name = function
+  | Active -> "active"
+  | Commit_pending -> "commit-pending"
+  | Committed -> "committed"
+  | Aborted -> "aborted"
+  | Killed -> "killed"
+
+let commit_write t (oid, version) =
+  match Ids.Oid.Table.find_opt t.committed oid with
+  | Some v when v >= version -> ()
+  | Some _ | None -> Ids.Oid.Table.replace t.committed oid version
+
+let wrap t (sink : Generator.sink) =
+  {
+    Generator.begin_tx =
+      (fun ~tid ~expected_duration ->
+        (match find t tid with
+        | Some _ -> violation t "begin of already-seen %a" Ids.Tid.pp tid
+        | None ->
+          Ids.Tid.Table.replace t.txs tid { state = Active; writes = [] });
+        sink.Generator.begin_tx ~tid ~expected_duration);
+    write_data =
+      (fun ~tid ~oid ~version ~size ->
+        (match find t tid with
+        | Some tx when tx.state = Active ->
+          tx.writes <- (oid, version) :: List.remove_assoc oid tx.writes
+        | Some tx ->
+          violation t "write by %s transaction %a" (state_name tx.state)
+            Ids.Tid.pp tid
+        | None -> violation t "write by unknown transaction %a" Ids.Tid.pp tid);
+        sink.Generator.write_data ~tid ~oid ~version ~size);
+    request_commit =
+      (fun ~tid ~on_ack ->
+        (match find t tid with
+        | Some tx when tx.state = Active -> tx.state <- Commit_pending
+        | Some tx ->
+          violation t "commit request by %s transaction %a"
+            (state_name tx.state) Ids.Tid.pp tid
+        | None ->
+          violation t "commit request by unknown transaction %a" Ids.Tid.pp tid);
+        let on_ack time =
+          (match find t tid with
+          | Some tx when tx.state = Commit_pending ->
+            tx.state <- Committed;
+            t.committed_count <- t.committed_count + 1;
+            List.iter (commit_write t) tx.writes
+          | Some tx ->
+            violation t "commit ack for %s transaction %a"
+              (state_name tx.state) Ids.Tid.pp tid
+          | None ->
+            violation t "commit ack for unknown transaction %a" Ids.Tid.pp tid);
+          on_ack time
+        in
+        sink.Generator.request_commit ~tid ~on_ack);
+    request_abort =
+      (fun ~tid ->
+        (match find t tid with
+        | Some tx when tx.state = Active -> tx.state <- Aborted
+        | Some tx ->
+          violation t "abort request by %s transaction %a"
+            (state_name tx.state) Ids.Tid.pp tid
+        | None ->
+          violation t "abort request by unknown transaction %a" Ids.Tid.pp tid);
+        sink.Generator.request_abort ~tid);
+  }
+
+let kill t tid =
+  match find t tid with
+  | Some tx when tx.state = Active -> tx.state <- Killed
+  | Some tx ->
+    violation t "kill of %s transaction %a" (state_name tx.state) Ids.Tid.pp tid
+  | None -> violation t "kill of unknown transaction %a" Ids.Tid.pp tid
+
+let committed_count t = t.committed_count
+
+let committed_versions t =
+  Ids.Oid.Table.fold (fun oid v acc -> (oid, v) :: acc) t.committed []
+
+let violations t = List.rev t.violations
+
+let fail fmt = Format.kasprintf (fun s -> raise (Auditor.Audit_failure s)) fmt
+
+let sorted_versions l =
+  List.sort (fun (a, _) (b, _) -> Ids.Oid.compare a b) l
+
+let check_el t m =
+  let acked = El_manager.acked_commits m in
+  if acked <> t.committed_count then
+    fail "oracle: manager acknowledged %d commits, model holds %d" acked
+      t.committed_count;
+  let model = sorted_versions (committed_versions t) in
+  let manager = sorted_versions (El_manager.committed_reference m) in
+  let rec compare_versions = function
+    | [], [] -> ()
+    | (oid, vm) :: _, [] ->
+      fail "oracle: model commits %a v%d, absent from manager reference"
+        Ids.Oid.pp oid vm
+    | [], (oid, vr) :: _ ->
+      fail "oracle: manager reference holds %a v%d the model never committed"
+        Ids.Oid.pp oid vr
+    | (om, vm) :: restm, (or_, vr) :: restr ->
+      let c = Ids.Oid.compare om or_ in
+      if c < 0 then
+        fail "oracle: model commits %a v%d, absent from manager reference"
+          Ids.Oid.pp om vm
+      else if c > 0 then
+        fail "oracle: manager reference holds %a v%d the model never committed"
+          Ids.Oid.pp or_ vr
+      else if vm <> vr then
+        fail "oracle: %a committed at v%d in the model, v%d in the manager"
+          Ids.Oid.pp om vm vr
+      else compare_versions (restm, restr)
+  in
+  compare_versions (model, manager)
+
+let check_settled_stable t stable =
+  List.iter
+    (fun (oid, version) ->
+      match Stable_db.version stable oid with
+      | None ->
+        fail "oracle: committed %a v%d never reached the stable version"
+          Ids.Oid.pp oid version
+      | Some v when v <> version ->
+        fail "oracle: stable holds %a v%d, model committed v%d" Ids.Oid.pp oid
+          v version
+      | Some _ -> ())
+    (committed_versions t);
+  List.iter
+    (fun (oid, v) ->
+      if not (Ids.Oid.Table.mem t.committed oid) then
+        fail "oracle: stable holds %a v%d but no transaction committed it"
+          Ids.Oid.pp oid v)
+    (Stable_db.snapshot stable)

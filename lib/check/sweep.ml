@@ -1,0 +1,157 @@
+open El_model
+module Engine = El_sim.Engine
+module Experiment = El_harness.Experiment
+module Generator = El_workload.Generator
+module Mix = El_workload.Mix
+module Tx_type = El_workload.Tx_type
+module Policy = El_core.Policy
+module El_manager = El_core.El_manager
+module Fw_manager = El_core.Fw_manager
+module Hybrid_manager = El_core.Hybrid_manager
+module Recovery = El_recovery.Recovery
+
+type outcome = {
+  kind : string;
+  seed : int;
+  events : int;
+  points : int;
+  recoveries : int;
+  failures : (int * string) list;
+  overloaded : bool;
+  committed : int;
+  killed : int;
+  max_records_scanned : int;
+}
+
+let kind_name = function
+  | Experiment.Ephemeral _ -> "el"
+  | Experiment.Firewall _ -> "fw"
+  | Experiment.Hybrid _ -> "hybrid"
+
+let run ?(stride = 100) ?(max_points = max_int) ?(recover = true)
+    ?(oracle = true) (cfg : Experiment.config) =
+  if stride <= 0 then invalid_arg "Sweep.run: stride must be positive";
+  let reference = Reference.create () in
+  let live =
+    if oracle then
+      Experiment.prepare
+        ~wrap_sink:(Reference.wrap reference)
+        ~on_kill:(Reference.kill reference) cfg
+    else Experiment.prepare cfg
+  in
+  let engine = live.Experiment.engine in
+  let failures = ref [] in
+  let points = ref 0 in
+  let recoveries = ref 0 in
+  let max_scanned = ref 0 in
+  let record_failure msg =
+    failures := (Engine.events_dispatched engine, msg) :: !failures
+  in
+  let guarded f = try f () with Auditor.Audit_failure m -> record_failure m in
+  let audit_point () =
+    incr points;
+    guarded (fun () -> Auditor.audit_live live);
+    match live.Experiment.el with
+    | Some m when recover ->
+      incr recoveries;
+      let image = Recovery.crash engine m in
+      let r = Recovery.recover image in
+      if r.Recovery.records_scanned > !max_scanned then
+        max_scanned := r.Recovery.records_scanned;
+      let a = Recovery.audit image r in
+      if not a.Recovery.ok then
+        record_failure
+          (Format.asprintf "crash recovery diverged: %a" Recovery.pp_audit a)
+    | _ -> ()
+  in
+  let overloaded =
+    try
+      let continue = ref true in
+      while !continue && !points < max_points do
+        let n = Engine.run_steps engine ~until:cfg.Experiment.runtime
+            ~max_steps:stride
+        in
+        audit_point ();
+        if n < stride then continue := false
+      done;
+      (* Settle: finish the run, write out every partial buffer and let
+         pending writes, acks and flushes complete. *)
+      Engine.run engine ~until:cfg.Experiment.runtime;
+      (match live.Experiment.el with Some m -> El_manager.drain m | None -> ());
+      (match live.Experiment.fw with Some m -> Fw_manager.drain m | None -> ());
+      (match live.Experiment.hybrid with
+      | Some m -> Hybrid_manager.drain m
+      | None -> ());
+      Engine.run_all engine;
+      false
+    with El_manager.Log_overloaded msg ->
+      record_failure (Printf.sprintf "log overloaded: %s" msg);
+      true
+  in
+  if not overloaded then begin
+    guarded (fun () -> Auditor.audit_live live);
+    if oracle then begin
+      List.iter record_failure (Reference.violations reference);
+      let gen_committed = Generator.committed live.Experiment.generator in
+      let model_committed = Reference.committed_count reference in
+      if gen_committed <> model_committed then
+        record_failure
+          (Printf.sprintf
+             "generator committed %d transactions, the model saw %d acks"
+             gen_committed model_committed);
+      (match live.Experiment.el with
+      | Some m ->
+        guarded (fun () -> Reference.check_el reference m);
+        guarded (fun () ->
+            Reference.check_settled_stable reference (El_manager.stable m))
+      | None -> ());
+      match live.Experiment.hybrid with
+      | Some _ ->
+        guarded (fun () ->
+            Reference.check_settled_stable reference live.Experiment.stable)
+      | None -> ()
+    end
+  end;
+  {
+    kind = kind_name cfg.Experiment.kind;
+    seed = cfg.Experiment.seed;
+    events = Engine.events_dispatched engine;
+    points = !points;
+    recoveries = !recoveries;
+    failures = List.rev !failures;
+    overloaded;
+    committed = Generator.committed live.Experiment.generator;
+    killed = Generator.killed live.Experiment.generator;
+    max_records_scanned = !max_scanned;
+  }
+
+let standard_mix () =
+  Mix.create
+    [
+      Tx_type.make ~name:"short" ~probability:0.9 ~duration:(Time.of_ms 400)
+        ~num_records:2 ~record_size:100;
+      Tx_type.make ~name:"long" ~probability:0.1 ~duration:(Time.of_sec 4)
+        ~num_records:4 ~record_size:100;
+    ]
+
+let standard_config ~kind ?(runtime = Time.of_sec 20) ?(rate = 40.0)
+    ?(seed = 42) ?(abort_fraction = 0.0)
+    ?(arrival_process = Generator.Deterministic) () =
+  {
+    (Experiment.default_config ~kind ~mix:(standard_mix ())) with
+    Experiment.runtime;
+    arrival_rate = rate;
+    arrival_process;
+    num_objects = 10_000;
+    flush_drives = 2;
+    flush_transfer = Time.of_ms 8;
+    seed;
+    abort_fraction;
+  }
+
+let standard_kinds () =
+  [
+    ("el", Experiment.Ephemeral (Policy.default ~generation_sizes:[| 8; 8 |]));
+    ("fw", Experiment.Firewall 120);
+    ("hybrid", Experiment.Hybrid [| 12; 12 |]);
+  ]

@@ -1,0 +1,68 @@
+(** The deterministic crash-point sweeper.
+
+    A sweep replays a seeded {!El_harness.Experiment.config} and
+    pauses at every [stride]-th dispatched event (via
+    {!El_sim.Engine.run_steps}, so pause points are event boundaries
+    and bit-for-bit reproducible).  At each pause it
+
+    - runs the {!Auditor} over the live manager;
+    - for an EL manager (optionally), captures a {!El_recovery.Recovery.crash}
+      image, recovers from it and audits the recovered database
+      against the reference committed state — i.e. simulates a crash
+      at that exact event without disturbing the run;
+
+    then lets the run settle (generator finished, manager drained,
+    engine run dry) and performs the final {!Reference} differential
+    checks.  Failures are collected, not raised, so one sweep reports
+    every divergence it finds. *)
+
+open El_model
+
+type outcome = {
+  kind : string;  (** ["el"], ["fw"] or ["hybrid"] *)
+  seed : int;
+  events : int;  (** events dispatched over the whole run *)
+  points : int;  (** audit pauses taken *)
+  recoveries : int;  (** crash/recover/audit cycles (EL only) *)
+  failures : (int * string) list;
+      (** (events dispatched at detection, message), oldest first *)
+  overloaded : bool;  (** the run died with [Log_overloaded] *)
+  committed : int;  (** transactions committed by the generator *)
+  killed : int;
+  max_records_scanned : int;  (** largest recovery scan seen *)
+}
+
+val run :
+  ?stride:int ->
+  ?max_points:int ->
+  ?recover:bool ->
+  ?oracle:bool ->
+  El_harness.Experiment.config ->
+  outcome
+(** [stride] (default 100) is the number of events between pauses;
+    [max_points] caps the number of pauses (default: no cap);
+    [recover] (default true) enables the per-pause crash/recovery
+    cycle on EL runs; [oracle] (default true) enables the differential
+    model and its settled-state checks.  Raises [Invalid_argument] if
+    [stride <= 0]. *)
+
+val kind_name : El_harness.Experiment.manager_kind -> string
+
+val standard_config :
+  kind:El_harness.Experiment.manager_kind ->
+  ?runtime:Time.t ->
+  ?rate:float ->
+  ?seed:int ->
+  ?abort_fraction:float ->
+  ?arrival_process:El_workload.Generator.arrival_process ->
+  unit ->
+  El_harness.Experiment.config
+(** A check-sized configuration (small log, short transactions, a
+    modest flush array) shared by the test suite and the [check] CLI
+    subcommand, so both sweep the same state space.  Defaults: 20 s
+    runtime, 40 TPS, seed 42, no aborts, deterministic arrivals. *)
+
+val standard_kinds : unit -> (string * El_harness.Experiment.manager_kind) list
+(** The three managers swept by default: an EL chain, the FW baseline
+    and the §6 hybrid, each sized to stay feasible under
+    {!standard_config}'s load. *)

@@ -689,6 +689,38 @@ let check_invariants t =
         (Cell.Cell_list.to_list g.g_cells))
     t.gens
 
+type gen_audit = {
+  ga_index : int;
+  ga_size : int;
+  ga_head : int;
+  ga_tail : int;
+  ga_occupied : int;
+  ga_last : bool;
+  ga_occupancy_gauge : int;
+  ga_cells : Cell.t list;
+  ga_staged : int;
+}
+
+let audit_view t =
+  Array.map
+    (fun g ->
+      let cells = Cell.Cell_list.to_list g.g_cells in
+      {
+        ga_index = g.g_index;
+        ga_size = g.g_size;
+        ga_head = g.g_head;
+        ga_tail = g.g_tail;
+        ga_occupied = g.g_occupied;
+        ga_last = g.g_last;
+        ga_occupancy_gauge = El_metrics.Gauge.value g.g_occupancy;
+        ga_cells = cells;
+        ga_staged =
+          List.length
+            (List.filter (fun (c : Cell.t) -> c.Cell.slot = Cell.staged_slot)
+               cells);
+      })
+    t.gens
+
 let durable_records t =
   let acc = ref [] in
   Array.iter

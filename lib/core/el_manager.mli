@@ -103,6 +103,25 @@ val check_invariants : t -> unit
 val occupied_blocks : t -> int array
 (** Current occupancy per generation. *)
 
+(** A read-only snapshot of one generation's ring state, exposed for
+    the external invariant auditor ({!El_check.Auditor}): slot
+    accounting, occupancy gauge, and the cell list in head-to-tail
+    order.  Mutating the listed cells is the auditor's responsibility
+    to avoid. *)
+type gen_audit = {
+  ga_index : int;
+  ga_size : int;
+  ga_head : int;  (** oldest occupied slot *)
+  ga_tail : int;  (** next slot to assign *)
+  ga_occupied : int;
+  ga_last : bool;
+  ga_occupancy_gauge : int;  (** current value of the occupancy gauge *)
+  ga_cells : Cell.t list;  (** head-to-tail cell list *)
+  ga_staged : int;  (** cells staged for recirculation (last gen only) *)
+}
+
+val audit_view : t -> gen_audit array
+
 (** {2 Recovery support} *)
 
 val durable_records : t -> Log_record.t list

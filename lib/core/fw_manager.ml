@@ -263,6 +263,61 @@ let request_abort t ~tid =
 
 let drain t = seal_current t
 
+type ring_audit = {
+  ra_size : int;
+  ra_head : int;
+  ra_tail : int;
+  ra_occupied : int;
+  ra_live_records : int;
+}
+
+let audit_view t =
+  {
+    ra_size = t.size;
+    ra_head = t.head;
+    ra_tail = t.tail;
+    ra_occupied = t.occupied;
+    ra_live_records = Array.fold_left ( + ) 0 t.live;
+  }
+
+let slot_occupied t s =
+  t.occupied = t.size || (s - t.head + t.size) mod t.size < t.occupied
+
+let check_invariants t =
+  assert (t.occupied >= 0 && t.occupied <= t.size);
+  assert (t.head >= 0 && t.head < t.size);
+  assert (t.tail >= 0 && t.tail < t.size);
+  assert (t.tail = (t.head + t.occupied) mod t.size);
+  Array.iteri
+    (fun s n ->
+      assert (n >= 0);
+      if n > 0 then assert (slot_occupied t s))
+    t.live;
+  (* every slot still pinning live records is accounted for by an
+     active transaction or by a committed one awaiting a checkpoint *)
+  let pinned = ref 0 in
+  Ids.Tid.Table.iter
+    (fun tid tx ->
+      assert (Ids.Tid.equal tid tx.tid);
+      assert (not tx.terminated);
+      List.iter
+        (fun s ->
+          assert (s >= 0 && s < t.size);
+          assert (slot_occupied t s);
+          incr pinned)
+        tx.record_slots)
+    t.txs;
+  List.iter
+    (fun s ->
+      assert (s >= 0 && s < t.size);
+      assert (slot_occupied t s);
+      incr pinned)
+    t.awaiting_checkpoint;
+  assert (!pinned = Array.fold_left ( + ) 0 t.live);
+  assert
+    (El_metrics.Gauge.value t.memory
+    = t.bytes_per_tx * Ids.Tid.Table.length t.txs)
+
 type stats = {
   size_blocks : int;
   log_writes : int;

@@ -70,3 +70,23 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** Read-only snapshot of the ring for the external invariant auditor. *)
+type ring_audit = {
+  ra_size : int;
+  ra_head : int;
+  ra_tail : int;
+  ra_occupied : int;
+  ra_live_records : int;  (** records still pinning log space *)
+}
+
+val audit_view : t -> ring_audit
+
+val check_invariants : t -> unit
+(** Deep structural audit, for tests: ring accounting ([tail = head +
+    occupied], occupancy within size), live-record counts non-negative
+    and confined to occupied slots, every transaction's record slots
+    inside the occupied region, per-slot pins equal to the sum of
+    transaction record lists plus records awaiting a checkpoint, and
+    the memory gauge equal to 22 bytes per live transaction.  Raises
+    [Assert_failure] on violation. *)

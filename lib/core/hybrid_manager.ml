@@ -219,8 +219,12 @@ and append ?(self_regen = false) t q ~size ~anchor_tx ~hook =
   | None -> assert false
   | Some buf ->
     Block.add buf.b_block ~size size;
+    (* the space hunt above may have killed or retired the very
+       transaction being appended for; a dead transaction must not be
+       re-anchored (its anchored entry would outlive its table entry) *)
     (match anchor_tx with
-    | Some tx when tx.anchor = None -> anchor_at t tx q buf.b_slot
+    | Some tx when tx.anchor = None && Ids.Tid.Table.mem t.txs tx.tid ->
+      anchor_at t tx q buf.b_slot
     | Some _ | None -> ());
     (match hook with
     | Some h -> buf.b_hooks <- h :: buf.b_hooks
@@ -258,18 +262,32 @@ and advance_head t q =
         try
           List.iter
             (fun stub ->
-              t.regenerated_records <- t.regenerated_records + 1;
-              append ~self_regen t destination ~size:stub.s_size
-                ~anchor_tx:(Some tx) ~hook:None)
+              (* the recursive pressure of an earlier append may have
+                 killed this very transaction; its remaining records
+                 are garbage and must not be rewritten *)
+              if Ids.Tid.Table.mem t.txs tx.tid then begin
+                t.regenerated_records <- t.regenerated_records + 1;
+                append ~self_regen t destination ~size:stub.s_size
+                  ~anchor_tx:(Some tx) ~hook:None
+              end)
             stubs;
           (* a committed transaction with nothing retained retires *)
           if stubs = [] then retire t tx
-        with Regeneration_full ->
+        with Regeneration_full -> (
           (* The paper's rule: a record that cannot be recirculated for
-             lack of space costs its transaction its life.  Committed
-             transactions merely retire — their flushes are already on
-             their way to the stable version. *)
-          if tx.state = Active then kill_tx t tx else retire t tx
+             lack of space costs its transaction its life — but only an
+             active transaction can actually be killed. *)
+          match tx.state with
+          | Active -> kill_tx t tx
+          | Committed | Commit_pending ->
+            (* A committing transaction can not be killed: reneging on
+               a commit the client may already have been acked for (or
+               is about to be) is not an option.  Its log records are
+               sacrificed to the squeeze and it lives on in main memory
+               alone — unanchored but in the table — until its commit
+               hook hands the updates to the flusher and the last flush
+               completion retires it. *)
+            ())
       end)
     victims
 
@@ -395,9 +413,10 @@ let request_commit t ~tid ~on_ack =
             tx.unflushed_count <- tx.unflushed_count + 1;
             Flush_array.request t.flush oid ~version:s.s_version)
         tx.stubs;
-      if tx.unflushed_count = 0 then retire t tx
-    end;
-    on_ack at
+      if tx.unflushed_count = 0 then retire t tx;
+      (* only a commit that actually took effect is acknowledged *)
+      on_ack at
+    end
   in
   append t t.queues.(0) ~size:t.tx_record_size ~anchor_tx:(Some tx)
     ~hook:(Some hook)
@@ -412,6 +431,105 @@ let request_abort t ~tid =
   append t t.queues.(0) ~size:t.tx_record_size ~anchor_tx:None ~hook:None
 
 let drain t = Array.iter (fun q -> seal_current t q) t.queues
+
+type queue_audit = {
+  qa_index : int;
+  qa_size : int;
+  qa_head : int;
+  qa_tail : int;
+  qa_occupied : int;
+  qa_anchored : int;
+}
+
+let audit_view t =
+  Array.map
+    (fun q ->
+      {
+        qa_index = q.q_index;
+        qa_size = q.q_size;
+        qa_head = q.q_head;
+        qa_tail = q.q_tail;
+        qa_occupied = q.q_occupied;
+        qa_anchored = Array.fold_left ( + ) 0 q.anchors;
+      })
+    t.queues
+
+let check_invariants t =
+  Array.iter
+    (fun q ->
+      assert (q.q_occupied >= 0 && q.q_occupied <= q.q_size);
+      assert (q.q_head >= 0 && q.q_head < q.q_size);
+      assert (q.q_tail >= 0 && q.q_tail < q.q_size);
+      assert (q.q_tail = (q.q_head + q.q_occupied) mod q.q_size);
+      let slot_occupied s =
+        q.q_occupied = q.q_size
+        || (s - q.q_head + q.q_size) mod q.q_size < q.q_occupied
+      in
+      Array.iteri
+        (fun s txs ->
+          assert (q.anchors.(s) = List.length txs);
+          if txs <> [] then assert (slot_occupied s);
+          List.iter
+            (fun tx ->
+              assert (tx.anchor = Some (q.q_index, s));
+              assert (Ids.Tid.Table.mem t.txs tx.tid))
+            txs)
+        q.anchored)
+    t.queues;
+  (* every live transaction is anchored exactly where it claims *)
+  let unflushed_total = ref 0 in
+  Ids.Tid.Table.iter
+    (fun tid tx ->
+      assert (Ids.Tid.equal tid tx.tid);
+      (match tx.anchor with
+      | None ->
+        (* only a committing transaction squeezed out of the last
+           queue lives unanchored: its commit record rides to
+           durability and, once the hook hands its updates to the
+           flusher, it waits out the flushes in memory alone (see
+           advance_head); an unanchored *active* transaction would be
+           a leak *)
+        assert (tx.state <> Active)
+      | Some (qi, slot) ->
+        assert (qi >= 0 && qi < Array.length t.queues);
+        let q = t.queues.(qi) in
+        assert (slot >= 0 && slot < q.q_size);
+        assert (List.exists (fun x -> x == tx) q.anchored.(slot)));
+      assert (tx.unflushed_count >= 0);
+      (match tx.state with
+      | Active | Commit_pending -> assert (tx.unflushed_count = 0)
+      | Committed ->
+        (* a committed transaction with nothing left to flush retires *)
+        assert (tx.unflushed_count > 0);
+        let pending =
+          List.length
+            (List.filter
+               (fun s -> s.s_oid <> None && not s.s_flushed)
+               tx.stubs)
+        in
+        assert (tx.unflushed_count = pending));
+      unflushed_total := !unflushed_total + tx.unflushed_count)
+    t.txs;
+  assert (!unflushed_total = Ids.Oid.Table.length t.unflushed);
+  Ids.Oid.Table.iter
+    (fun oid (tid, version) ->
+      match Ids.Tid.Table.find_opt t.txs tid with
+      | None -> assert false  (* unflushed bookkeeping outlived its writer *)
+      | Some tx ->
+        assert (tx.state = Committed);
+        assert
+          (List.exists
+             (fun s ->
+               (match s.s_oid with
+               | Some o -> Ids.Oid.equal o oid
+               | None -> false)
+               && s.s_version = version && not s.s_flushed)
+             tx.stubs))
+    t.unflushed;
+  assert
+    (El_metrics.Gauge.value t.memory
+    = (bytes_per_tx * Ids.Tid.Table.length t.txs)
+      + (bytes_per_object * Ids.Oid.Table.length t.unflushed))
 
 type stats = {
   queue_sizes : int array;

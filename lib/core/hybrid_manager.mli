@@ -61,3 +61,26 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** Read-only snapshot of one queue's ring for the external invariant
+    auditor. *)
+type queue_audit = {
+  qa_index : int;
+  qa_size : int;
+  qa_head : int;
+  qa_tail : int;
+  qa_occupied : int;
+  qa_anchored : int;  (** transactions anchored across the queue's slots *)
+}
+
+val audit_view : t -> queue_audit array
+
+val check_invariants : t -> unit
+(** Deep structural audit, for tests: per-queue ring accounting,
+    anchor counts matching the anchored lists and confined to occupied
+    slots, every live transaction anchored exactly where its anchor
+    claims, committed transactions retaining exactly their unflushed
+    stubs, the committed-unflushed table consistent with its writers,
+    and the memory gauge matching the §6 per-transaction and
+    per-object byte accounting.  Raises [Assert_failure] on
+    violation. *)

@@ -314,6 +314,19 @@ let oldest_active t =
 
 let iter_lot t f = Ids.Oid.Table.iter (fun _ e -> f e) t.lot
 
+let live_cells t =
+  let n = ref 0 in
+  Ids.Oid.Table.iter
+    (fun _ (entry : Cell.lot_entry) ->
+      (match entry.committed with Some _ -> incr n | None -> ());
+      n := !n + List.length entry.uncommitted)
+    t.lot;
+  Ids.Tid.Table.iter
+    (fun _ (e : Cell.ltt_entry) ->
+      match e.tx_cell with Some _ -> incr n | None -> ())
+    t.ltt;
+  !n
+
 let check_invariants t =
   let unflushed = ref 0 in
   Ids.Oid.Table.iter

@@ -136,5 +136,13 @@ val unflushed_objects : t -> int
 (** LOT entries whose committed update awaits flushing. *)
 
 val iter_lot : t -> (Cell.lot_entry -> unit) -> unit
+
+val live_cells : t -> int
+(** Number of live (non-garbage) cells reachable from the tables: one
+    per LOT committed update, one per LOT uncommitted update, one per
+    LTT tx record.  The invariant auditor compares this against the
+    total membership of the generations' cell lists to prove that no
+    cell is orphaned on either side. *)
+
 val check_invariants : t -> unit
 (** Table/cell cross-consistency checks for the test suite. *)

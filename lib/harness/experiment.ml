@@ -139,7 +139,7 @@ let collect cfg live ~overloaded =
     hybrid_stats;
   }
 
-let prepare cfg =
+let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
   let engine = Engine.create ~seed:cfg.seed () in
   let stable = Stable_db.create ~num_objects:cfg.num_objects in
   let flush =
@@ -198,20 +198,24 @@ let prepare cfg =
       in
       (None, None, Some m, sink)
   in
+  let sink = wrap_sink sink in
   let generator =
     Generator.create engine ~sink ~mix:cfg.mix ~arrival_rate:cfg.arrival_rate
       ~runtime:cfg.runtime ~arrival_process:cfg.arrival_process
       ~abort_fraction:cfg.abort_fraction ~num_objects:cfg.num_objects ()
   in
+  let kill tid =
+    on_kill tid;
+    Generator.kill generator tid
+  in
   (match el with
-  | Some m -> El_manager.set_on_kill m (fun tid -> Generator.kill generator tid)
+  | Some m -> El_manager.set_on_kill m kill
   | None -> ());
   (match fw with
-  | Some m -> Fw_manager.set_on_kill m (fun tid -> Generator.kill generator tid)
+  | Some m -> Fw_manager.set_on_kill m kill
   | None -> ());
   (match hybrid with
-  | Some m ->
-    Hybrid_manager.set_on_kill m (fun tid -> Generator.kill generator tid)
+  | Some m -> Hybrid_manager.set_on_kill m kill
   | None -> ());
   let rec live =
     {

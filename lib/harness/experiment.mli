@@ -77,7 +77,17 @@ type live = {
           is now) and collects the result *)
 }
 
-val prepare : config -> live
+val prepare :
+  ?wrap_sink:(El_workload.Generator.sink -> El_workload.Generator.sink) ->
+  ?on_kill:(El_model.Ids.Tid.t -> unit) ->
+  config ->
+  live
+(** [wrap_sink] interposes an observer between the workload generator
+    and the log manager (used by the {!El_check} differential oracle
+    to shadow every logging call); it must forward each call to the
+    sink it was given.  [on_kill] is invoked — before the generator is
+    told — whenever the manager kills a transaction.  Both default to
+    doing nothing. *)
 
 val run_with_crash :
   config -> crash_at:Time.t -> result * El_recovery.Recovery.result * El_recovery.Recovery.audit

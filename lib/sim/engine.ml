@@ -5,6 +5,7 @@ type t = {
   mutable clock : Time.t;
   rng : Random.State.t;
   mutable dispatched : int;
+  mutable observers : (unit -> unit) list;  (* registration order *)
 }
 
 let create ?(seed = 42) () =
@@ -13,6 +14,7 @@ let create ?(seed = 42) () =
     clock = Time.zero;
     rng = Random.State.make [| seed |];
     dispatched = 0;
+    observers = [];
   }
 
 let now t = t.clock
@@ -25,10 +27,15 @@ let schedule_at t time f =
 
 let schedule_after t delay f = schedule_at t (Time.add t.clock delay) f
 
+let on_dispatch t f = t.observers <- t.observers @ [ f ]
+
 let dispatch t time f =
   t.clock <- Time.of_us time;
   t.dispatched <- t.dispatched + 1;
-  f ()
+  f ();
+  match t.observers with
+  | [] -> ()
+  | observers -> List.iter (fun o -> o ()) observers
 
 let step t =
   match Event_queue.pop t.queue with
@@ -37,20 +44,36 @@ let step t =
     dispatch t time f;
     true
 
-let run t ~until =
-  let limit = Time.to_us until in
-  let rec loop () =
+(* Dispatch at most [max_steps] events with time <= [limit] (in us);
+   returns how many were dispatched. *)
+let run_bounded t ~limit ~max_steps =
+  let dispatched = ref 0 in
+  let continue = ref true in
+  while !continue && !dispatched < max_steps do
     match Event_queue.peek_time t.queue with
-    | Some time when time <= limit ->
-      (match Event_queue.pop t.queue with
+    | Some time when time <= limit -> (
+      match Event_queue.pop t.queue with
       | Some (time, f) ->
         dispatch t time f;
-        loop ()
-      | None -> ())
-    | Some _ | None -> ()
-  in
-  loop ();
+        incr dispatched
+      | None -> continue := false)
+    | Some _ | None -> continue := false
+  done;
+  !dispatched
+
+let run t ~until =
+  let limit = Time.to_us until in
+  ignore (run_bounded t ~limit ~max_steps:max_int);
   if Time.(t.clock < until) then t.clock <- until
+
+let run_steps t ~until ~max_steps =
+  if max_steps < 0 then invalid_arg "Engine.run_steps: negative max_steps";
+  let limit = Time.to_us until in
+  let n = run_bounded t ~limit ~max_steps in
+  (* Fewer dispatches than asked means the horizon was exhausted: land
+     the clock exactly on [until], as {!run} does. *)
+  if n < max_steps && Time.(t.clock < until) then t.clock <- until;
+  n
 
 let run_all t = while step t do () done
 let events_dispatched t = t.dispatched

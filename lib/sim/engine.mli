@@ -32,14 +32,35 @@ val schedule_after : t -> Time.t -> (unit -> unit) -> unit
 
 val run : t -> until:Time.t -> unit
 (** Dispatches events in order until the queue is empty or the next
-    event is strictly later than [until]; the clock finishes at
-    [until] (or at the last event, whichever is later was reached). *)
+    event is strictly later than [until].  Every dispatched event has
+    time at most [until], so afterwards the clock reads exactly
+    [until] — it is advanced there even when the queue empties early,
+    and it never moves backwards (a call with [until] in the past
+    dispatches nothing and leaves the clock unchanged). *)
+
+val run_steps : t -> until:Time.t -> max_steps:int -> int
+(** [run_steps t ~until ~max_steps] dispatches at most [max_steps]
+    events with time at most [until] and returns how many were
+    dispatched.  A return value smaller than [max_steps] means no
+    eligible event remained, in which case the clock is advanced to
+    [until] exactly as {!run} would; otherwise the clock rests at the
+    last dispatched event, so callers can inspect a mid-run state at a
+    deterministic event boundary (the crash-sweep harness pauses
+    here).  Raises [Invalid_argument] if [max_steps] is negative. *)
 
 val run_all : t -> unit
 (** Dispatches every remaining event. *)
 
 val step : t -> bool
 (** Dispatches a single event; [false] if the queue was empty. *)
+
+val on_dispatch : t -> (unit -> unit) -> unit
+(** [on_dispatch t f] registers [f] to run after every dispatched
+    event, at the event boundary (the event's own effects, including
+    anything it scheduled, are complete).  Observers run in
+    registration order and must not schedule, pop or otherwise perturb
+    the simulation if determinism is to be preserved — they are meant
+    for invariant audits and progress accounting. *)
 
 val events_dispatched : t -> int
 (** Number of events dispatched so far (an activity measure used by

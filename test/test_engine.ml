@@ -75,9 +75,65 @@ let test_events_dispatched () =
   Engine.run_all e;
   Alcotest.(check int) "counter" 4 (Engine.events_dispatched e)
 
+(* Regression pins for the documented [run ~until] clock semantics:
+   the clock finishes exactly at [until] whether or not any event was
+   dispatched, and a call with [until] in the past dispatches nothing
+   and never rewinds the clock. *)
+let test_run_until_clock_semantics () =
+  let e = Engine.create () in
+  Engine.run e ~until:(Time.of_ms 8);
+  Alcotest.(check int) "empty queue still advances the clock" 8_000
+    (Time.to_us (Engine.now e));
+  Engine.schedule_at e (Time.of_ms 20) (fun () -> ());
+  Engine.run e ~until:(Time.of_ms 3);
+  Alcotest.(check int) "until in the past never rewinds" 8_000
+    (Time.to_us (Engine.now e));
+  Alcotest.(check int) "and dispatches nothing" 1 (Engine.pending_events e);
+  Engine.run e ~until:(Time.of_ms 25);
+  Alcotest.(check int) "clock lands on until, not the last event" 25_000
+    (Time.to_us (Engine.now e));
+  Alcotest.(check int) "event dispatched" 0 (Engine.pending_events e)
+
+let test_run_steps_pauses () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  List.iter
+    (fun ms -> Engine.schedule_at e (Time.of_ms ms) (fun () -> incr count))
+    [ 1; 2; 3; 4; 5 ];
+  let n = Engine.run_steps e ~until:(Time.of_ms 10) ~max_steps:2 in
+  Alcotest.(check int) "stride honoured" 2 n;
+  Alcotest.(check int) "clock rests at the last dispatched event" 2_000
+    (Time.to_us (Engine.now e));
+  Alcotest.(check int) "remaining events untouched" 3 (Engine.pending_events e);
+  let n = Engine.run_steps e ~until:(Time.of_ms 10) ~max_steps:50 in
+  Alcotest.(check int) "exhausts eligible events" 3 n;
+  Alcotest.(check int) "then advances the clock to until" 10_000
+    (Time.to_us (Engine.now e));
+  Alcotest.(check int) "all dispatched" 5 !count
+
+let test_on_dispatch_observer () =
+  let e = Engine.create () in
+  let boundaries = ref [] in
+  Engine.on_dispatch e (fun () ->
+      boundaries := Time.to_us (Engine.now e) :: !boundaries);
+  List.iter
+    (fun ms -> Engine.schedule_at e (Time.of_ms ms) (fun () -> ()))
+    [ 2; 1; 3 ];
+  Engine.run_all e;
+  Alcotest.(check (list int)) "observer sees every boundary in order"
+    [ 1_000; 2_000; 3_000 ] (List.rev !boundaries);
+  Alcotest.(check int) "observer does not count as dispatch" 3
+    (Engine.events_dispatched e)
+
 let suite =
   [
     Alcotest.test_case "clock advances with dispatch" `Quick test_clock_advances;
+    Alcotest.test_case "run ~until clock semantics pinned" `Quick
+      test_run_until_clock_semantics;
+    Alcotest.test_case "run_steps pauses at event boundaries" `Quick
+      test_run_steps_pauses;
+    Alcotest.test_case "on_dispatch observers fire at boundaries" `Quick
+      test_on_dispatch_observer;
     Alcotest.test_case "schedule_after is relative" `Quick test_schedule_after;
     Alcotest.test_case "run ~until stops and sets clock" `Quick test_run_until;
     Alcotest.test_case "scheduling in the past is rejected" `Quick

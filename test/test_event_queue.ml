@@ -82,6 +82,61 @@ let prop_grow =
       in
       drain min_int)
 
+(* Model-based property over interleaved push/pop sequences: at every
+   point the heap must pop exactly what a stable-sorted list model
+   would — time order, FIFO among equal times — not just after pushing
+   everything up front. *)
+type op = Push of int | Pop
+
+let prop_interleaved_matches_model =
+  let op_gen =
+    QCheck.Gen.(
+      frequency [ (3, map (fun t -> Push t) (int_range 0 20)); (2, return Pop) ])
+  in
+  let print_ops ops =
+    String.concat ";"
+      (List.map (function Push t -> Printf.sprintf "P%d" t | Pop -> "pop") ops)
+  in
+  QCheck.Test.make ~name:"interleaved push/pop matches sorted-stable model"
+    ~count:300
+    (QCheck.make ~print:print_ops QCheck.Gen.(list_size (int_range 0 60) op_gen))
+    (fun ops ->
+      let q = Q.create () in
+      let model = ref [] in
+      (* insertion ids double as payloads; the model pops the minimum
+         by (time, id), which is exactly stable-sort order *)
+      let next_id = ref 0 in
+      let model_pop () =
+        match
+          List.sort (fun (a : int * int) b -> compare a b) !model
+        with
+        | [] -> None
+        | ((_, id) as hd) :: _ ->
+          model := List.filter (fun (_, j) -> j <> id) !model;
+          Some hd
+      in
+      let agree () =
+        match (Q.pop q, model_pop ()) with
+        | None, None -> true
+        | Some (t, id), Some (t', id') -> t = t' && id = id'
+        | _ -> false
+      in
+      let ok =
+        List.for_all
+          (function
+            | Push t ->
+              let id = !next_id in
+              incr next_id;
+              Q.push q ~time:t id;
+              model := (t, id) :: !model;
+              true
+            | Pop -> agree ())
+          ops
+      in
+      (* drain whatever remains; orders must still agree *)
+      let rec drain () = if agree () then Q.is_empty q || drain () else false in
+      ok && drain ())
+
 let suite =
   [
     Alcotest.test_case "FIFO among equal times" `Quick test_fifo_ties;
@@ -90,4 +145,5 @@ let suite =
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
     QCheck_alcotest.to_alcotest prop_heap_matches_sort;
     QCheck_alcotest.to_alcotest prop_grow;
+    QCheck_alcotest.to_alcotest prop_interleaved_matches_model;
   ]

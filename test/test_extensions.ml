@@ -274,9 +274,33 @@ let test_adaptive_rejects_bad_start () =
              })
            ~initial:[| 4; 4 |] ()))
 
+(* Statistical pin on the Poisson process: at 100 TPS the mean
+   inter-arrival time must sit within 5 % of 1/rate = 10 ms (for
+   ~2000 samples the standard error is ~224 us, so 500 us is a
+   comfortable bound for a fixed seed), and the whole arrival sequence
+   must be reproducible from the seed. *)
+let test_poisson_mean_interarrival () =
+  let arrivals = count_arrivals ~process:G.Poisson ~seed:11 in
+  Alcotest.(check (list int)) "same seed, identical arrival times" arrivals
+    (count_arrivals ~process:G.Poisson ~seed:11);
+  let gaps =
+    List.map2
+      (fun a b -> b - a)
+      (List.filteri (fun i _ -> i < List.length arrivals - 1) arrivals)
+      (List.tl arrivals)
+  in
+  let n = float_of_int (List.length gaps) in
+  let mean = float_of_int (List.fold_left ( + ) 0 gaps) /. n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean inter-arrival within 5%% of 10ms (got %.0f us)" mean)
+    true
+    (abs_float (mean -. 10_000.0) < 500.0)
+
 let suite =
   [
     Alcotest.test_case "poisson arrival rate" `Quick test_poisson_rate;
+    Alcotest.test_case "poisson mean inter-arrival ~ 1/rate" `Quick
+      test_poisson_mean_interarrival;
     Alcotest.test_case "poisson irregularity (CV~1)" `Quick
       test_poisson_is_irregular;
     Alcotest.test_case "deterministic regularity" `Quick

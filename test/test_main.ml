@@ -22,4 +22,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("experiment", Test_experiment.suite);
       ("min-space", Test_min_space.suite);
+      ("check", Test_check.suite);
     ]

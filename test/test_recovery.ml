@@ -154,6 +154,47 @@ let test_fw_rejected () =
     (Invalid_argument "Experiment.run_with_crash: FW has no recovery model")
     (fun () -> ignore (Experiment.run_with_crash cfg ~crash_at:(Time.of_sec 1)))
 
+(* Recovery must be a pure function of the crash image: running it
+   twice gives identical results, and the physical order of the
+   scanned records (which recirculation shuffles arbitrarily) must not
+   matter. *)
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let prop_recover_idempotent_order_insensitive =
+  QCheck.Test.make
+    ~name:"recover is idempotent and insensitive to record order" ~count:10
+    QCheck.(pair (int_range 0 9_999) (int_range 5 25))
+    (fun (seed, crash_s) ->
+      let cfg = el_config ~seed () in
+      let live = Experiment.prepare cfg in
+      El_sim.Engine.run live.Experiment.engine ~until:(Time.of_sec crash_s);
+      let image =
+        Recovery.crash live.Experiment.engine (Option.get live.Experiment.el)
+      in
+      let sorted_tids (r : Recovery.result) =
+        List.sort Ids.Tid.compare r.Recovery.committed_tids
+      in
+      let r1 = Recovery.recover image in
+      let r2 = Recovery.recover image in
+      let rng = Random.State.make [| seed; crash_s |] in
+      let r3 =
+        Recovery.recover
+          { image with Recovery.records = shuffle rng image.Recovery.records }
+      in
+      El_disk.Stable_db.equal r1.Recovery.recovered r2.Recovery.recovered
+      && El_disk.Stable_db.equal r1.Recovery.recovered r3.Recovery.recovered
+      && sorted_tids r1 = sorted_tids r2
+      && sorted_tids r1 = sorted_tids r3
+      && r1.Recovery.records_scanned = r3.Recovery.records_scanned)
+
 let suite =
   [
     Alcotest.test_case "audit ok mid-run" `Quick test_audit_ok_midrun;
@@ -175,4 +216,5 @@ let suite =
     Alcotest.test_case "audit + deep invariants on a tight log" `Quick
       test_audit_with_invariants;
     Alcotest.test_case "firewall configs are rejected" `Quick test_fw_rejected;
+    QCheck_alcotest.to_alcotest prop_recover_idempotent_order_insensitive;
   ]
