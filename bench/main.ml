@@ -3,13 +3,15 @@
    the core machinery.
 
    Usage:
-     bench/main.exe [--quick] [fig4] [fig5] [fig6] [fig7] [headline]
-                    [scarce] [rates] [recovery] [ablation] [gens]
-                    [adaptive] [checkpoint] [poisson] [micro]
+     bench/main.exe [--quick] [--json PATH] [fig4] [fig5] [fig6] [fig7]
+                    [headline] [scarce] [rates] [recovery] [ablation]
+                    [gens] [adaptive] [checkpoint] [poisson] [micro]
 
    With no selector, everything runs.  --quick shortens the simulated
    runs (120 s instead of the paper's 500 s) and coarsens sweeps; the
-   shapes still hold, absolute numbers move slightly. *)
+   shapes still hold, absolute numbers move slightly.  --json writes a
+   machine-readable summary ("el-bench/1" schema) of every section
+   that ran, for CI regression checks and committed baselines. *)
 
 open El_model
 module Table = El_metrics.Table
@@ -20,6 +22,36 @@ module Policy = El_core.Policy
 let heading title = Printf.printf "\n==== %s ====\n\n" title
 let fmt_f f = Printf.sprintf "%.2f" f
 let fmt_f0 f = Printf.sprintf "%.0f" f
+
+(* ---- machine-readable output (--json PATH) ----
+
+   Sections accumulate as benches run; the same tables the terminal
+   shows, as data.  The file is the "el-bench/1" schema consumed by
+   the CI schema check and committed as BENCH_<date>.json. *)
+
+module J = El_obs.Jsonx
+
+let json_sections : (string * J.t) list ref = ref []
+
+let add_section name doc =
+  if not (List.mem_assoc name !json_sections) then
+    json_sections := !json_sections @ [ (name, doc) ]
+
+let j_ints a = J.List (Array.to_list (Array.map (fun i -> J.Int i) a))
+
+let mix_row_json (r : Paper.mix_row) =
+  J.Obj
+    [
+      ("long_pct", J.Int r.long_pct);
+      ("fw_blocks", J.Int r.fw_blocks);
+      ("el_blocks", J.Int r.el_blocks);
+      ("el_sizes", j_ints r.el_sizes);
+      ("fw_bandwidth", J.Float r.fw_bandwidth);
+      ("el_bandwidth", J.Float r.el_bandwidth);
+      ("fw_memory", J.Int r.fw_memory);
+      ("el_memory", J.Int r.el_memory);
+      ("updates_per_sec", J.Float r.updates_per_sec);
+    ]
 
 (* Shared runs behind Figures 4, 5 and 6: computed once on demand. *)
 let mix_rows : (Paper.speed, Paper.mix_row list) Hashtbl.t = Hashtbl.create 2
@@ -33,6 +65,7 @@ let get_mix_rows speed =
        part)\n%!";
     let rows = Paper.figs_4_5_6 ~speed () in
     Hashtbl.replace mix_rows speed rows;
+    add_section "mix_sweep" (J.List (List.map mix_row_json rows));
     rows
 
 (* Paper reference series.  The text gives exact anchors at the 5 %
@@ -160,6 +193,25 @@ let get_fig7 speed =
   | None ->
     let r = Paper.fig7 ~speed () in
     Hashtbl.replace fig7_cache speed r;
+    add_section "fig7"
+      (J.Obj
+         [
+           ("g0", J.Int r.g0);
+           ("no_recirc_sizes", j_ints r.no_recirc_sizes);
+           ( "rows",
+             J.List
+               (List.map
+                  (fun (row : Paper.fig7_row) ->
+                    J.Obj
+                      [
+                        ("g1", J.Int row.g1);
+                        ("total_blocks", J.Int row.total_blocks);
+                        ("bw_last", J.Float row.bw_last);
+                        ("bw_total", J.Float row.bw_total);
+                        ("feasible", J.Bool row.feasible);
+                      ])
+                  r.rows) );
+         ]);
     r
 
 let fig7 speed =
@@ -231,7 +283,18 @@ let headline speed =
       "12%";
       Printf.sprintf "%.1f%%" h.bandwidth_increase_pct;
     ];
-  Table.print t
+  Table.print t;
+  add_section "headline"
+    (J.Obj
+       [
+         ("fw_blocks", J.Int h.fw_blocks);
+         ("fw_bandwidth", J.Float h.fw_bandwidth);
+         ("el_blocks", J.Int h.el_blocks);
+         ("el_sizes", j_ints h.el_sizes);
+         ("el_bandwidth", J.Float h.el_bandwidth);
+         ("space_ratio", J.Float h.space_ratio);
+         ("bandwidth_increase_pct", J.Float h.bandwidth_increase_pct);
+       ])
 
 let scarce speed =
   heading "In-text: scarce flushing bandwidth (10 drives x 45 ms = 222/s)";
@@ -271,6 +334,17 @@ let scarce speed =
      backlog accumulates, flush scheduling finds closer objects (smaller\n\
      mean oid distance = better locality), and EL absorbs it with a few\n\
      extra blocks -- the negative-feedback stability argument.";
+  add_section "scarce"
+    (J.Obj
+       [
+         ("el_sizes", j_ints s.el_sizes);
+         ("total_blocks", J.Int s.total_blocks);
+         ("bandwidth", J.Float s.bandwidth);
+         ("mean_flush_distance", J.Float s.mean_flush_distance);
+         ( "baseline_mean_flush_distance",
+           J.Float s.baseline_mean_flush_distance );
+         ("flush_backlog_peak", J.Int s.flush_backlog_peak);
+       ]);
   s
 
 let rates speed =
@@ -353,7 +427,20 @@ let recovery_bench speed =
      123-block FW span with a traditional two-pass method = %a.@ 'Recovery \
      in less than a second may be feasible' (Sec. 4) holds.@."
     result.Experiment.total_blocks El_recovery.Timing.pp el_time
-    El_recovery.Timing.pp fw_time
+    El_recovery.Timing.pp fw_time;
+  add_section "recovery"
+    (J.Obj
+       [
+         ("log_blocks", J.Int result.Experiment.total_blocks);
+         ( "records_scanned",
+           J.Int recovery.El_recovery.Recovery.records_scanned );
+         ("redo_applied", J.Int recovery.El_recovery.Recovery.redo_applied);
+         ( "committed_txs",
+           J.Int (List.length recovery.El_recovery.Recovery.committed_tids) );
+         ("audit_ok", J.Bool audit.El_recovery.Recovery.ok);
+         ("el_restart_s", J.Float (Time.to_sec_f el_time));
+         ("fw_restart_s", J.Float (Time.to_sec_f fw_time));
+       ])
 
 let ablation speed =
   heading "Ablations of EL design choices (5% mix, 18+12 blocks)";
@@ -461,7 +548,19 @@ let gens_sweep speed =
      smallest but only by recirculating furiously (~2x the write rate);\n\
      more generations spend a few blocks to cut the rewrite traffic --\n\
      Sec. 6's point that the optimal number and sizes are\n\
-     application-dependent."
+     application-dependent.";
+  add_section "generation_sweep"
+    (J.List
+       (List.map
+          (fun (r : Paper.gens_row) ->
+            J.Obj
+              [
+                ("generations", J.Int r.generations);
+                ("sizes", j_ints r.sizes);
+                ("total", J.Int r.total);
+                ("bandwidth", J.Float r.bandwidth);
+              ])
+          rows))
 
 let adaptive_bench speed =
   heading
@@ -775,8 +874,18 @@ let micro () =
       test_recovery;
     ]
 
+(* pulls "--json PATH" (anywhere in the argument list) out of [args] *)
+let rec extract_json acc = function
+  | [] -> (None, List.rev acc)
+  | [ "--json" ] ->
+    prerr_endline "bench: --json needs a path argument";
+    exit 2
+  | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+  | a :: rest -> extract_json (a :: acc) rest
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let json_path, args = extract_json [] args in
   let quick = List.mem "--quick" args in
   let speed : Paper.speed = if quick then `Quick else `Full in
   let selectors = List.filter (fun a -> a <> "--quick") args in
@@ -801,4 +910,26 @@ let () =
   if want "adaptive" then adaptive_bench speed;
   if want "checkpoint" then checkpoint_bench speed;
   if want "poisson" then poisson_bench speed;
-  if want "micro" then micro ()
+  if want "micro" then micro ();
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let doc =
+      J.Obj
+        [
+          ("schema", J.String "el-bench/1");
+          ( "mode",
+            J.String (match speed with `Full -> "full" | `Quick -> "quick") );
+          ( "selectors",
+            J.List
+              (List.map
+                 (fun s -> J.String s)
+                 (if all then [ "all" ] else selectors)) );
+          ("sections", J.Obj !json_sections);
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (J.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path

@@ -9,6 +9,8 @@
      min-space  minimum-disk-space search for EL or FW
      recover    crash a run midway, recover, audit
      paper      the published experiments (fig4..fig7, headline, ...)
+     trace      run with the observability layer on; export Chrome
+                trace JSON, a time-series CSV and a JSON summary
 *)
 
 open El_model
@@ -342,6 +344,104 @@ let adaptive_cmd =
           pushes back.")
     Term.(const action $ config_term $ initial)
 
+let trace_cmd =
+  let scenario =
+    let doc =
+      "Preset overriding the other options: $(b,scarce) is the paper's \
+       scarce-flush-capacity setup (45 ms flushes against a 20+11 EL log, \
+       120 s) whose flush backlog climbs and then stabilises under the \
+       negative-feedback effect of Sec. 4."
+    in
+    Arg.(
+      value
+      & opt (some (enum [ ("scarce", `Scarce) ])) None
+      & info [ "scenario" ] ~doc ~docv:"NAME")
+  in
+  let out =
+    let doc =
+      "Output path prefix: writes $(docv).trace.json (Chrome trace_event, \
+       loadable in Perfetto or chrome://tracing), $(docv).timeseries.csv and \
+       $(docv).summary.json."
+    in
+    Arg.(value & opt string "el-sim-trace" & info [ "o"; "out" ] ~doc ~docv:"PREFIX")
+  in
+  let ring_capacity =
+    let doc = "Trace ring capacity: retained events (newest win)." in
+    Arg.(value & opt int 65536 & info [ "ring-capacity" ] ~doc)
+  in
+  let sample_ms =
+    let doc = "Time-series sampling period in simulated milliseconds." in
+    Arg.(value & opt int 100 & info [ "sample-ms" ] ~doc)
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  let action cfg scenario out ring_capacity sample_ms =
+    let cfg =
+      match scenario with
+      | None -> cfg
+      | Some `Scarce ->
+        let mix = El_workload.Mix.short_long ~long_fraction:0.05 in
+        let policy = Policy.default ~generation_sizes:[| 20; 11 |] in
+        {
+          (Experiment.default_config ~kind:(Experiment.Ephemeral policy) ~mix) with
+          Experiment.flush_transfer = Time.of_ms 45;
+          runtime = Time.of_sec 120;
+        }
+    in
+    let observer =
+      Some
+        {
+          El_obs.Obs.ring_capacity;
+          sample_period = Time.of_ms sample_ms;
+        }
+    in
+    let cfg = { cfg with Experiment.observer } in
+    let live = Experiment.prepare cfg in
+    let result = live.Experiment.finish () in
+    let o = Option.get live.Experiment.obs in
+    let trace_path = out ^ ".trace.json" in
+    let csv_path = out ^ ".timeseries.csv" in
+    let summary_path = out ^ ".summary.json" in
+    write_file trace_path (El_obs.Export.chrome_trace o);
+    write_file csv_path (El_obs.Export.timeseries_csv o);
+    write_file summary_path
+      (El_obs.Export.summary_json
+         ~extra:
+           [
+             ( "result",
+               El_obs.Jsonx.Obj
+                 [
+                   ("committed", El_obs.Jsonx.Int result.Experiment.committed);
+                   ("killed", El_obs.Jsonx.Int result.Experiment.killed);
+                   ( "log_write_rate",
+                     El_obs.Jsonx.Float result.Experiment.log_write_rate );
+                   ( "flush_backlog_peak",
+                     El_obs.Jsonx.Int result.Experiment.flush_backlog_peak );
+                   ( "feasible",
+                     El_obs.Jsonx.Bool result.Experiment.feasible );
+                 ] );
+           ]
+         o);
+    Printf.printf "trace:   %s (%d events recorded, %d dropped)\n" trace_path
+      (El_obs.Obs.recorded o) (El_obs.Obs.dropped o);
+    Printf.printf "series:  %s (%d samples x %d columns)\n" csv_path
+      (El_obs.Sampler.length (El_obs.Obs.sampler o))
+      (List.length (El_obs.Sampler.columns (El_obs.Obs.sampler o)));
+    Printf.printf "summary: %s\n\n" summary_path;
+    print_result result
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one simulation with the observability layer enabled and export \
+          a Chrome trace_event JSON (Perfetto-loadable), a time-series CSV \
+          and a machine-readable JSON summary.")
+    Term.(
+      const action $ config_term $ scenario $ out $ ring_capacity $ sample_ms)
+
 let check_cmd =
   let seeds =
     let doc = "Number of seeds to sweep per manager kind." in
@@ -443,4 +543,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; min_space_cmd; recover_cmd; paper_cmd; adaptive_cmd;
-            check_cmd ]))
+            check_cmd; trace_cmd ]))

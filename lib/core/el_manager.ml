@@ -57,11 +57,17 @@ type t = {
   mutable forced_head_flushes : int;
   mutable nondurable_head_reads : int;
   mutable acked : int;
+  obs : El_obs.Obs.t option;
 }
+
+let emit t kind =
+  match t.obs with
+  | None -> ()
+  | Some o -> El_obs.Obs.emit o El_obs.Event.Manager kind
 
 let free_slots g = g.g_size - g.g_occupied
 
-let make_gen engine policy ~write_time i =
+let make_gen engine policy ~write_time ?obs i =
   let size = policy.Policy.generation_sizes.(i) in
   {
     g_index = i;
@@ -76,7 +82,7 @@ let make_gen engine policy ~write_time i =
     g_cells = Cell.Cell_list.create ();
     g_channel =
       Log_channel.create engine ~write_time
-        ~buffer_pool:policy.Policy.buffers_per_generation ();
+        ~buffer_pool:policy.Policy.buffers_per_generation ?obs ~label:i ();
     g_occupancy =
       El_metrics.Gauge.create ~name:(Printf.sprintf "gen%d occupancy" i) ();
     g_current = None;
@@ -86,11 +92,11 @@ let make_gen engine policy ~write_time i =
   }
 
 let create engine ~policy ~flush ~stable ?(write_time = Params.tau_disk_write)
-    ?(tx_record_size = Params.tx_record_size) () =
+    ?(tx_record_size = Params.tx_record_size) ?obs () =
   Policy.validate policy;
   let gens =
     Array.init (Policy.num_generations policy)
-      (make_gen engine policy ~write_time)
+      (make_gen engine policy ~write_time ?obs)
   in
   let remove_cell (c : Cell.t) =
     (* A cell whose record is not yet in any buffer belongs to no
@@ -118,6 +124,7 @@ let create engine ~policy ~flush ~stable ?(write_time = Params.tau_disk_write)
       forced_head_flushes = 0;
       nondurable_head_reads = 0;
       acked = 0;
+      obs;
     }
   in
   Flush_array.set_on_flush flush (fun oid ~version ->
@@ -132,6 +139,7 @@ let set_on_kill t f = t.on_kill <- Some f
 let kill_tx t tid =
   Ledger.kill t.ledger ~tid;
   t.kills <- t.kills + 1;
+  emit t (El_obs.Event.Kill { tid = Ids.Tid.to_int tid });
   Ids.Tid.Table.remove t.placements tid;
   match t.on_kill with Some f -> f tid | None -> ()
 
@@ -172,12 +180,19 @@ let discard_survivor t (cell : Cell.t) ~context ~count_as =
   | Ledger.Committed_data (oid, version) ->
     force_flush_data t cell oid version;
     (match count_as with
-    | `Eviction -> t.evictions <- t.evictions + 1
+    | `Eviction ->
+      t.evictions <- t.evictions + 1;
+      emit t
+        (El_obs.Event.Evict
+           { target = Ids.Oid.to_int oid; committed_tx = false })
     | `Head_flush -> t.forced_head_flushes <- t.forced_head_flushes + 1)
   | Ledger.Committed_tx tid ->
     force_flush_tx t tid;
     (match count_as with
-    | `Eviction -> t.evictions <- t.evictions + 1
+    | `Eviction ->
+      t.evictions <- t.evictions + 1;
+      emit t
+        (El_obs.Event.Evict { target = Ids.Tid.to_int tid; committed_tx = true })
     | `Head_flush -> t.forced_head_flushes <- t.forced_head_flushes + 1)
 
 (* ---- slot and buffer mechanics ---- *)
@@ -260,6 +275,7 @@ and write_stage t g =
       else begin
         g.g_blocks.(s) <- Some content;
         t.stage_writes <- t.stage_writes + 1;
+        emit t (El_obs.Event.Stage_write { gen = g.g_index; records = !live });
         issue_write t g { b_slot = s; b_block = content; b_hooks = []; b_seq = -1 }
       end
     end
@@ -286,6 +302,7 @@ let rec seal_current t g =
   | None -> ()
   | Some buf ->
     g.g_current <- None;
+    emit t (El_obs.Event.Seal { gen = g.g_index; slot = buf.b_slot });
     issue_write t g buf
 
 (* Move survivors from the head of [g] into a block written at the
@@ -376,6 +393,9 @@ and forward t g s survivors =
     end
     else begin
       t.forwarded <- t.forwarded + !moved;
+      emit t
+        (El_obs.Event.Forward
+           { from_gen = g.g_index; to_gen = next.g_index; records = !moved });
       next.g_blocks.(s') <- Some buf;
       issue_write t next { b_slot = s'; b_block = buf; b_hooks = []; b_seq = -1 }
     end;
@@ -386,6 +406,7 @@ and forward t g s survivors =
    through the staging buffer (§2.2: records are removed one block at
    a time and written back at the tail). *)
 and recirculate t g s survivors =
+  let before = t.recirculated in
   List.iter
     (fun (tr : Cell.tracked) ->
       match tr.Cell.cell with
@@ -408,6 +429,10 @@ and recirculate t g s survivors =
             g.g_stage_origins <- s :: g.g_stage_origins;
           t.recirculated <- t.recirculated + 1))
     survivors;
+  if t.recirculated > before then
+    emit t
+      (El_obs.Event.Recirculate
+         { gen = g.g_index; records = t.recirculated - before });
   free_slot g s
 
 and advance_head t g =
@@ -420,6 +445,9 @@ and advance_head t g =
   if g.g_state.(s) <> Durable then
     t.nondurable_head_reads <- t.nondurable_head_reads + 1;
   let survivors = survivors_of g s in
+  emit t
+    (El_obs.Event.Head_advance
+       { gen = g.g_index; slot = s; survivors = List.length survivors });
   if survivors = [] then free_slot g s
   else if not g.g_last then forward t g s survivors
   else if t.policy.Policy.recirculate then recirculate t g s survivors
@@ -515,6 +543,14 @@ let append_incoming t ~gen_index (tracked : Cell.tracked) ~hook =
     overload "record of %d bytes exceeds the block payload" size;
   let buf = current_buffer t g ~size in
   Block.add buf.b_block ~size tracked;
+  emit t
+    (El_obs.Event.Append
+       {
+         gen = gen_index;
+         slot = buf.b_slot;
+         tid = Ids.Tid.to_int tracked.Cell.record.Log_record.tid;
+         size;
+       });
   (match tracked.Cell.cell with
   | Some cell ->
     cell.Cell.gen <- gen_index;
@@ -588,6 +624,15 @@ let request_commit t ~tid ~on_ack =
         Flush_array.request t.flush oid ~version)
       to_flush;
     t.acked <- t.acked + 1;
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+      let latency = Time.sub ack_time timestamp in
+      El_obs.Obs.emit o El_obs.Event.Manager
+        (El_obs.Event.Commit_ack { tid = Ids.Tid.to_int tid; latency });
+      El_obs.Histogram.observe
+        (El_obs.Obs.histogram ~lowest:1000.0 ~buckets:24 o "commit.latency_us")
+        (float_of_int (Time.to_us latency)));
     Ids.Tid.Table.remove t.placements tid;
     on_ack ack_time
   in
@@ -601,6 +646,7 @@ let request_abort t ~tid =
     Ledger.request_abort t.ledger ~tid ~timestamp ~size:t.tx_record_size
   in
   Ids.Tid.Table.remove t.placements tid;
+  emit t (El_obs.Event.Abort { tid = Ids.Tid.to_int tid });
   append_incoming t ~gen_index tracked ~hook:None
 
 let drain t =

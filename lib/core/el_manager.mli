@@ -36,11 +36,16 @@ val create :
   stable:El_disk.Stable_db.t ->
   ?write_time:Time.t ->
   ?tx_record_size:int ->
+  ?obs:El_obs.Obs.t ->
   unit ->
   t
 (** Builds the generations and takes ownership of the flush array's
     completion callback.  [write_time] defaults to the paper's 15 ms
-    τ_Disk_Write; [tx_record_size] to 8 bytes. *)
+    τ_Disk_Write; [tx_record_size] to 8 bytes.  With [obs], every
+    append, seal, head advance, forward, recirculation, stage write,
+    kill, eviction, commit ack and abort is traced, commit latencies
+    feed the ["commit.latency_us"] histogram, and the per-generation
+    log channels trace their block writes. *)
 
 val set_on_kill : t -> (Ids.Tid.t -> unit) -> unit
 

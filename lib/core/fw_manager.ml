@@ -41,7 +41,13 @@ type t = {
   mutable awaiting_checkpoint : int list;  (* slots of committed records *)
   mutable checkpoints : int;
   mutable checkpoint_writes : int;
+  obs : El_obs.Obs.t option;
 }
+
+let emit t kind =
+  match t.obs with
+  | None -> ()
+  | Some o -> El_obs.Obs.emit o El_obs.Event.Manager kind
 
 let current_slot t = match t.current with Some b -> Some b.b_slot | None -> None
 
@@ -64,6 +70,7 @@ let take_checkpoint t =
   | None -> ()
   | Some c ->
     t.checkpoints <- t.checkpoints + 1;
+    emit t (El_obs.Event.Checkpoint { blocks = c.cost_blocks });
     for _ = 1 to c.cost_blocks do
       t.checkpoint_writes <- t.checkpoint_writes + 1;
       Log_channel.write t.channel ~on_complete:(fun () -> ())
@@ -79,7 +86,7 @@ let create engine ~size_blocks ?(block_payload = Params.block_payload)
     ?(buffers = Params.buffers_per_generation)
     ?(write_time = Params.tau_disk_write)
     ?(tx_record_size = Params.tx_record_size)
-    ?(bytes_per_tx = Params.fw_bytes_per_tx) ?checkpointing () =
+    ?(bytes_per_tx = Params.fw_bytes_per_tx) ?checkpointing ?obs () =
   if size_blocks < head_tail_gap + 2 then
     invalid_arg "Fw_manager.create: log needs at least gap+2 blocks";
   (match checkpointing with
@@ -98,7 +105,9 @@ let create engine ~size_blocks ?(block_payload = Params.block_payload)
     head = 0;
     tail = 0;
     occupied = 0;
-    channel = Log_channel.create engine ~write_time ~buffer_pool:buffers ();
+    channel =
+      Log_channel.create engine ~write_time ~buffer_pool:buffers ?obs
+        ~label:0 ();
     current = None;
     txs = Ids.Tid.Table.create 1024;
     occupancy = El_metrics.Gauge.create ~name:"FW occupancy" ();
@@ -109,6 +118,7 @@ let create engine ~size_blocks ?(block_payload = Params.block_payload)
     awaiting_checkpoint = [];
     checkpoints = 0;
     checkpoint_writes = 0;
+    obs;
   }
   in
   (* Periodic checkpoints: each one writes its cost to the log and
@@ -163,6 +173,7 @@ let kill_oldest_active t =
   | Some tx ->
     terminate t tx;
     t.kills <- t.kills + 1;
+    emit t (El_obs.Event.Kill { tid = Ids.Tid.to_int tx.tid });
     (match t.on_kill with Some f -> f tx.tid | None -> ())
 
 let seal_current t =
@@ -170,6 +181,7 @@ let seal_current t =
   | None -> ()
   | Some buf ->
     t.current <- None;
+    emit t (El_obs.Event.Seal { gen = 0; slot = buf.b_slot });
     Log_channel.write t.channel ~on_complete:(fun () ->
         let now = El_sim.Engine.now t.engine in
         List.iter (fun hook -> hook now) (List.rev buf.b_hooks);
@@ -209,6 +221,9 @@ let current_buffer t ~size =
 let append t ~tid ~size ~tracked_live ~hook =
   let buf = current_buffer t ~size in
   Block.add buf.b_block ~size { r_tid = tid; r_size = size };
+  emit t
+    (El_obs.Event.Append
+       { gen = 0; slot = buf.b_slot; tid = Ids.Tid.to_int tid; size });
   (if tracked_live then
      match Ids.Tid.Table.find_opt t.txs tid with
      | Some tx when not tx.terminated ->
@@ -251,14 +266,29 @@ let request_commit t ~tid ~on_ack =
        The COMMIT record itself is written but, with no checkpointing
        modelled (as in the paper), never retained. *)
     terminate ~committed:true t tx;
+    let requested = El_sim.Engine.now t.engine in
     append t ~tid ~size:t.tx_record_size ~tracked_live:false
-      ~hook:(Some (fun ack_time -> on_ack ack_time))
+      ~hook:
+        (Some
+           (fun ack_time ->
+             (match t.obs with
+             | None -> ()
+             | Some o ->
+               let latency = Time.sub ack_time requested in
+               El_obs.Obs.emit o El_obs.Event.Manager
+                 (El_obs.Event.Commit_ack { tid = Ids.Tid.to_int tid; latency });
+               El_obs.Histogram.observe
+                 (El_obs.Obs.histogram ~lowest:1000.0 ~buckets:24 o
+                    "commit.latency_us")
+                 (float_of_int (Time.to_us latency)));
+             on_ack ack_time))
 
 let request_abort t ~tid =
   match Ids.Tid.Table.find_opt t.txs tid with
   | None -> invalid_arg "Fw_manager.request_abort: unknown transaction"
   | Some tx ->
     terminate t tx;
+    emit t (El_obs.Event.Abort { tid = Ids.Tid.to_int tid });
     append t ~tid ~size:t.tx_record_size ~tracked_live:false ~hook:None
 
 let drain t = seal_current t

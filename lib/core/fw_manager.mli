@@ -39,6 +39,7 @@ val create :
   ?tx_record_size:int ->
   ?bytes_per_tx:int ->
   ?checkpointing:checkpointing ->
+  ?obs:El_obs.Obs.t ->
   unit ->
   t
 (** Raises [Invalid_argument] if [size_blocks < head_tail_gap + 2].

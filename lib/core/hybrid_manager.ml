@@ -59,10 +59,16 @@ type t = {
   mutable regenerated_records : int;
   mutable kills : int;
   mutable on_kill : (Ids.Tid.t -> unit) option;
+  obs : El_obs.Obs.t option;
 }
 
 let bytes_per_tx = Params.fw_bytes_per_tx
 let bytes_per_object = Params.el_bytes_per_object
+
+let emit t kind =
+  match t.obs with
+  | None -> ()
+  | Some o -> El_obs.Obs.emit o El_obs.Event.Manager kind
 
 let drop_anchor t tx =
   match tx.anchor with
@@ -84,7 +90,7 @@ let create engine ~queue_sizes ~flush ~stable
     ?(head_tail_gap = Params.head_tail_gap)
     ?(buffers = Params.buffers_per_generation)
     ?(write_time = Params.tau_disk_write)
-    ?(tx_record_size = Params.tx_record_size) () =
+    ?(tx_record_size = Params.tx_record_size) ?obs () =
   if Array.length queue_sizes = 0 then
     invalid_arg "Hybrid_manager.create: no queues";
   Array.iter
@@ -103,7 +109,9 @@ let create engine ~queue_sizes ~flush ~stable
       q_head = 0;
       q_tail = 0;
       q_occupied = 0;
-      q_channel = Log_channel.create engine ~write_time ~buffer_pool:buffers ();
+      q_channel =
+        Log_channel.create engine ~write_time ~buffer_pool:buffers ?obs
+          ~label:i ();
       q_current = None;
     }
   in
@@ -123,6 +131,7 @@ let create engine ~queue_sizes ~flush ~stable
       regenerated_records = 0;
       kills = 0;
       on_kill = None;
+      obs;
     }
   in
   Flush_array.set_on_flush flush (fun oid ~version ->
@@ -159,6 +168,7 @@ let seal_current t q =
   | None -> ()
   | Some buf ->
     q.q_current <- None;
+    emit t (El_obs.Event.Seal { gen = q.q_index; slot = buf.b_slot });
     Log_channel.write q.q_channel ~on_complete:(fun () ->
         let now = El_sim.Engine.now t.engine in
         List.iter (fun h -> h now) (List.rev buf.b_hooks);
@@ -219,6 +229,17 @@ and append ?(self_regen = false) t q ~size ~anchor_tx ~hook =
   | None -> assert false
   | Some buf ->
     Block.add buf.b_block ~size size;
+    emit t
+      (El_obs.Event.Append
+         {
+           gen = q.q_index;
+           slot = buf.b_slot;
+           tid =
+             (match anchor_tx with
+             | Some tx -> Ids.Tid.to_int tx.tid
+             | None -> -1);
+           size;
+         });
     (* the space hunt above may have killed or retired the very
        transaction being appended for; a dead transaction must not be
        re-anchored (its anchored entry would outlive its table entry) *)
@@ -244,6 +265,9 @@ and advance_head t q =
   let s = q.q_head in
   if Some s = current_slot q then seal_current t q;
   let victims = q.anchored.(s) in
+  emit t
+    (El_obs.Event.Head_advance
+       { gen = q.q_index; slot = s; survivors = List.length victims });
   List.iter (fun tx -> drop_anchor t tx) victims;
   assert (q.anchors.(s) = 0);
   q.q_head <- (s + 1) mod q.q_size;
@@ -259,6 +283,16 @@ and advance_head t q =
       if Ids.Tid.Table.mem t.txs tx.tid && tx.anchor = None then begin
         let stubs = retained_stubs tx in
         t.regenerations <- t.regenerations + 1;
+        let regen_before = t.regenerated_records in
+        let note_regenerated () =
+          if t.regenerated_records > regen_before then
+            emit t
+              (El_obs.Event.Regenerate
+                 {
+                   queue = destination.q_index;
+                   records = t.regenerated_records - regen_before;
+                 })
+        in
         try
           List.iter
             (fun stub ->
@@ -271,9 +305,11 @@ and advance_head t q =
                   ~anchor_tx:(Some tx) ~hook:None
               end)
             stubs;
+          note_regenerated ();
           (* a committed transaction with nothing retained retires *)
           if stubs = [] then retire t tx
         with Regeneration_full -> (
+          note_regenerated ();
           (* The paper's rule: a record that cannot be recirculated for
              lack of space costs its transaction its life — but only an
              active transaction can actually be killed. *)
@@ -336,6 +372,7 @@ and kill_tx t tx =
     tx.stubs;
   retire t tx;
   t.kills <- t.kills + 1;
+  emit t (El_obs.Event.Kill { tid = Ids.Tid.to_int tx.tid });
   match t.on_kill with Some f -> f tx.tid | None -> ()
 
 (* ---- logging interface ---- *)
@@ -378,9 +415,20 @@ let request_commit t ~tid ~on_ack =
   tx.stubs <-
     tx.stubs
     @ [ { s_oid = None; s_version = 0; s_size = t.tx_record_size; s_flushed = false } ];
+  let requested = El_sim.Engine.now t.engine in
   let hook at =
     if Ids.Tid.Table.mem t.txs tid then begin
       tx.state <- Committed;
+      (match t.obs with
+      | None -> ()
+      | Some o ->
+        let latency = Time.sub at requested in
+        El_obs.Obs.emit o El_obs.Event.Manager
+          (El_obs.Event.Commit_ack { tid = Ids.Tid.to_int tid; latency });
+        El_obs.Histogram.observe
+          (El_obs.Obs.histogram ~lowest:1000.0 ~buckets:24 o
+             "commit.latency_us")
+          (float_of_int (Time.to_us latency)));
       (* hand every update to the flusher; supersede older committed
          versions of the same objects *)
       List.iter
@@ -428,6 +476,7 @@ let request_abort t ~tid =
   (* retire first so the space hunt below cannot pick this transaction
      as a kill victim after the generator already marked it aborted *)
   retire t tx;
+  emit t (El_obs.Event.Abort { tid = Ids.Tid.to_int tid });
   append t t.queues.(0) ~size:t.tx_record_size ~anchor_tx:None ~hook:None
 
 let drain t = Array.iter (fun q -> seal_current t q) t.queues

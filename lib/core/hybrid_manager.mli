@@ -35,6 +35,7 @@ val create :
   ?buffers:int ->
   ?write_time:Time.t ->
   ?tx_record_size:int ->
+  ?obs:El_obs.Obs.t ->
   unit ->
   t
 

@@ -32,10 +32,11 @@ type t = {
   mutable forced_count : int;
   mutable superseded : int;
   distances : El_metrics.Running_stat.t;
+  obs : El_obs.Obs.t option;
 }
 
 let create engine ~drives ~transfer_time ~num_objects
-    ?(scheduling = Nearest) () =
+    ?(scheduling = Nearest) ?obs () =
   if drives <= 0 then invalid_arg "Flush_array.create: no drives";
   if num_objects <= 0 || num_objects mod drives <> 0 then
     invalid_arg "Flush_array.create: num_objects must be a positive multiple of drives";
@@ -66,9 +67,17 @@ let create engine ~drives ~transfer_time ~num_objects
     forced_count = 0;
     superseded = 0;
     distances = El_metrics.Running_stat.create ~name:"flush oid distance" ();
+    obs;
   }
 
 let set_on_flush t f = t.on_flush <- Some f
+
+let emit t kind =
+  match t.obs with
+  | None -> ()
+  | Some o -> El_obs.Obs.emit o El_obs.Event.Disk kind
+
+let drive_index t d = d.lo / t.drives.(0).span
 
 let drive_of t oid =
   let o = Ids.Oid.to_int oid in
@@ -109,12 +118,27 @@ let rec dispatch t d =
   | Some r ->
     d.busy <- true;
     Hashtbl.remove d.pending_tbl r.oid;
+    emit t (El_obs.Event.Flush_start { drive = drive_index t d; oid = r.oid });
     El_sim.Engine.schedule_after t.engine t.transfer_time (fun () ->
-        if d.has_history then
-          El_metrics.Running_stat.observe t.distances
-            (float_of_int
-               (Ids.Oid.distance ~wrap:d.span (Ids.Oid.of_int r.oid)
-                  (Ids.Oid.of_int d.position)));
+        let distance =
+          if d.has_history then
+            Ids.Oid.distance ~wrap:d.span (Ids.Oid.of_int r.oid)
+              (Ids.Oid.of_int d.position)
+          else 0
+        in
+        if d.has_history then begin
+          El_metrics.Running_stat.observe t.distances (float_of_int distance);
+          match t.obs with
+          | None -> ()
+          | Some o ->
+            El_obs.Histogram.observe
+              (El_obs.Obs.histogram ~lowest:1.0 ~buckets:24 o
+                 "flush.oid_distance")
+              (float_of_int distance)
+        end;
+        emit t
+          (El_obs.Event.Flush_done
+             { drive = drive_index t d; oid = r.oid; distance });
         d.position <- r.oid;
         d.has_history <- true;
         t.pending_count <- t.pending_count - 1;
@@ -128,6 +152,7 @@ let rec dispatch t d =
 let enqueue t oid ~version ~forced =
   let d = drive_of t oid in
   let o = Ids.Oid.to_int oid in
+  emit t (El_obs.Event.Flush_request { oid = o; forced });
   (match Hashtbl.find_opt d.pending_tbl o with
   | Some r ->
     (* Supersede in place: keep the single pending slot, newest version. *)

@@ -29,12 +29,15 @@ val create :
   transfer_time:Time.t ->
   num_objects:int ->
   ?scheduling:scheduling ->
+  ?obs:El_obs.Obs.t ->
   unit ->
   t
 (** Raises [Invalid_argument] unless [drives > 0],
     [num_objects mod drives = 0] (the paper ignores the ragged case)
     and [transfer_time > Time.zero].  [scheduling] defaults to
-    [Nearest]. *)
+    [Nearest].  With [obs], the request/start/done lifecycle of every
+    flush is traced and seek distances feed the
+    ["flush.oid_distance"] histogram. *)
 
 val set_on_flush : t -> (Ids.Oid.t -> version:int -> unit) -> unit
 (** Installs the completion callback (the log manager's "record is now

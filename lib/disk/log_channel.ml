@@ -11,9 +11,11 @@ type t = {
   mutable peak : int;
   mutable overflows : int;
   mutable busy_until : Time.t;
+  obs : El_obs.Obs.t option;
+  label : int;  (* generation index in trace events; -1 when unnamed *)
 }
 
-let create engine ~write_time ~buffer_pool () =
+let create engine ~write_time ~buffer_pool ?obs ?(label = -1) () =
   if buffer_pool <= 0 then invalid_arg "Log_channel.create: empty pool";
   {
     engine;
@@ -26,7 +28,14 @@ let create engine ~write_time ~buffer_pool () =
     peak = 0;
     overflows = 0;
     busy_until = Time.zero;
+    obs;
+    label;
   }
+
+let emit t kind =
+  match t.obs with
+  | None -> ()
+  | Some o -> El_obs.Obs.emit o El_obs.Event.Channel kind
 
 let in_flight t = t.started - t.completed
 
@@ -36,8 +45,10 @@ let rec start_next t =
   | Some on_complete ->
     t.busy <- true;
     t.busy_until <- Time.add (El_sim.Engine.now t.engine) t.write_time;
+    emit t (El_obs.Event.Log_write_start { gen = t.label });
     El_sim.Engine.schedule_after t.engine t.write_time (fun () ->
         t.completed <- t.completed + 1;
+        emit t (El_obs.Event.Log_write_done { gen = t.label });
         on_complete ();
         start_next t)
 

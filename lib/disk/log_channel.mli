@@ -19,8 +19,17 @@ open El_model
 type t
 
 val create :
-  El_sim.Engine.t -> write_time:Time.t -> buffer_pool:int -> unit -> t
-(** Raises [Invalid_argument] if [buffer_pool] is non-positive. *)
+  El_sim.Engine.t ->
+  write_time:Time.t ->
+  buffer_pool:int ->
+  ?obs:El_obs.Obs.t ->
+  ?label:int ->
+  unit ->
+  t
+(** Raises [Invalid_argument] if [buffer_pool] is non-positive.  With
+    [obs], every block write emits [Log_write_start]/[Log_write_done]
+    trace events tagged with [label] (the owning generation's index;
+    [-1] when unnamed). *)
 
 val write : t -> on_complete:(unit -> unit) -> unit
 (** Enqueues one block write.  [on_complete] fires τ after the write

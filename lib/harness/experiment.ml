@@ -24,6 +24,7 @@ type config = {
   num_objects : int;
   seed : int;
   abort_fraction : float;
+  observer : El_obs.Obs.config option;
 }
 
 let default_config ~kind ~mix =
@@ -39,6 +40,7 @@ let default_config ~kind ~mix =
     num_objects = Params.num_objects;
     seed = 42;
     abort_fraction = 0.0;
+    observer = None;
   }
 
 type result = {
@@ -75,6 +77,7 @@ type live = {
   el : El_manager.t option;
   fw : Fw_manager.t option;
   hybrid : Hybrid_manager.t option;
+  obs : El_obs.Obs.t option;
   finish : unit -> result;
 }
 
@@ -141,16 +144,19 @@ let collect cfg live ~overloaded =
 
 let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
   let engine = Engine.create ~seed:cfg.seed () in
+  let obs =
+    Option.map (fun c -> El_obs.Obs.create ~config:c engine) cfg.observer
+  in
   let stable = Stable_db.create ~num_objects:cfg.num_objects in
   let flush =
     Flush_array.create engine ~drives:cfg.flush_drives
       ~transfer_time:cfg.flush_transfer ~num_objects:cfg.num_objects
-      ~scheduling:cfg.flush_scheduling ()
+      ~scheduling:cfg.flush_scheduling ?obs ()
   in
   let el, fw, hybrid, sink =
     match cfg.kind with
     | Ephemeral policy ->
-      let m = El_manager.create engine ~policy ~flush ~stable () in
+      let m = El_manager.create engine ~policy ~flush ~stable ?obs () in
       let sink =
         {
           Generator.begin_tx =
@@ -166,7 +172,7 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
       in
       (Some m, None, None, sink)
     | Firewall size_blocks ->
-      let m = Fw_manager.create engine ~size_blocks () in
+      let m = Fw_manager.create engine ~size_blocks ?obs () in
       let sink =
         {
           Generator.begin_tx =
@@ -182,7 +188,9 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
       in
       (None, Some m, None, sink)
     | Hybrid queue_sizes ->
-      let m = Hybrid_manager.create engine ~queue_sizes ~flush ~stable () in
+      let m =
+        Hybrid_manager.create engine ~queue_sizes ~flush ~stable ?obs ()
+      in
       let sink =
         {
           Generator.begin_tx =
@@ -217,6 +225,52 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
   (match hybrid with
   | Some m -> Hybrid_manager.set_on_kill m kill
   | None -> ());
+  (* Time-series probes: the backlog/occupancy/memory curves of §4.
+     All read-only, sampled at dispatch boundaries by the installed
+     observer, so the simulation itself is untouched. *)
+  (match obs with
+  | None -> ()
+  | Some o ->
+    El_obs.Obs.add_probe o ~name:"flush_backlog" (fun () ->
+        float_of_int (Flush_array.pending flush));
+    El_obs.Obs.add_probe o ~name:"active_tx" (fun () ->
+        float_of_int (Generator.active generator));
+    El_obs.Obs.add_probe o ~name:"awaiting_ack" (fun () ->
+        float_of_int (Generator.awaiting_ack generator));
+    (match el with
+    | Some m ->
+      Array.iteri
+        (fun i _ ->
+          El_obs.Obs.add_probe o
+            ~name:(Printf.sprintf "gen%d_occupancy" i)
+            (fun () -> float_of_int (El_manager.occupied_blocks m).(i)))
+        (El_manager.occupied_blocks m);
+      El_obs.Obs.add_probe o ~name:"live_memory_bytes" (fun () ->
+          float_of_int
+            (El_core.Ledger.memory_bytes (El_manager.ledger m)))
+    | None -> ());
+    (match fw with
+    | Some m ->
+      El_obs.Obs.add_probe o ~name:"fw_occupancy" (fun () ->
+          float_of_int (Fw_manager.audit_view m).Fw_manager.ra_occupied);
+      El_obs.Obs.add_probe o ~name:"live_memory_bytes" (fun () ->
+          float_of_int (Fw_manager.stats m).Fw_manager.current_memory_bytes)
+    | None -> ());
+    (match hybrid with
+    | Some m ->
+      Array.iteri
+        (fun i _ ->
+          El_obs.Obs.add_probe o
+            ~name:(Printf.sprintf "queue%d_occupancy" i)
+            (fun () ->
+              (Hybrid_manager.audit_view m).(i).Hybrid_manager.qa_occupied
+              |> float_of_int))
+        (Hybrid_manager.audit_view m);
+      El_obs.Obs.add_probe o ~name:"live_memory_bytes" (fun () ->
+          float_of_int
+            (Hybrid_manager.stats m).Hybrid_manager.current_memory_bytes)
+    | None -> ());
+    El_obs.Obs.install o);
   let rec live =
     {
       engine;
@@ -226,6 +280,7 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
       el;
       fw;
       hybrid;
+      obs;
       finish = (fun () -> finish ());
     }
   and finish () =
@@ -235,6 +290,7 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
         false
       with El_manager.Log_overloaded _ -> true
     in
+    (match obs with Some o -> El_obs.Obs.finish o | None -> ());
     collect cfg live ~overloaded
   in
   live
@@ -259,6 +315,6 @@ let run_with_crash cfg ~crash_at =
   match !holder with
   | None -> assert false
   | Some image ->
-    let recovery = El_recovery.Recovery.recover image in
+    let recovery = El_recovery.Recovery.recover ?obs:live.obs image in
     let audit = El_recovery.Recovery.audit image recovery in
     (result, recovery, audit)

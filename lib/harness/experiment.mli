@@ -28,6 +28,12 @@ type config = {
   num_objects : int;  (** paper: 10^7 *)
   seed : int;
   abort_fraction : float;  (** 0 in the paper; >0 for fault injection *)
+  observer : El_obs.Obs.config option;
+      (** [Some cfg] turns on the observability layer (trace ring,
+          metric registry, time-series sampler).  [None] — the default
+          — leaves every hook a no-op, and either way the simulation's
+          {!result} is identical: observers never schedule events or
+          draw randomness. *)
 }
 
 val default_config : kind:manager_kind -> mix:El_workload.Mix.t -> config
@@ -72,6 +78,9 @@ type live = {
   el : El_core.El_manager.t option;  (** when [kind] is [Ephemeral] *)
   fw : El_core.Fw_manager.t option;
   hybrid : El_core.Hybrid_manager.t option;
+  obs : El_obs.Obs.t option;
+      (** present iff the config's [observer] was set; hand it to
+          {!El_obs.Export} after {!live.finish} *)
   finish : unit -> result;
       (** runs the simulation to [runtime] (from wherever the engine
           is now) and collects the result *)

@@ -16,9 +16,25 @@ val mean : t -> float
 (** 0 when no samples have been observed. *)
 
 val variance : t -> float
-(** Population variance; 0 with fewer than two samples. *)
+(** {b Population} variance (Welford's [m2 / n]); 0 with fewer than
+    two samples.  This treats the observations as the whole population
+    — the right reading for simulator metrics, where every commit
+    latency and flush distance of the run is observed, not sampled.
+    For an unbiased estimate of the variance of a larger population
+    from which the observations are a sample, use
+    {!sample_variance}. *)
+
+val sample_variance : t -> float
+(** {b Sample} (Bessel-corrected) variance, [m2 / (n - 1)]; 0 with
+    fewer than two samples.  Always at least {!variance}, converging
+    to it as the number of observations grows. *)
 
 val stddev : t -> float
+(** [sqrt (variance t)] — the population standard deviation. *)
+
+val sample_stddev : t -> float
+(** [sqrt (sample_variance t)]. *)
+
 val min_value : t -> float
 (** [infinity] when empty. *)
 

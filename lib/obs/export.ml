@@ -1,0 +1,212 @@
+open El_model
+
+(* ---------- Chrome trace_event ---------- *)
+
+let us_of_time t = Time.to_us t
+
+let metadata_events () =
+  let meta name tid args =
+    Jsonx.Obj
+      [
+        ("name", Jsonx.String name);
+        ("ph", Jsonx.String "M");
+        ("pid", Jsonx.Int 0);
+        ("tid", Jsonx.Int tid);
+        ("args", Jsonx.Obj args);
+      ]
+  in
+  meta "process_name" 0 [ ("name", Jsonx.String "el-sim") ]
+  :: List.map
+       (fun sub ->
+         meta "thread_name"
+           (Event.subsystem_index sub)
+           [ ("name", Jsonx.String (Event.subsystem_name sub)) ])
+       Event.all_subsystems
+
+let instant_event (ev : Event.t) =
+  Jsonx.Obj
+    [
+      ("name", Jsonx.String (Event.name ev.kind));
+      ("cat", Jsonx.String (Event.subsystem_name ev.sub));
+      ("ph", Jsonx.String "i");
+      ("ts", Jsonx.Int (us_of_time ev.at));
+      ("pid", Jsonx.Int 0);
+      ("tid", Jsonx.Int (Event.subsystem_index ev.sub));
+      ("s", Jsonx.String "t");
+      ("args", Jsonx.Obj (Event.args ev.kind));
+    ]
+
+let counter_event ~at ~name ~value =
+  Jsonx.Obj
+    [
+      ("name", Jsonx.String name);
+      ("ph", Jsonx.String "C");
+      ("ts", Jsonx.Int (us_of_time at));
+      ("pid", Jsonx.Int 0);
+      ("tid", Jsonx.Int 0);
+      ("args", Jsonx.Obj [ ("value", Jsonx.Float value) ]);
+    ]
+
+let ts_of = function
+  | Jsonx.Obj fields -> (
+    match List.assoc_opt "ts" fields with Some (Jsonx.Int n) -> n | _ -> -1)
+  | _ -> -1
+
+let chrome_trace_doc obs =
+  let instants = List.map instant_event (Obs.events obs) in
+  let columns = Sampler.columns (Obs.sampler obs) in
+  let counters =
+    List.concat_map
+      (fun (at, row) ->
+        List.mapi (fun i name -> counter_event ~at ~name ~value:row.(i)) columns)
+      (Sampler.rows (Obs.sampler obs))
+  in
+  (* Both streams are individually nondecreasing in ts (the engine
+     clock never goes backwards); a stable sort merges them without
+     reordering same-timestamp events within a stream. *)
+  let timed = List.stable_sort (fun a b -> compare (ts_of a) (ts_of b))
+      (instants @ counters)
+  in
+  Jsonx.Obj
+    [
+      ("traceEvents", Jsonx.List (metadata_events () @ timed));
+      ("displayTimeUnit", Jsonx.String "ms");
+    ]
+
+let chrome_trace obs = Jsonx.to_string (chrome_trace_doc obs)
+
+(* ---------- CSV time series ---------- *)
+
+let timeseries_csv obs =
+  let sampler = Obs.sampler obs in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "time_s";
+  List.iter
+    (fun c ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf c)
+    (Sampler.columns sampler);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (at, row) ->
+      Buffer.add_string buf (Printf.sprintf "%.6f" (Time.to_sec_f at));
+      Array.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf ",%.6g" v))
+        row;
+      Buffer.add_char buf '\n')
+    (Sampler.rows sampler);
+  Buffer.contents buf
+
+(* ---------- JSON summary ---------- *)
+
+let events_by_kind obs =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (ev : Event.t) ->
+      let name = Event.name ev.kind in
+      Hashtbl.replace tbl name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
+    (Obs.events obs);
+  Hashtbl.fold (fun name n acc -> (name, Jsonx.Int n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let metric_json = function
+  | Registry.Counter c ->
+    Jsonx.Obj
+      [
+        ("type", Jsonx.String "counter");
+        ("value", Jsonx.Int (El_metrics.Counter.value c));
+      ]
+  | Registry.Gauge g ->
+    Jsonx.Obj
+      [
+        ("type", Jsonx.String "gauge");
+        ("value", Jsonx.Int (El_metrics.Gauge.value g));
+        ("max", Jsonx.Int (El_metrics.Gauge.max_value g));
+      ]
+  | Registry.Stat s ->
+    let module R = El_metrics.Running_stat in
+    Jsonx.Obj
+      [
+        ("type", Jsonx.String "stat");
+        ("count", Jsonx.Int (R.count s));
+        ("mean", Jsonx.Float (R.mean s));
+        ("stddev", Jsonx.Float (R.stddev s));
+        ("min", Jsonx.Float (R.min_value s));
+        ("max", Jsonx.Float (R.max_value s));
+      ]
+  | Registry.Histogram h ->
+    Jsonx.Obj
+      [
+        ("type", Jsonx.String "histogram");
+        ("count", Jsonx.Int (Histogram.count h));
+        ("mean", Jsonx.Float (Histogram.mean h));
+        ("min", Jsonx.Float (Histogram.min_value h));
+        ("max", Jsonx.Float (Histogram.max_value h));
+        ("p50", Jsonx.Float (Histogram.percentile h 0.5));
+        ("p90", Jsonx.Float (Histogram.percentile h 0.9));
+        ("p99", Jsonx.Float (Histogram.percentile h 0.99));
+        ( "buckets",
+          Jsonx.List
+            (List.map
+               (fun (lo, hi, n) ->
+                 Jsonx.Obj
+                   [
+                     ("lo", Jsonx.Float lo);
+                     ("hi", Jsonx.Float hi);
+                     ("count", Jsonx.Int n);
+                   ])
+               (Histogram.nonzero_buckets h)) );
+      ]
+
+let series_summary obs =
+  let sampler = Obs.sampler obs in
+  let rows = Sampler.rows sampler in
+  List.mapi
+    (fun i name ->
+      let values = List.map (fun (_, row) -> row.(i)) rows in
+      let n = List.length values in
+      let stats =
+        if n = 0 then
+          [ ("samples", Jsonx.Int 0) ]
+        else
+          let mn = List.fold_left Float.min infinity values in
+          let mx = List.fold_left Float.max neg_infinity values in
+          let total = List.fold_left ( +. ) 0.0 values in
+          [
+            ("samples", Jsonx.Int n);
+            ("min", Jsonx.Float mn);
+            ("max", Jsonx.Float mx);
+            ("mean", Jsonx.Float (total /. float_of_int n));
+            ("last", Jsonx.Float (List.nth values (n - 1)));
+          ]
+      in
+      (name, Jsonx.Obj stats))
+    (Sampler.columns sampler)
+
+let summary ?(extra = []) obs =
+  Jsonx.Obj
+    ([
+       ("schema", Jsonx.String "el-obs-summary/1");
+       ( "trace",
+         Jsonx.Obj
+           [
+             ("emitted", Jsonx.Int (Obs.emitted obs));
+             ("recorded", Jsonx.Int (Obs.recorded obs));
+             ("dropped", Jsonx.Int (Obs.dropped obs));
+           ] );
+       ("events_by_kind", Jsonx.Obj (events_by_kind obs));
+       ( "metrics",
+         Jsonx.Obj
+           (List.map
+              (fun (name, m) -> (name, metric_json m))
+              (Registry.to_list (Obs.registry obs))) );
+       ( "timeseries",
+         Jsonx.Obj
+           (( "period_s",
+              Jsonx.Float (Time.to_sec_f (Sampler.period (Obs.sampler obs))) )
+           :: series_summary obs) );
+     ]
+    @ extra)
+
+let summary_json ?extra obs = Jsonx.to_string (summary ?extra obs)

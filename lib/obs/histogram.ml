@@ -1,0 +1,142 @@
+(* Log-scale histogram.  Interior bucket [i] (1-based in [counts])
+   covers [bounds.(i-1), bounds.(i)), with bounds.(i) = lowest *
+   base^i computed by iterated multiplication so that boundary
+   observations land deterministically (no log/floor float fuzz).
+   counts.(0) is the underflow bucket (x < lowest, including
+   negatives), counts.(buckets + 1) the overflow bucket. *)
+
+type t = {
+  name : string;
+  base : float;
+  lowest : float;
+  bounds : float array;  (* length buckets + 1; bounds.(0) = lowest *)
+  counts : int array;  (* length buckets + 2 *)
+  mutable total : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create ?(name = "histogram") ?(base = 2.0) ?(lowest = 1.0)
+    ?(buckets = 32) () =
+  if base <= 1.0 then invalid_arg "Histogram.create: base must exceed 1";
+  if lowest <= 0.0 then invalid_arg "Histogram.create: non-positive lowest";
+  if buckets <= 0 then invalid_arg "Histogram.create: no buckets";
+  let bounds = Array.make (buckets + 1) lowest in
+  for i = 1 to buckets do
+    bounds.(i) <- bounds.(i - 1) *. base
+  done;
+  {
+    name;
+    base;
+    lowest;
+    bounds;
+    counts = Array.make (buckets + 2) 0;
+    total = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let name t = t.name
+let num_buckets t = Array.length t.bounds - 1
+
+let bucket_index t x =
+  if x < t.bounds.(0) then 0
+  else begin
+    (* binary search: smallest i with x < bounds.(i); overflow if none *)
+    let n = Array.length t.bounds in
+    if x >= t.bounds.(n - 1) then n
+    else begin
+      let lo = ref 0 and hi = ref (n - 1) in
+      (* invariant: x >= bounds.(lo), x < bounds.(hi) *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if x >= t.bounds.(mid) then lo := mid else hi := mid
+      done;
+      !hi
+    end
+  end
+
+let bucket_bounds t i =
+  let n = num_buckets t in
+  if i < 0 || i > n + 1 then invalid_arg "Histogram.bucket_bounds";
+  if i = 0 then (neg_infinity, t.bounds.(0))
+  else if i = n + 1 then (t.bounds.(n), infinity)
+  else (t.bounds.(i - 1), t.bounds.(i))
+
+let observe t x =
+  if not (Float.is_nan x) then begin
+    t.counts.(bucket_index t x) <- t.counts.(bucket_index t x) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. x;
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+  end
+
+let count t = t.total
+let sum t = t.sum
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+let min_value t = t.min_v
+let max_value t = t.max_v
+let bucket_count t i = t.counts.(i)
+
+let same_shape a b =
+  a.base = b.base && a.lowest = b.lowest && num_buckets a = num_buckets b
+
+let merge ?name:n a b =
+  if not (same_shape a b) then
+    invalid_arg "Histogram.merge: incompatible bucket layouts";
+  let m =
+    create
+      ~name:(match n with Some s -> s | None -> a.name)
+      ~base:a.base ~lowest:a.lowest ~buckets:(num_buckets a) ()
+  in
+  Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
+  m.total <- a.total + b.total;
+  m.sum <- a.sum +. b.sum;
+  m.min_v <- Float.min a.min_v b.min_v;
+  m.max_v <- Float.max a.max_v b.max_v;
+  m
+
+(* Upper-bound estimate: the smallest bucket boundary below which at
+   least [p] of the observations fall.  Clamped to the observed range
+   at the extremes, so p=1 reports the true maximum. *)
+let percentile t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Histogram.percentile";
+  if t.total = 0 then 0.0
+  else begin
+    let target =
+      int_of_float (Float.round (p *. float_of_int t.total))
+      |> Stdlib.max 1 |> Stdlib.min t.total
+    in
+    let rec walk i acc =
+      let acc = acc + t.counts.(i) in
+      if acc >= target then
+        let _, hi = bucket_bounds t i in
+        Float.min hi t.max_v
+      else walk (i + 1) acc
+    in
+    walk 0 0
+  end
+
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bucket_bounds t i in
+      acc := (lo, hi, t.counts.(i)) :: !acc
+    end
+  done;
+  !acc
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity
+
+let pp ppf t =
+  Format.fprintf ppf "%s: n=%d mean=%.3f p50<=%.3g p99<=%.3g max=%.3g" t.name
+    t.total (mean t) (percentile t 0.5) (percentile t 0.99) t.max_v

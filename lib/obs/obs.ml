@@ -1,0 +1,61 @@
+open El_model
+open El_sim
+
+type config = { ring_capacity : int; sample_period : Time.t }
+
+let default_config = { ring_capacity = 65_536; sample_period = Time.of_ms 100 }
+
+type t = {
+  engine : Engine.t;
+  ring : Event.t Ring.t;
+  registry : Registry.t;
+  sampler : Sampler.t;
+  mutable emitted : int;
+  mutable installed : bool;
+}
+
+let create ?(config = default_config) engine =
+  {
+    engine;
+    ring = Ring.create ~capacity:config.ring_capacity;
+    registry = Registry.create ();
+    sampler = Sampler.create ~period:config.sample_period ();
+    emitted = 0;
+    installed = false;
+  }
+
+let engine t = t.engine
+let registry t = t.registry
+let sampler t = t.sampler
+
+let emit_at t ~at sub kind =
+  t.emitted <- t.emitted + 1;
+  Ring.push t.ring { Event.at; sub; kind }
+
+let emit t sub kind = emit_at t ~at:(Engine.now t.engine) sub kind
+
+let events t = Ring.to_list t.ring
+let emitted t = t.emitted
+let recorded t = Ring.length t.ring
+let dropped t = Ring.dropped t.ring
+
+let counter t name = Registry.counter t.registry name
+let gauge t name = Registry.gauge t.registry name
+let stat t name = Registry.stat t.registry name
+
+let histogram ?base ?lowest ?buckets t name =
+  Registry.histogram ?base ?lowest ?buckets t.registry name
+
+let add_probe t ~name read = Sampler.add_probe t.sampler ~name read
+
+(* The sampler observer only *reads* state, so registering it cannot
+   perturb the simulation; [installed] keeps a second [install] from
+   double-sampling. *)
+let install t =
+  if not t.installed then begin
+    t.installed <- true;
+    Engine.on_dispatch t.engine (fun () ->
+        Sampler.tick t.sampler ~now:(Engine.now t.engine))
+  end
+
+let finish t = Sampler.tick t.sampler ~now:(Engine.now t.engine)

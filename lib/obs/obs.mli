@@ -1,0 +1,67 @@
+(** The observability hub: one value carrying the trace ring, the
+    metric registry and the time-series sampler for a run.
+
+    Instrumented components hold an [Obs.t option]; with [None] the
+    hooks cost a pattern match and nothing else, so default runs pay
+    essentially nothing.  With [Some obs] each hook {!emit}s a typed
+    {!Event.t} stamped with the engine clock into a bounded ring, and
+    {!install} registers a read-only sampler on the engine's dispatch
+    hook.  Nothing here schedules events or draws randomness, so a
+    run's {!El_harness.Experiment.result} is identical with
+    observability on or off. *)
+
+open El_model
+open El_sim
+
+type config = {
+  ring_capacity : int;  (** trace events retained (newest win) *)
+  sample_period : Time.t;  (** time-series sampling interval *)
+}
+
+type t
+
+val default_config : config
+(** 65536 events, 100 ms. *)
+
+val create : ?config:config -> Engine.t -> t
+
+val engine : t -> Engine.t
+val registry : t -> Registry.t
+val sampler : t -> Sampler.t
+
+val emit : t -> Event.subsystem -> Event.kind -> unit
+(** Record an event stamped at [Engine.now]. *)
+
+val emit_at : t -> at:Time.t -> Event.subsystem -> Event.kind -> unit
+(** Record an event with an explicit timestamp — recovery replays are
+    stamped at the crash instant, not at wall-run time. *)
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val emitted : t -> int
+(** Total ever emitted. *)
+
+val recorded : t -> int
+(** Currently retained ([<= ring_capacity]). *)
+
+val dropped : t -> int
+(** Emitted but overwritten. *)
+
+val counter : t -> string -> El_metrics.Counter.t
+val gauge : t -> string -> El_metrics.Gauge.t
+val stat : t -> string -> El_metrics.Running_stat.t
+
+val histogram :
+  ?base:float -> ?lowest:float -> ?buckets:int -> t -> string -> Histogram.t
+
+val add_probe : t -> name:string -> (unit -> float) -> unit
+(** Register a time-series column; see {!Sampler.add_probe}. *)
+
+val install : t -> unit
+(** Hook the sampler onto the engine's dispatch boundary.  Idempotent.
+    Call after all probes are registered and before running. *)
+
+val finish : t -> unit
+(** Take any sample whose deadline coincides with the final clock
+    reading (the engine only ticks observers at event boundaries). *)

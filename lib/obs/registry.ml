@@ -1,0 +1,64 @@
+type metric =
+  | Counter of El_metrics.Counter.t
+  | Gauge of El_metrics.Gauge.t
+  | Stat of El_metrics.Running_stat.t
+  | Histogram of Histogram.t
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let find_or_add t name ~make ~cast =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> (
+    match cast m with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Registry: %S already registered with another type"
+           name))
+  | None ->
+    let v = make () in
+    v
+
+let counter t name =
+  find_or_add t name
+    ~make:(fun () ->
+      let c = El_metrics.Counter.create ~name () in
+      Hashtbl.replace t.tbl name (Counter c);
+      c)
+    ~cast:(function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  find_or_add t name
+    ~make:(fun () ->
+      let g = El_metrics.Gauge.create ~name () in
+      Hashtbl.replace t.tbl name (Gauge g);
+      g)
+    ~cast:(function Gauge g -> Some g | _ -> None)
+
+let stat t name =
+  find_or_add t name
+    ~make:(fun () ->
+      let s = El_metrics.Running_stat.create ~name () in
+      Hashtbl.replace t.tbl name (Stat s);
+      s)
+    ~cast:(function Stat s -> Some s | _ -> None)
+
+let histogram ?base ?lowest ?buckets t name =
+  find_or_add t name
+    ~make:(fun () ->
+      let h = Histogram.create ~name ?base ?lowest ?buckets () in
+      Hashtbl.replace t.tbl name (Histogram h);
+      h)
+    ~cast:(function Histogram h -> Some h | _ -> None)
+
+let length t = Hashtbl.length t.tbl
+
+(* Sorted by name: deterministic export order regardless of
+   registration interleaving. *)
+let to_list t =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let iter t f = List.iter (fun (name, m) -> f name m) (to_list t)

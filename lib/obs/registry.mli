@@ -1,0 +1,34 @@
+(** A find-or-create registry of named metrics.
+
+    Instrumentation sites ask for a metric by name; the first call
+    creates it, later calls return the same instance, and exporters
+    walk {!to_list} to see everything that was ever touched.  Names
+    are global within one registry, so a name can belong to only one
+    metric type — asking for an existing name with a different type
+    raises [Invalid_argument]. *)
+
+type metric =
+  | Counter of El_metrics.Counter.t
+  | Gauge of El_metrics.Gauge.t
+  | Stat of El_metrics.Running_stat.t
+  | Histogram of Histogram.t
+
+type t
+
+val create : unit -> t
+val counter : t -> string -> El_metrics.Counter.t
+val gauge : t -> string -> El_metrics.Gauge.t
+val stat : t -> string -> El_metrics.Running_stat.t
+
+val histogram :
+  ?base:float -> ?lowest:float -> ?buckets:int -> t -> string -> Histogram.t
+(** The optional shape parameters only matter on the creating call;
+    later calls return the existing histogram unchanged. *)
+
+val length : t -> int
+
+val to_list : t -> (string * metric) list
+(** Sorted by name — deterministic export order. *)
+
+val iter : t -> (string -> metric -> unit) -> unit
+(** In {!to_list} order. *)

@@ -1,0 +1,38 @@
+type 'a t = {
+  data : 'a option array;
+  capacity : int;
+  mutable pushed : int;  (* total ever pushed *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: non-positive capacity";
+  { data = Array.make capacity None; capacity; pushed = 0 }
+
+let push t x =
+  t.data.(t.pushed mod t.capacity) <- Some x;
+  t.pushed <- t.pushed + 1
+
+let capacity t = t.capacity
+let pushed t = t.pushed
+let length t = min t.pushed t.capacity
+let dropped t = max 0 (t.pushed - t.capacity)
+
+let get_exn t i =
+  match t.data.(i) with Some x -> x | None -> assert false
+
+(* Oldest retained first. *)
+let iter t f =
+  let n = length t in
+  let start = if t.pushed <= t.capacity then 0 else t.pushed mod t.capacity in
+  for k = 0 to n - 1 do
+    f (get_exn t ((start + k) mod t.capacity))
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun x -> acc := x :: !acc);
+  List.rev !acc
+
+let clear t =
+  Array.fill t.data 0 t.capacity None;
+  t.pushed <- 0

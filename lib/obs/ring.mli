@@ -1,0 +1,31 @@
+(** A bounded ring buffer that keeps the newest elements.
+
+    Pushing beyond the capacity silently overwrites the oldest
+    retained element — the trace recorder's policy: a bounded-memory
+    window ending at the most recent event, with {!dropped} counting
+    what fell off the back. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val push : 'a t -> 'a -> unit
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Number of elements currently retained ([<= capacity]). *)
+
+val pushed : 'a t -> int
+(** Total elements ever pushed. *)
+
+val dropped : 'a t -> int
+(** [pushed - length]: how many old elements were overwritten. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Oldest retained first. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest retained first. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,46 @@
+open El_model
+
+type probe = { name : string; read : unit -> float }
+
+type t = {
+  period : Time.t;
+  mutable probes_rev : probe list;  (* newest first *)
+  mutable next_due : Time.t;
+  mutable rows_rev : (Time.t * float array) list;  (* newest first *)
+  mutable count : int;
+}
+
+let create ~period () =
+  if Time.(period <= zero) then
+    invalid_arg "Sampler.create: non-positive period";
+  { period; probes_rev = []; next_due = Time.zero; rows_rev = []; count = 0 }
+
+let period t = t.period
+
+let add_probe t ~name read =
+  if List.exists (fun p -> p.name = name) t.probes_rev then
+    invalid_arg (Printf.sprintf "Sampler.add_probe: duplicate probe %S" name);
+  t.probes_rev <- { name; read } :: t.probes_rev
+
+let columns t = List.rev_map (fun p -> p.name) t.probes_rev
+
+let sample t ~at =
+  let probes = List.rev t.probes_rev in
+  let row = Array.of_list (List.map (fun p -> p.read ()) probes) in
+  t.rows_rev <- (at, row) :: t.rows_rev;
+  t.count <- t.count + 1
+
+(* Samples are stamped at the period grid, not at [now]: the tick is
+   driven from event boundaries, so [now] jumps unevenly, but the
+   recorded series must stay periodic for plots and CSV export.  A
+   grid point whose deadline passed between two events is recorded at
+   that deadline with the state visible at the boundary — the closest
+   deterministic reading the discrete-event world offers. *)
+let tick t ~now =
+  while Time.(now >= t.next_due) do
+    sample t ~at:t.next_due;
+    t.next_due <- Time.add t.next_due t.period
+  done
+
+let rows t = List.rev t.rows_rev
+let length t = t.count

@@ -1,0 +1,35 @@
+(** A periodic time-series sampler.
+
+    Probes are closures reading the live simulation state (generation
+    occupancy, flush backlog, live-cell bytes).  {!tick} is called
+    from an {!El_sim.Engine.on_dispatch} observer; whenever the clock
+    has crossed one or more sample deadlines, every probe is read once
+    per deadline and the row is stamped at the deadline itself, so the
+    series is strictly periodic even though the simulated clock jumps
+    unevenly between events.  The first row lands at
+    {!El_model.Time.zero}. *)
+
+open El_model
+
+type t
+
+val create : period:Time.t -> unit -> t
+(** Raises [Invalid_argument] if [period] is zero. *)
+
+val period : t -> Time.t
+
+val add_probe : t -> name:string -> (unit -> float) -> unit
+(** Raises [Invalid_argument] on a duplicate probe name.  Probes added
+    after sampling has begun appear only in rows sampled from then on
+    — add all probes before running. *)
+
+val tick : t -> now:Time.t -> unit
+(** Record one row per crossed sample deadline ([<= now]). *)
+
+val columns : t -> string list
+(** Probe names in registration order — the CSV column order. *)
+
+val rows : t -> (Time.t * float array) list
+(** Chronological; each array is in {!columns} order. *)
+
+val length : t -> int

@@ -23,7 +23,7 @@ type result = {
   redo_skipped : int;
 }
 
-let recover image =
+let recover ?obs image =
   (* Pass 1 within the single scan: the committed transaction set is
      known once every record has been seen, so we fold the scan into a
      table first and then redo — still one read of the log. *)
@@ -58,6 +58,15 @@ let recover image =
       | Log_record.Abort ->
         incr skipped)
     image.records;
+  (match obs with
+  | None -> ()
+  | Some o ->
+    (* Recovery happens conceptually at the crash instant; stamping
+       the scan there keeps the trace timeline consistent even when
+       the image is replayed later (or never) in wall-run order. *)
+    El_obs.Obs.emit_at o ~at:image.crash_time El_obs.Event.Recovery
+      (El_obs.Event.Recovery_scan
+         { records = !scanned; applied = !applied; skipped = !skipped }));
   {
     recovered;
     committed_tids =

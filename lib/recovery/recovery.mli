@@ -43,10 +43,11 @@ type result = {
   redo_skipped : int;  (** stale copies, uncommitted or aborted records *)
 }
 
-val recover : image -> result
+val recover : ?obs:El_obs.Obs.t -> image -> result
 (** The single pass: scan, determine the committed transaction set,
     redo newest committed versions onto a copy of the stable
-    version. *)
+    version.  With [obs], emits a [Recovery_scan] trace event stamped
+    at the image's crash time. *)
 
 type audit = {
   ok : bool;

@@ -5,7 +5,9 @@ type t = {
   mutable clock : Time.t;
   rng : Random.State.t;
   mutable dispatched : int;
-  mutable observers : (unit -> unit) list;  (* registration order *)
+  mutable observers_rev : (unit -> unit) list;  (* newest first *)
+  mutable observers : (unit -> unit) array;  (* FIFO cache of the above *)
+  mutable observers_stale : bool;
 }
 
 let create ?(seed = 42) () =
@@ -14,7 +16,9 @@ let create ?(seed = 42) () =
     clock = Time.zero;
     rng = Random.State.make [| seed |];
     dispatched = 0;
-    observers = [];
+    observers_rev = [];
+    observers = [||];
+    observers_stale = false;
   }
 
 let now t = t.clock
@@ -27,15 +31,25 @@ let schedule_at t time f =
 
 let schedule_after t delay f = schedule_at t (Time.add t.clock delay) f
 
-let on_dispatch t f = t.observers <- t.observers @ [ f ]
+(* O(1) per registration: the FIFO array is rebuilt lazily at the next
+   dispatch, so a burst of n registrations costs one O(n) reversal
+   rather than the O(n^2) of appending to the tail each time. *)
+let on_dispatch t f =
+  t.observers_rev <- f :: t.observers_rev;
+  t.observers_stale <- true
 
 let dispatch t time f =
   t.clock <- Time.of_us time;
   t.dispatched <- t.dispatched + 1;
+  (* refresh before running the event so an observer registered from
+     inside it (or from another observer) first fires at the *next*
+     boundary — the cache in hand stays fixed for this dispatch *)
+  if t.observers_stale then begin
+    t.observers <- Array.of_list (List.rev t.observers_rev);
+    t.observers_stale <- false
+  end;
   f ();
-  match t.observers with
-  | [] -> ()
-  | observers -> List.iter (fun o -> o ()) observers
+  Array.iter (fun o -> o ()) t.observers
 
 let step t =
   match Event_queue.pop t.queue with

@@ -58,9 +58,11 @@ val on_dispatch : t -> (unit -> unit) -> unit
 (** [on_dispatch t f] registers [f] to run after every dispatched
     event, at the event boundary (the event's own effects, including
     anything it scheduled, are complete).  Observers run in
-    registration order and must not schedule, pop or otherwise perturb
-    the simulation if determinism is to be preserved — they are meant
-    for invariant audits and progress accounting. *)
+    registration order (FIFO) and must not schedule, pop or otherwise
+    perturb the simulation if determinism is to be preserved — they
+    are meant for invariant audits, trace recording and progress
+    accounting.  Registration is O(1); an observer registered during a
+    dispatch first runs at the following dispatch. *)
 
 val events_dispatched : t -> int
 (** Number of events dispatched so far (an activity measure used by

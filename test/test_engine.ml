@@ -125,6 +125,38 @@ let test_on_dispatch_observer () =
   Alcotest.(check int) "observer does not count as dispatch" 3
     (Engine.events_dispatched e)
 
+let test_observer_registration_fifo () =
+  (* Regression for the quadratic `observers @ [f]` registration: many
+     observers registered one by one (including mid-run) must still
+     fire in FIFO registration order at every subsequent dispatch. *)
+  let e = Engine.create () in
+  let order = ref [] in
+  let register i = Engine.on_dispatch e (fun () -> order := i :: !order) in
+  List.iter register [ 0; 1; 2 ];
+  Engine.schedule_at e (Time.of_ms 1) (fun () -> ());
+  Engine.run_all e;
+  Alcotest.(check (list int)) "initial batch is FIFO" [ 0; 1; 2 ]
+    (List.rev !order);
+  (* a second batch, registered after a dispatch has already built the
+     internal FIFO cache, must append after the first *)
+  List.iter register [ 3; 4 ];
+  order := [];
+  Engine.schedule_at e (Time.of_ms 2) (fun () -> ());
+  Engine.run_all e;
+  Alcotest.(check (list int)) "later registrations keep FIFO order"
+    [ 0; 1; 2; 3; 4 ] (List.rev !order)
+
+let test_observer_registered_mid_dispatch () =
+  (* An observer registered from inside an event (or another observer)
+     first runs at the following dispatch, never the current one. *)
+  let e = Engine.create () in
+  let hits = ref 0 in
+  Engine.schedule_at e (Time.of_ms 1) (fun () ->
+      Engine.on_dispatch e (fun () -> incr hits));
+  Engine.schedule_at e (Time.of_ms 2) (fun () -> ());
+  Engine.run_all e;
+  Alcotest.(check int) "fires only at later boundaries" 1 !hits
+
 let suite =
   [
     Alcotest.test_case "clock advances with dispatch" `Quick test_clock_advances;
@@ -134,6 +166,10 @@ let suite =
       test_run_steps_pauses;
     Alcotest.test_case "on_dispatch observers fire at boundaries" `Quick
       test_on_dispatch_observer;
+    Alcotest.test_case "observer registration is FIFO at dispatch" `Quick
+      test_observer_registration_fifo;
+    Alcotest.test_case "mid-dispatch registration fires next boundary" `Quick
+      test_observer_registered_mid_dispatch;
     Alcotest.test_case "schedule_after is relative" `Quick test_schedule_after;
     Alcotest.test_case "run ~until stops and sets clock" `Quick test_run_until;
     Alcotest.test_case "scheduling in the past is rejected" `Quick

@@ -23,4 +23,5 @@ let () =
       ("experiment", Test_experiment.suite);
       ("min-space", Test_min_space.suite);
       ("check", Test_check.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -45,18 +45,26 @@ let test_running_stat () =
   Alcotest.(check (float 1e-9)) "max" 9.0 (S.max_value s)
 
 let prop_stat_mean =
-  QCheck.Test.make ~name:"running stat matches direct mean/variance" ~count:200
+  QCheck.Test.make
+    ~name:"running stat matches two-pass mean/population/sample variance"
+    ~count:200
     QCheck.(list_of_size Gen.(int_range 2 50) (float_bound_exclusive 1000.0))
     (fun xs ->
       let s = S.create () in
       List.iter (S.observe s) xs;
+      (* naive two-pass reference *)
       let n = float_of_int (List.length xs) in
       let mean = List.fold_left ( +. ) 0.0 xs /. n in
-      let var =
-        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n
+      let m2 =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
       in
-      abs_float (S.mean s -. mean) < 1e-6 *. (1.0 +. abs_float mean)
-      && abs_float (S.variance s -. var) < 1e-6 *. (1.0 +. var))
+      let pop_var = m2 /. n in
+      let sample_var = m2 /. (n -. 1.0) in
+      let close a b = abs_float (a -. b) < 1e-6 *. (1.0 +. abs_float b) in
+      close (S.mean s) mean
+      && close (S.variance s) pop_var
+      && close (S.sample_variance s) sample_var
+      && S.sample_variance s >= S.variance s)
 
 let test_table_render () =
   let t =
