@@ -3,15 +3,19 @@
    the core machinery.
 
    Usage:
-     bench/main.exe [--quick] [--json PATH] [fig4] [fig5] [fig6] [fig7]
+     bench/main.exe [--quick] [--jobs N] [--json PATH]
+                    [fig4] [fig5] [fig6] [fig7]
                     [headline] [scarce] [rates] [recovery] [ablation]
                     [gens] [adaptive] [checkpoint] [poisson] [micro]
 
    With no selector, everything runs.  --quick shortens the simulated
    runs (120 s instead of the paper's 500 s) and coarsens sweeps; the
-   shapes still hold, absolute numbers move slightly.  --json writes a
-   machine-readable summary ("el-bench/1" schema) of every section
-   that ran, for CI regression checks and committed baselines. *)
+   shapes still hold, absolute numbers move slightly.  --jobs N runs
+   the independent simulations behind each sweep on N domains (default
+   1 = serial; tables and JSON are identical either way, see
+   lib/par).  --json writes a machine-readable summary ("el-bench/1"
+   schema) of every section that ran, for CI regression checks and
+   committed baselines. *)
 
 open El_model
 module Table = El_metrics.Table
@@ -30,6 +34,11 @@ let fmt_f0 f = Printf.sprintf "%.0f" f
    the CI schema check and committed as BENCH_<date>.json. *)
 
 module J = El_obs.Jsonx
+
+(* The work pool behind every sweep; main swaps it for a real one
+   when --jobs N > 1 is given.  Sections always collect results in
+   submission order, so the output is identical at any job count. *)
+let pool = ref El_par.Pool.serial
 
 let json_sections : (string * J.t) list ref = ref []
 
@@ -63,7 +72,7 @@ let get_mix_rows speed =
     Printf.printf
       "(running the Fig. 4/5/6 minimum-space sweeps; this is the expensive \
        part)\n%!";
-    let rows = Paper.figs_4_5_6 ~speed () in
+    let rows = Paper.figs_4_5_6 ~pool:!pool ~speed () in
     Hashtbl.replace mix_rows speed rows;
     add_section "mix_sweep" (J.List (List.map mix_row_json rows));
     rows
@@ -191,7 +200,7 @@ let get_fig7 speed =
   match Hashtbl.find_opt fig7_cache speed with
   | Some r -> r
   | None ->
-    let r = Paper.fig7 ~speed () in
+    let r = Paper.fig7 ~pool:!pool ~speed () in
     Hashtbl.replace fig7_cache speed r;
     add_section "fig7"
       (J.Obj
@@ -256,7 +265,7 @@ let fig7 speed =
 
 let headline speed =
   heading "In-text headline (5% mix): EL with recirculation vs FW";
-  let h = Paper.headline ~speed ~fig7_result:(get_fig7 speed) () in
+  let h = Paper.headline ~pool:!pool ~speed ~fig7_result:(get_fig7 speed) () in
   let t =
     Table.create
       ~columns:
@@ -298,7 +307,7 @@ let headline speed =
 
 let scarce speed =
   heading "In-text: scarce flushing bandwidth (10 drives x 45 ms = 222/s)";
-  let s = Paper.scarce_flush ~speed () in
+  let s = Paper.scarce_flush ~pool:!pool ~speed () in
   let t =
     Table.create
       ~columns:
@@ -520,7 +529,7 @@ let ablation speed =
 let gens_sweep speed =
   heading
     "Beyond the paper: minimum disk space vs number of generations (5% mix)";
-  let rows = Paper.generation_count_sweep ~speed () in
+  let rows = Paper.generation_count_sweep ~pool:!pool ~speed () in
   let t =
     Table.create
       ~columns:
@@ -883,9 +892,26 @@ let rec extract_json acc = function
   | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
   | a :: rest -> extract_json (a :: acc) rest
 
+(* pulls "--jobs N" (anywhere in the argument list) out of [args] *)
+let rec extract_jobs acc = function
+  | [] -> (1, List.rev acc)
+  | [ "--jobs" ] ->
+    prerr_endline "bench: --jobs needs a worker count";
+    exit 2
+  | "--jobs" :: n :: rest -> (
+    match int_of_string_opt n with
+    | Some jobs when jobs >= 1 -> (jobs, List.rev_append acc rest)
+    | Some _ | None ->
+      prerr_endline ("bench: bad --jobs count: " ^ n);
+      exit 2)
+  | a :: rest -> extract_jobs (a :: acc) rest
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let json_path, args = extract_json [] args in
+  let jobs, args = extract_jobs [] args in
+  pool := El_par.Pool.create ~jobs;
+  at_exit (fun () -> El_par.Pool.shutdown !pool);
   let quick = List.mem "--quick" args in
   let speed : Paper.speed = if quick then `Quick else `Full in
   let selectors = List.filter (fun a -> a <> "--quick") args in
@@ -893,10 +919,11 @@ let () =
   let want s = all || List.mem s selectors in
   Printf.printf
     "Ephemeral Logging (Keen & Dally, SIGMOD 1993) -- evaluation reproduction\n";
-  Printf.printf "mode: %s\n"
+  Printf.printf "mode: %s, %s\n"
     (match speed with
     | `Full -> "full (500s simulated runs, paper parameters)"
-    | `Quick -> "quick (120s simulated runs)");
+    | `Quick -> "quick (120s simulated runs)")
+    (if jobs = 1 then "serial" else Printf.sprintf "%d jobs" jobs);
   if want "fig4" then fig4 speed;
   if want "fig5" then fig5 speed;
   if want "fig6" then fig6 speed;
@@ -920,6 +947,7 @@ let () =
           ("schema", J.String "el-bench/1");
           ( "mode",
             J.String (match speed with `Full -> "full" | `Quick -> "quick") );
+          ("jobs", J.Int jobs);
           ( "selectors",
             J.List
               (List.map

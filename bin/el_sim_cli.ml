@@ -88,6 +88,23 @@ let poisson =
   let doc = "Use Poisson arrivals instead of the paper's regular spacing." in
   Arg.(value & flag & info [ "poisson" ] ~doc)
 
+(* Shared by every sweeping subcommand (min-space, paper, check): the
+   independent simulations fan out across $(docv) domains; outputs
+   are identical to --jobs 1 (see lib/par). *)
+let jobs_term =
+  let doc =
+    "Run the independent simulations of a sweep on $(docv) domains \
+     (default 1 = serial; results are identical either way)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
+let with_pool jobs f =
+  if jobs < 1 then begin
+    prerr_endline "el-sim: --jobs must be at least 1";
+    exit 2
+  end;
+  El_par.Pool.with_pool ~jobs f
+
 let mix_of opts long_pct =
   match (opts, long_pct) with
   | [], None -> El_workload.Mix.short_long ~long_fraction:0.05
@@ -175,12 +192,13 @@ let run_cmd =
     Term.(const action $ config_term)
 
 let min_space_cmd =
-  let action cfg =
+  let action cfg jobs =
+    with_pool jobs @@ fun pool ->
     match cfg.Experiment.kind with
     | Experiment.Hybrid _ ->
       prerr_endline "min-space: hybrid search is not supported; use run"
     | Experiment.Firewall _ ->
-      let blocks, result = El_harness.Min_space.min_fw cfg in
+      let blocks, result = El_harness.Min_space.min_fw ~pool cfg in
       Printf.printf "minimum FW log: %d blocks\n\n" blocks;
       print_result result
     | Experiment.Ephemeral policy ->
@@ -192,7 +210,7 @@ let min_space_cmd =
       | 2 ->
         let candidates = List.init 14 (fun i -> 4 + (2 * i)) in
         (match
-           El_harness.Min_space.min_el_two_gen cfg ~make_policy
+           El_harness.Min_space.min_el_two_gen ~pool cfg ~make_policy
              ~g0_candidates:candidates ~hi:256
          with
         | Some (sizes, result) ->
@@ -205,8 +223,8 @@ let min_space_cmd =
       | _ ->
         let leading = Array.sub sizes0 0 (Array.length sizes0 - 1) in
         (match
-           El_harness.Min_space.min_el_last_gen cfg ~make_policy ~leading
-             ~hi:256
+           El_harness.Min_space.min_el_last_gen ~pool cfg ~make_policy
+             ~leading ~hi:256
          with
         | Some (last, result) ->
           Printf.printf
@@ -223,8 +241,9 @@ let min_space_cmd =
          "Search for the minimum disk space that kills no transaction (the \
           paper's methodology). With --fw searches the firewall baseline; \
           with two generations optimises both sizes; with more generations \
-          fixes all but the last.")
-    Term.(const action $ config_term)
+          fixes all but the last.  --jobs N probes several candidate sizes \
+          per round on N domains (same minimum, fewer rounds).")
+    Term.(const action $ config_term $ jobs_term)
 
 let recover_cmd =
   let crash_at =
@@ -265,27 +284,28 @@ let paper_cmd =
     let doc = "Quick mode (120s simulated runs instead of 500s)." in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
-  let action what quick =
+  let action what quick jobs =
+    with_pool jobs @@ fun pool ->
     let speed : El_harness.Paper.speed = if quick then `Quick else `Full in
     let exe = Sys.executable_name in
     ignore exe;
     match what with
     | "headline" ->
-      let h = El_harness.Paper.headline ~speed () in
+      let h = El_harness.Paper.headline ~pool ~speed () in
       Printf.printf
         "FW %d blocks @ %.2f w/s; EL %d blocks @ %.2f w/s => %.1fx space, \
          +%.1f%% bandwidth (paper: 4.4x, +12%%)\n"
         h.fw_blocks h.fw_bandwidth h.el_blocks h.el_bandwidth h.space_ratio
         h.bandwidth_increase_pct
     | "scarce" ->
-      let s = El_harness.Paper.scarce_flush ~speed () in
+      let s = El_harness.Paper.scarce_flush ~pool ~speed () in
       Printf.printf
         "EL %d blocks @ %.2f w/s; mean flush distance %.0f (25ms baseline \
          %.0f); paper: 31 blocks, 13.96 w/s, 109k vs 235k\n"
         s.total_blocks s.bandwidth s.mean_flush_distance
         s.baseline_mean_flush_distance
     | "fig7" ->
-      let f = El_harness.Paper.fig7 ~speed () in
+      let f = El_harness.Paper.fig7 ~pool ~speed () in
       Printf.printf "gen0 fixed at %d\n" f.g0;
       List.iter
         (fun (r : El_harness.Paper.fig7_row) ->
@@ -294,7 +314,7 @@ let paper_cmd =
             (if r.feasible then "" else "(kills)"))
         f.rows
     | "fig4" | "fig5" | "fig6" | "rates" ->
-      let rows = El_harness.Paper.figs_4_5_6 ~speed () in
+      let rows = El_harness.Paper.figs_4_5_6 ~pool ~speed () in
       List.iter
         (fun (r : El_harness.Paper.mix_row) ->
           Printf.printf
@@ -309,7 +329,7 @@ let paper_cmd =
   in
   Cmd.v
     (Cmd.info "paper" ~doc:"Reproduce a published experiment.")
-    Term.(const action $ what $ quick)
+    Term.(const action $ what $ quick $ jobs_term)
 
 let adaptive_cmd =
   let initial =
@@ -472,7 +492,8 @@ let check_cmd =
     let doc = "Transaction arrival rate of each swept run, per second." in
     Arg.(value & opt float 40.0 & info [ "rate" ] ~doc)
   in
-  let action seeds stride runtime rate =
+  let action seeds stride runtime rate jobs =
+    with_pool jobs @@ fun pool ->
     let runtime = Time.of_sec_f runtime in
     let module Sweep = El_check.Sweep in
     let t =
@@ -495,7 +516,7 @@ let check_cmd =
       (fun (name, kind) ->
         for seed = 1 to seeds do
           let cfg = Sweep.standard_config ~kind ~runtime ~rate ~seed () in
-          let o = Sweep.run ~stride cfg in
+          let o = Sweep.run ~pool ~stride cfg in
           El_metrics.Table.add_row t
             [
               name;
@@ -531,8 +552,10 @@ let check_cmd =
          "Model-check the simulator: sweep seeded runs of all three log \
           managers, auditing invariants and (for EL) crash-recovering at \
           every stride-th event boundary, then compare each manager against \
-          an in-memory reference model.  Exits non-zero on any divergence.")
-    Term.(const action $ seeds $ stride $ check_runtime $ check_rate)
+          an in-memory reference model.  Exits non-zero on any divergence.  \
+          --jobs N fans each sweep's crash points out across N domains \
+          (identical findings, shorter wall-clock).")
+    Term.(const action $ seeds $ stride $ check_runtime $ check_rate $ jobs_term)
 
 let () =
   let info =

@@ -28,9 +28,29 @@ let kind_name = function
   | Experiment.Firewall _ -> "fw"
   | Experiment.Hybrid _ -> "hybrid"
 
-let run ?(stride = 100) ?(max_points = max_int) ?(recover = true)
-    ?(oracle = true) (cfg : Experiment.config) =
-  if stride <= 0 then invalid_arg "Sweep.run: stride must be positive";
+(* One slice of a (possibly partitioned) sweep.  Slice [s] of [slices]
+   replays the full seeded run — the simulation is deterministic and
+   owns all its state, so every slice sees bit-identical states at
+   every pause — but audits only the pauses whose global index is
+   ≡ s (mod slices), and only slice 0 performs the settled-state
+   checks.  With [slices = 1] this is exactly the historical serial
+   sweep.  Failures carry the global pause index they were detected
+   at ([max_int] for post-settle checks) so slices merge back into
+   the serial reporting order. *)
+type slice_outcome = {
+  s_events : int;
+  s_pauses : int;  (** global pause count — identical across slices *)
+  s_recoveries : int;  (** crash/recover cycles performed by this slice *)
+  s_failures : (int * int * string) list;
+      (** (pause tag, events dispatched, message), oldest first *)
+  s_overloaded : bool;
+  s_committed : int;
+  s_killed : int;
+  s_max_scanned : int;
+}
+
+let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle
+    (cfg : Experiment.config) =
   let reference = Reference.create () in
   let live =
     if oracle then
@@ -41,33 +61,39 @@ let run ?(stride = 100) ?(max_points = max_int) ?(recover = true)
   in
   let engine = live.Experiment.engine in
   let failures = ref [] in
-  let points = ref 0 in
+  let pauses = ref 0 in
   let recoveries = ref 0 in
   let max_scanned = ref 0 in
-  let record_failure msg =
-    failures := (Engine.events_dispatched engine, msg) :: !failures
+  let record_failure ~tag msg =
+    failures := (tag, Engine.events_dispatched engine, msg) :: !failures
   in
-  let guarded f = try f () with Auditor.Audit_failure m -> record_failure m in
+  let guarded ~tag f =
+    try f () with Auditor.Audit_failure m -> record_failure ~tag m
+  in
   let audit_point () =
-    incr points;
-    guarded (fun () -> Auditor.audit_live live);
-    match live.Experiment.el with
-    | Some m when recover ->
-      incr recoveries;
-      let image = Recovery.crash engine m in
-      let r = Recovery.recover image in
-      if r.Recovery.records_scanned > !max_scanned then
-        max_scanned := r.Recovery.records_scanned;
-      let a = Recovery.audit image r in
-      if not a.Recovery.ok then
-        record_failure
-          (Format.asprintf "crash recovery diverged: %a" Recovery.pp_audit a)
-    | _ -> ()
+    let tag = !pauses in
+    incr pauses;
+    if tag mod slices = slice then begin
+      guarded ~tag (fun () -> Auditor.audit_live live);
+      match live.Experiment.el with
+      | Some m when recover ->
+        incr recoveries;
+        let image = Recovery.crash engine m in
+        let r = Recovery.recover image in
+        if r.Recovery.records_scanned > !max_scanned then
+          max_scanned := r.Recovery.records_scanned;
+        let a = Recovery.audit image r in
+        if not a.Recovery.ok then
+          record_failure ~tag
+            (Format.asprintf "crash recovery diverged: %a" Recovery.pp_audit a)
+      | _ -> ()
+    end
   in
+  let final = max_int in
   let overloaded =
     try
       let continue = ref true in
-      while !continue && !points < max_points do
+      while !continue && !pauses < max_points do
         let n = Engine.run_steps engine ~until:cfg.Experiment.runtime
             ~max_steps:stride
         in
@@ -85,10 +111,15 @@ let run ?(stride = 100) ?(max_points = max_int) ?(recover = true)
       Engine.run_all engine;
       false
     with El_manager.Log_overloaded msg ->
-      record_failure (Printf.sprintf "log overloaded: %s" msg);
+      (* every slice hits the same overload at the same event; report
+         it once *)
+      if slice = 0 then
+        record_failure ~tag:final (Printf.sprintf "log overloaded: %s" msg);
       true
   in
-  if not overloaded then begin
+  if (not overloaded) && slice = 0 then begin
+    let guarded f = guarded ~tag:final f in
+    let record_failure msg = record_failure ~tag:final msg in
     guarded (fun () -> Auditor.audit_live live);
     if oracle then begin
       List.iter record_failure (Reference.violations reference);
@@ -113,16 +144,47 @@ let run ?(stride = 100) ?(max_points = max_int) ?(recover = true)
     end
   end;
   {
+    s_events = Engine.events_dispatched engine;
+    s_pauses = !pauses;
+    s_recoveries = !recoveries;
+    s_failures = List.rev !failures;
+    s_overloaded = overloaded;
+    s_committed = Generator.committed live.Experiment.generator;
+    s_killed = Generator.killed live.Experiment.generator;
+    s_max_scanned = !max_scanned;
+  }
+
+let run ?(pool = El_par.Pool.serial) ?(stride = 100) ?(max_points = max_int)
+    ?(recover = true) ?(oracle = true) (cfg : Experiment.config) =
+  if stride <= 0 then invalid_arg "Sweep.run: stride must be positive";
+  let slices = El_par.Pool.jobs pool in
+  let parts =
+    El_par.Pool.map pool
+      (fun slice ->
+        run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle cfg)
+      (List.init slices Fun.id)
+  in
+  let p0 = List.hd parts in
+  (* Each pause is owned by exactly one slice and the settled-state
+     tag only appears in slice 0, so a stable sort on the tag alone
+     reproduces the serial reporting order exactly. *)
+  let failures =
+    List.concat_map (fun p -> p.s_failures) parts
+    |> List.stable_sort (fun (a, _, _) (b, _, _) -> compare (a : int) b)
+    |> List.map (fun (_, at, msg) -> (at, msg))
+  in
+  {
     kind = kind_name cfg.Experiment.kind;
     seed = cfg.Experiment.seed;
-    events = Engine.events_dispatched engine;
-    points = !points;
-    recoveries = !recoveries;
-    failures = List.rev !failures;
-    overloaded;
-    committed = Generator.committed live.Experiment.generator;
-    killed = Generator.killed live.Experiment.generator;
-    max_records_scanned = !max_scanned;
+    events = p0.s_events;
+    points = p0.s_pauses;
+    recoveries = List.fold_left (fun a p -> a + p.s_recoveries) 0 parts;
+    failures;
+    overloaded = p0.s_overloaded;
+    committed = p0.s_committed;
+    killed = p0.s_killed;
+    max_records_scanned =
+      List.fold_left (fun a p -> max a p.s_max_scanned) 0 parts;
   }
 
 let standard_mix () =

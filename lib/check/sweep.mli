@@ -14,7 +14,17 @@
     then lets the run settle (generator finished, manager drained,
     engine run dry) and performs the final {!Reference} differential
     checks.  Failures are collected, not raised, so one sweep reports
-    every divergence it finds. *)
+    every divergence it finds.
+
+    With a multi-job {!El_par.Pool}, the crash points fan out across
+    the pool: each worker replays the same seeded run — deterministic
+    and fully self-owned, so every replay sees bit-identical states —
+    and audits every [jobs]-th pause; one worker also performs the
+    settled-state checks.  The merged outcome (including the exact
+    (event-index, violation) failure list and its order) is identical
+    to the serial sweep's, so parallelism can never mask, invent or
+    reorder a divergence — pinned by an equivalence test in
+    [test/test_par.ml]. *)
 
 open El_model
 
@@ -33,6 +43,7 @@ type outcome = {
 }
 
 val run :
+  ?pool:El_par.Pool.t ->
   ?stride:int ->
   ?max_points:int ->
   ?recover:bool ->
@@ -43,7 +54,9 @@ val run :
     [max_points] caps the number of pauses (default: no cap);
     [recover] (default true) enables the per-pause crash/recovery
     cycle on EL runs; [oracle] (default true) enables the differential
-    model and its settled-state checks.  Raises [Invalid_argument] if
+    model and its settled-state checks; [pool] (default serial) fans
+    the audit pauses out across its workers with an outcome identical
+    to the serial sweep's.  Raises [Invalid_argument] if
     [stride <= 0]. *)
 
 val kind_name : El_harness.Experiment.manager_kind -> string

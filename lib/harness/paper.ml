@@ -1,5 +1,6 @@
 open El_model
 module Policy = El_core.Policy
+module Pool = El_par.Pool
 
 type speed = [ `Full | `Quick ]
 
@@ -19,13 +20,17 @@ let with_recirc sizes = Policy.default ~generation_sizes:sizes
 
 (* Candidate first-generation sizes for the two-generation optimum:
    a coarse sweep refined around the best point. *)
-let optimize_two_gen cfg ~make_policy ~coarse ~hi =
-  match Min_space.min_el_two_gen cfg ~make_policy ~g0_candidates:coarse ~hi with
+let optimize_two_gen ?pool cfg ~make_policy ~coarse ~hi =
+  match
+    Min_space.min_el_two_gen ?pool cfg ~make_policy ~g0_candidates:coarse ~hi
+  with
   | None -> None
   | Some (sizes, result) ->
     let g0 = sizes.(0) in
     let refine = List.filter (fun c -> c > 0 && not (List.mem c coarse)) [ g0 - 1; g0 + 1 ] in
-    (match Min_space.min_el_two_gen cfg ~make_policy ~g0_candidates:refine ~hi with
+    (match
+       Min_space.min_el_two_gen ?pool cfg ~make_policy ~g0_candidates:refine ~hi
+     with
     | Some (sizes', result')
       when Array.fold_left ( + ) 0 sizes' < Array.fold_left ( + ) 0 sizes ->
       Some (sizes', result')
@@ -47,8 +52,13 @@ let coarse_candidates = function
   | `Full -> [ 6; 8; 10; 12; 14; 16; 18; 20; 22; 24; 26; 30 ]
   | `Quick -> [ 8; 12; 16; 20; 24 ]
 
-let figs_4_5_6 ?(speed = `Full) ?(mixes = [ 5; 10; 20; 30; 40 ]) () =
-  List.map
+let figs_4_5_6 ?(pool = Pool.serial) ?(speed = `Full)
+    ?(mixes = [ 5; 10; 20; 30; 40 ]) () =
+  (* One pool job per mix point; the searches inside a point stay
+     serial (nesting would degrade to serial anyway).  Pool.map keeps
+     submission order, so the rows come back in [mixes] order at any
+     job count. *)
+  Pool.map pool
     (fun long_pct ->
       let cfg kind = base_config ~speed ~kind ~long_pct () in
       let fw_cfg = cfg (Experiment.Firewall 512) in
@@ -90,11 +100,11 @@ type fig7_result = {
   rows : fig7_row list;
 }
 
-let fig7 ?(speed = `Full) () =
+let fig7 ?(pool = Pool.serial) ?(speed = `Full) () =
   let cfg = base_config ~speed ~kind:(Experiment.Firewall 512) ~long_pct:5 () in
   let no_recirc_sizes =
     match
-      optimize_two_gen cfg ~make_policy:no_recirc
+      optimize_two_gen ~pool cfg ~make_policy:no_recirc
         ~coarse:(coarse_candidates speed) ~hi:256
     with
     | Some (sizes, _) -> sizes
@@ -102,28 +112,39 @@ let fig7 ?(speed = `Full) () =
   in
   let g0 = no_recirc_sizes.(0) in
   let start_g1 = no_recirc_sizes.(1) in
+  let floor = Params.head_tail_gap + 1 in
+  let row_of g1 (r : Experiment.result) =
+    let seconds = Time.to_sec_f cfg.Experiment.runtime in
+    {
+      g1;
+      total_blocks = g0 + g1;
+      bw_last = float_of_int r.Experiment.log_writes_per_gen.(1) /. seconds;
+      bw_total = r.Experiment.log_write_rate;
+      feasible = r.Experiment.feasible;
+    }
+  in
+  let run_at g1 =
+    Experiment.run
+      { cfg with Experiment.kind = Experiment.Ephemeral (with_recirc [| g0; g1 |]) }
+  in
   (* Recirculation on; shrink the last generation until transactions
-     are killed, recording the bandwidth at each size. *)
+     are killed, recording the bandwidth at each size.  With a pool,
+     each round speculatively probes the next [jobs] sizes at once and
+     keeps rows up to (and including) the first infeasible one — the
+     same rows the one-at-a-time descent produces. *)
   let rec sweep g1 acc =
-    if g1 < Params.head_tail_gap + 1 then List.rev acc
+    if g1 < floor then List.rev acc
     else begin
-      let policy = with_recirc [| g0; g1 |] in
-      let r =
-        Experiment.run { cfg with Experiment.kind = Experiment.Ephemeral policy }
+      let k = min (Pool.jobs pool) (g1 - floor + 1) in
+      let results =
+        Pool.map pool (fun g1 -> row_of g1 (run_at g1)) (List.init k (fun i -> g1 - i))
       in
-      let seconds = Time.to_sec_f cfg.Experiment.runtime in
-      let row =
-        {
-          g1;
-          total_blocks = g0 + g1;
-          bw_last =
-            float_of_int r.Experiment.log_writes_per_gen.(1) /. seconds;
-          bw_total = r.Experiment.log_write_rate;
-          feasible = r.Experiment.feasible;
-        }
+      let rec consume acc = function
+        | [] -> sweep (g1 - k) acc
+        | row :: _ when not row.feasible -> List.rev (row :: acc)
+        | row :: rest -> consume (row :: acc) rest
       in
-      if not r.Experiment.feasible then List.rev (row :: acc)
-      else sweep (g1 - 1) (row :: acc)
+      consume acc results
     end
   in
   { g0; no_recirc_sizes; rows = sweep start_g1 [] }
@@ -138,11 +159,11 @@ type headline = {
   bandwidth_increase_pct : float;
 }
 
-let headline ?(speed = `Full) ?fig7_result () =
+let headline ?(pool = Pool.serial) ?(speed = `Full) ?fig7_result () =
   let cfg = base_config ~speed ~kind:(Experiment.Firewall 512) ~long_pct:5 () in
-  let fw_blocks, fw_result = Min_space.min_fw cfg in
+  let fw_blocks, fw_result = Min_space.min_fw ~pool cfg in
   let fig7_result =
-    match fig7_result with Some r -> r | None -> fig7 ~speed ()
+    match fig7_result with Some r -> r | None -> fig7 ~pool ~speed ()
   in
   let best =
     List.fold_left
@@ -170,7 +191,8 @@ type gens_row = {
   bandwidth : float;
 }
 
-let generation_count_sweep ?(speed = `Full) ?(long_pct = 5) () =
+let generation_count_sweep ?(pool = Pool.serial) ?(speed = `Full)
+    ?(long_pct = 5) () =
   let cfg = base_config ~speed ~kind:(Experiment.Firewall 512) ~long_pct () in
   let rows = ref [] in
   let record sizes (result : Experiment.result) =
@@ -185,43 +207,49 @@ let generation_count_sweep ?(speed = `Full) ?(long_pct = 5) () =
   in
   (* One generation: a single recirculating ring. *)
   (match
-     Min_space.min_feasible
-       ~probe:(fun n ->
+     Min_space.min_feasible ~pool ~lo:(Params.head_tail_gap + 1) ~hi:512
+       (fun n ->
          Experiment.run
            { cfg with Experiment.kind = Experiment.Ephemeral (with_recirc [| n |]) })
-       ~lo:(Params.head_tail_gap + 1) ~hi:512
    with
   | Some (n, result) -> record [| n |] result
   | None -> ());
   (* Two generations: the paper's configuration. *)
   (match
-     optimize_two_gen cfg ~make_policy:with_recirc
+     optimize_two_gen ~pool cfg ~make_policy:with_recirc
        ~coarse:(coarse_candidates speed) ~hi:256
    with
   | Some (sizes, result) -> record sizes result
   | None -> ());
   (* Three generations: fix the front of the chain near the two-
-     generation optimum and search the middle and last coarsely. *)
+     generation optimum and search the middle and last coarsely.  The
+     (g0, g1) leading pairs are independent searches, so they fan out
+     across the pool; the fold visits outcomes in the serial nested
+     iteration order, keeping the winner job-count-independent. *)
   let g0_candidates = match speed with `Full -> [ 12; 16; 20 ] | `Quick -> [ 16 ] in
   let g1_candidates = [ 3; 4; 6; 8 ] in
+  let leading_pairs =
+    List.concat_map
+      (fun g0 -> List.map (fun g1 -> (g0, g1)) g1_candidates)
+      g0_candidates
+  in
   let best3 = ref None in
   List.iter
-    (fun g0 ->
-      List.iter
-        (fun g1 ->
-          match
-            Min_space.min_el_last_gen cfg ~make_policy:with_recirc
-              ~leading:[| g0; g1 |] ~hi:128
-          with
-          | Some (g2, result) ->
-            let sizes = [| g0; g1; g2 |] in
-            let total = Array.fold_left ( + ) 0 sizes in
-            (match !best3 with
-            | Some (_, best_total, _) when best_total <= total -> ()
-            | Some _ | None -> best3 := Some (sizes, total, result))
-          | None -> ())
-        g1_candidates)
-    g0_candidates;
+    (fun ((g0, g1), outcome) ->
+      match outcome with
+      | Some (g2, result) ->
+        let sizes = [| g0; g1; g2 |] in
+        let total = Array.fold_left ( + ) 0 sizes in
+        (match !best3 with
+        | Some (_, best_total, _) when best_total <= total -> ()
+        | Some _ | None -> best3 := Some (sizes, total, result))
+      | None -> ())
+    (Pool.map pool
+       (fun (g0, g1) ->
+         ( (g0, g1),
+           Min_space.min_el_last_gen cfg ~make_policy:with_recirc
+             ~leading:[| g0; g1 |] ~hi:128 ))
+       leading_pairs);
   (match !best3 with
   | Some (sizes, _, result) -> record sizes result
   | None -> ());
@@ -236,7 +264,7 @@ type scarce = {
   flush_backlog_peak : int;
 }
 
-let scarce_flush ?(speed = `Full) () =
+let scarce_flush ?(pool = Pool.serial) ?(speed = `Full) () =
   let base = base_config ~speed ~kind:(Experiment.Firewall 512) ~long_pct:5 () in
   let scarce_cfg = { base with Experiment.flush_transfer = Time.of_ms 45 } in
   (* Follow the paper's procedure: keep the first generation at its
@@ -247,7 +275,7 @@ let scarce_flush ?(speed = `Full) () =
      paper's 20+11. *)
   let g0 =
     match
-      optimize_two_gen scarce_cfg ~make_policy:no_recirc
+      optimize_two_gen ~pool scarce_cfg ~make_policy:no_recirc
         ~coarse:(coarse_candidates speed) ~hi:256
     with
     | Some (sizes, _) -> sizes.(0)
@@ -255,7 +283,7 @@ let scarce_flush ?(speed = `Full) () =
   in
   let sizes =
     match
-      Min_space.min_el_last_gen scarce_cfg ~make_policy:with_recirc
+      Min_space.min_el_last_gen ~pool scarce_cfg ~make_policy:with_recirc
         ~leading:[| g0 |] ~hi:256
     with
     | Some (g1, _) -> [| g0; g1 |]

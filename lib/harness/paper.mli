@@ -9,7 +9,15 @@
     Every function returns plain data; rendering lives in the bench
     executable.  [speed] trades fidelity for wall-clock time: [`Full]
     is the paper's 500 s runs with fine sweeps, [`Quick] shortens the
-    runs for tests and interactive use (shapes still hold). *)
+    runs for tests and interactive use (shapes still hold).
+
+    Every sweep takes an optional [pool] ({!El_par.Pool}): the
+    independent simulations behind a figure — one per mix point, per
+    speculative probe, per candidate generation split — then fan out
+    across its workers.  Results are collected in submission order
+    and the searches stay bracket-equivalent to their serial
+    counterparts, so the returned data is identical at any job count;
+    the default is the serial pool. *)
 
 open El_model
 
@@ -30,8 +38,10 @@ type mix_row = {
   updates_per_sec : float;  (** §4: 210 rising to 280 *)
 }
 
-val figs_4_5_6 : ?speed:speed -> ?mixes:int list -> unit -> mix_row list
-(** Default mixes: 5, 10, 20, 30, 40 — the paper's x-axis range. *)
+val figs_4_5_6 :
+  ?pool:El_par.Pool.t -> ?speed:speed -> ?mixes:int list -> unit -> mix_row list
+(** Default mixes: 5, 10, 20, 30, 40 — the paper's x-axis range.
+    With a [pool], each mix point runs as one pool job. *)
 
 (** One point of Figure 7's trade-off sweep. *)
 type fig7_row = {
@@ -48,7 +58,9 @@ type fig7_result = {
   rows : fig7_row list;  (** descending g1, recirculation on *)
 }
 
-val fig7 : ?speed:speed -> unit -> fig7_result
+val fig7 : ?pool:El_par.Pool.t -> ?speed:speed -> unit -> fig7_result
+(** With a [pool], the descending last-generation sweep probes the
+    next [jobs] sizes speculatively each round (same rows). *)
 
 (** The §4 in-text headline: EL-with-recirculation minimum vs FW. *)
 type headline = {
@@ -61,7 +73,9 @@ type headline = {
   bandwidth_increase_pct : float;  (** paper: 12 % *)
 }
 
-val headline : ?speed:speed -> ?fig7_result:fig7_result -> unit -> headline
+val headline :
+  ?pool:El_par.Pool.t -> ?speed:speed -> ?fig7_result:fig7_result -> unit ->
+  headline
 (** Reuses a precomputed Figure-7 sweep when given, since the headline
     is its smallest feasible point. *)
 
@@ -76,7 +90,7 @@ type scarce = {
   flush_backlog_peak : int;
 }
 
-val scarce_flush : ?speed:speed -> unit -> scarce
+val scarce_flush : ?pool:El_par.Pool.t -> ?speed:speed -> unit -> scarce
 
 (** Beyond the published figures: minimum disk space as the number of
     generations varies (§6: "the optimal number of generations and
@@ -89,7 +103,7 @@ type gens_row = {
 }
 
 val generation_count_sweep :
-  ?speed:speed -> ?long_pct:int -> unit -> gens_row list
+  ?pool:El_par.Pool.t -> ?speed:speed -> ?long_pct:int -> unit -> gens_row list
 (** Sweeps 1, 2 and 3 generations (recirculation on) at the given mix
     (default the paper's 5 %). *)
 

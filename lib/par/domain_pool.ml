@@ -1,0 +1,100 @@
+type task = Task of (unit -> unit) | Stop
+
+type t = {
+  queue : task Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable domains : unit Domain.t array;
+  mutable stopped : bool;
+}
+
+let worker_flag = Domain.DLS.new_key (fun () -> false)
+let am_worker () = Domain.DLS.get worker_flag
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue do
+    Condition.wait t.nonempty t.lock
+  done;
+  let task = Queue.pop t.queue in
+  Mutex.unlock t.lock;
+  match task with
+  | Stop -> ()
+  | Task f ->
+    f ();
+    worker_loop t
+
+let create ~domains:n =
+  if n < 1 then invalid_arg "Domain_pool.create: need at least one domain";
+  let t =
+    {
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      domains = [||];
+      stopped = false;
+    }
+  in
+  t.domains <-
+    Array.init n (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set worker_flag true;
+            worker_loop t));
+  t
+
+let submit t f =
+  Mutex.lock t.lock;
+  Queue.push (Task f) t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+let run_batch t fs =
+  let n = Array.length fs in
+  if n = 0 then [||]
+  else begin
+    let slots = Array.make n None in
+    (* The batch lock orders every slot write before the caller's
+       reads: workers fill their slot and decrement [pending] under
+       it, and the caller only proceeds after waiting on the same
+       lock, so no data race and no torn reads. *)
+    let batch_lock = Mutex.create () in
+    let all_done = Condition.create () in
+    let pending = ref n in
+    Array.iteri
+      (fun i f ->
+        submit t (fun () ->
+            let r =
+              match f () with
+              | v -> Ok v
+              | exception e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            Mutex.lock batch_lock;
+            slots.(i) <- Some r;
+            decr pending;
+            if !pending = 0 then Condition.signal all_done;
+            Mutex.unlock batch_lock))
+      fs;
+    Mutex.lock batch_lock;
+    while !pending > 0 do
+      Condition.wait all_done batch_lock
+    done;
+    Mutex.unlock batch_lock;
+    (* Submission order: the first raising job wins, and only after
+       the whole batch has drained. *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      slots
+  end
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Mutex.lock t.lock;
+    Array.iter (fun _ -> Queue.push Stop t.queue) t.domains;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.domains
+  end

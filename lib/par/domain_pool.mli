@@ -1,0 +1,37 @@
+(** Fixed-size OCaml 5 domain pool — the {e only} module in the code
+    base that touches [Domain].
+
+    Every entry point that spawns or assumes domains carries the
+    [domains] alert, so ordinary code goes through {!Pool} instead:
+    its [jobs = 1] path never reaches this module, which keeps serial
+    builds (and a hypothetical 4.14 port, by stubbing this one file)
+    entirely domain-free.
+
+    Workers execute submitted thunks in FIFO submission order but may
+    complete them in any order; {!run_batch} restores submission order
+    when collecting. *)
+
+type t
+
+val create : domains:int -> t
+[@@alert domains "spawns OCaml 5 domains — use Pool unless you mean it"]
+(** [create ~domains:n] spawns [n] worker domains that live until
+    {!shutdown}.  Raises [Invalid_argument] if [n < 1]. *)
+
+val run_batch : t -> (unit -> 'a) array -> 'a array
+[@@alert domains "runs on OCaml 5 domains — use Pool unless you mean it"]
+(** Runs every thunk on the pool and blocks until the whole batch has
+    drained; results are returned in submission order.  If any thunk
+    raised, the exception of the {e first} raising thunk (in
+    submission order) is re-raised with its backtrace — after the
+    batch has drained, so no job of the batch is still running. *)
+
+val shutdown : t -> unit
+[@@alert domains "joins OCaml 5 domains — use Pool unless you mean it"]
+(** Tells every worker to stop once the queue is empty and joins it.
+    Idempotent.  The pool must not be used afterwards. *)
+
+val am_worker : unit -> bool
+(** True when called from inside a pool worker domain.  {!Pool} uses
+    this to degrade nested parallelism to serial execution on the
+    calling worker instead of deadlocking on its own queue. *)

@@ -1,0 +1,34 @@
+(* The one deliberate consumer of the alert-guarded Domain_pool: the
+   [jobs = 1] constructors below never reach it, so a serial build (or
+   a 4.14 port stubbing domain_pool.ml) loses nothing. *)
+[@@@alert "-domains"]
+
+type t = Serial | Domains of { dp : Domain_pool.t; jobs : int }
+
+let serial = Serial
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  if jobs = 1 then Serial
+  else Domains { dp = Domain_pool.create ~domains:jobs; jobs }
+
+let jobs = function Serial -> 1 | Domains d -> d.jobs
+
+let map t f xs =
+  match t with
+  | Serial -> List.map f xs
+  | Domains _ when Domain_pool.am_worker () ->
+    (* nested: run on the calling worker rather than deadlock *)
+    List.map f xs
+  | Domains d ->
+    let thunks = Array.of_list (List.map (fun x () -> f x) xs) in
+    Array.to_list (Domain_pool.run_batch d.dp thunks)
+
+let map_reduce t ~map:f ~reduce ~init xs =
+  List.fold_left reduce init (map t f xs)
+
+let shutdown = function Serial -> () | Domains d -> Domain_pool.shutdown d.dp
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

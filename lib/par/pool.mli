@@ -1,0 +1,61 @@
+(** Deterministic fixed-size work pools.
+
+    [map pool f xs] behaves exactly like [List.map f xs] — results
+    come back in submission order, and the first raising job's
+    exception is re-raised (after the whole batch has drained) — but
+    when the pool was created with [jobs > 1] the jobs run on a fixed
+    set of OCaml 5 domains.  With [jobs = 1], the default everywhere,
+    no domain is ever spawned ({!Domain_pool} is never touched) and
+    execution is the plain serial code path, byte-identical to a world
+    without this module.
+
+    Jobs must not share mutable state.  Every simulation in this code
+    base owns its engine, its RNG state and its managers outright
+    (there are no module-level refs or tables anywhere in [lib/]), so
+    running independent {!El_harness.Experiment.run}s on separate
+    domains is safe; see DESIGN.md §9.
+
+    Nested use — calling {!map} from inside a pool job — degrades to
+    serial execution on the calling worker instead of deadlocking on
+    the pool's own queue. *)
+
+type t
+
+val serial : t
+(** The no-op pool: [jobs serial = 1] and {!map} is [List.map].
+    Needs no {!shutdown}. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] is a pool of [jobs] workers.  [jobs = 1] returns a
+    domain-free pool equivalent to {!serial}; [jobs > 1] spawns that
+    many domains, which live until {!shutdown}.  Raises
+    [Invalid_argument] if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Worker count the pool was created with (1 for {!serial}). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] applies [f] to every element of [xs], on the pool's
+    workers when [jobs t > 1], and returns the results in submission
+    (= list) order regardless of completion order.  If one or more
+    jobs raise, the whole batch still drains and then the exception of
+    the first raising job (in submission order) is re-raised with its
+    backtrace.  For deterministic [f] the result is independent of
+    [jobs] — the property the differential tests in [test/test_par.ml]
+    pin down. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a list -> 'c
+(** [map_reduce t ~map ~reduce ~init xs] is
+    [List.fold_left reduce init (Pool.map t map xs)]: the mapping runs
+    on the pool, the reduction folds serially in submission order, so
+    the outcome is independent of [jobs] even for non-commutative
+    [reduce]. *)
+
+val shutdown : t -> unit
+(** Joins the pool's domains.  Idempotent; a no-op on {!serial} and
+    [jobs = 1] pools.  The pool must not be used afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] creates a pool, applies [f] to it and shuts
+    the pool down when [f] returns or raises. *)

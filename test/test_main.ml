@@ -24,4 +24,5 @@ let () =
       ("min-space", Test_min_space.suite);
       ("check", Test_check.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
     ]

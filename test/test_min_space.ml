@@ -23,7 +23,7 @@ let test_binary_search_logic () =
     calls := n :: !calls;
     fake_result ~feasible:(n >= threshold)
   in
-  (match Min_space.min_feasible ~probe ~lo:4 ~hi:128 with
+  (match Min_space.min_feasible ~lo:4 ~hi:128 probe with
   | Some (n, r) ->
     Alcotest.(check int) "finds the threshold" threshold n;
     Alcotest.(check bool) "result is the feasible one" true r.Experiment.feasible
@@ -33,19 +33,42 @@ let test_binary_search_logic () =
 let test_search_all_infeasible () =
   let probe _ = fake_result ~feasible:false in
   Alcotest.(check bool) "None when hi infeasible" true
-    (Min_space.min_feasible ~probe ~lo:4 ~hi:64 = None)
+    (Min_space.min_feasible ~lo:4 ~hi:64 probe = None)
 
 let test_search_all_feasible () =
-  match Min_space.min_feasible ~probe:(fun _ -> fake_result ~feasible:true) ~lo:4 ~hi:64 with
+  match Min_space.min_feasible ~lo:4 ~hi:64 (fun _ -> fake_result ~feasible:true) with
   | Some (n, _) -> Alcotest.(check int) "lo returned" 4 n
   | None -> Alcotest.fail "expected lo"
+
+let test_bracket_mode_logic () =
+  (* Speculative bracket mode (jobs > 1) must land on the same
+     boundary as the serial binary search; an odd job count exercises
+     uneven candidate spacing. *)
+  El_par.Pool.with_pool ~jobs:3 (fun pool ->
+      let threshold = 37 in
+      let probe n = fake_result ~feasible:(n >= threshold) in
+      (match Min_space.min_feasible ~pool ~lo:4 ~hi:128 probe with
+      | Some (n, r) ->
+        Alcotest.(check int) "bracket finds the threshold" threshold n;
+        Alcotest.(check bool) "result is the feasible one" true
+          r.Experiment.feasible
+      | None -> Alcotest.fail "expected a result");
+      (match Min_space.min_feasible ~pool ~lo:4 ~hi:64 (fun _ ->
+                 fake_result ~feasible:true)
+       with
+      | Some (n, _) -> Alcotest.(check int) "all-feasible returns lo" 4 n
+      | None -> Alcotest.fail "expected lo");
+      Alcotest.(check bool) "all-infeasible returns None" true
+        (Min_space.min_feasible ~pool ~lo:4 ~hi:64 (fun _ ->
+             fake_result ~feasible:false)
+        = None))
 
 let test_empty_range () =
   Alcotest.check_raises "lo>hi"
     (Invalid_argument "Min_space.min_feasible: empty range") (fun () ->
       ignore
-        (Min_space.min_feasible ~probe:(fun _ -> fake_result ~feasible:true)
-           ~lo:5 ~hi:4))
+        (Min_space.min_feasible ~lo:5 ~hi:4 (fun _ ->
+             fake_result ~feasible:true)))
 
 (* Real (short) searches: 30 s runs with a fast mix so the suite stays
    quick while exercising the full pipeline. *)
@@ -94,6 +117,8 @@ let suite =
       test_search_all_infeasible;
     Alcotest.test_case "all-feasible returns lo" `Quick test_search_all_feasible;
     Alcotest.test_case "empty range rejected" `Quick test_empty_range;
+    Alcotest.test_case "bracket mode matches binary search" `Quick
+      test_bracket_mode_logic;
     Alcotest.test_case "FW minimum-space search (30s runs)" `Slow
       test_min_fw_end_to_end;
     Alcotest.test_case "EL last-generation search (30s runs)" `Slow
