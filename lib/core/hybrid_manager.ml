@@ -19,10 +19,27 @@ type tx = {
   tid : Ids.Tid.t;
   begun_at : Time.t;
   mutable state : tx_state;
-  mutable stubs : stub list;  (* oldest first *)
+  mutable stubs_rev : stub list;  (* newest first: appends are O(1) *)
+  mutable stubs_memo : stub list option;  (* oldest-first view, lazily rebuilt *)
   mutable anchor : (int * int) option;  (* queue index, slot *)
   mutable unflushed_count : int;
 }
+
+(* The oldest-first stub list.  Records accumulate by prepending to
+   [stubs_rev]; the ordered view is materialised at most once per
+   append burst, so a long transaction pays O(1) amortised per record
+   instead of the O(n²) of appending with [@]. *)
+let stubs tx =
+  match tx.stubs_memo with
+  | Some l -> l
+  | None ->
+    let l = List.rev tx.stubs_rev in
+    tx.stubs_memo <- Some l;
+    l
+
+let add_stub tx s =
+  tx.stubs_rev <- s :: tx.stubs_rev;
+  tx.stubs_memo <- None
 
 type buffer = {
   b_slot : int;
@@ -152,7 +169,7 @@ let create engine ~queue_sizes ~flush ~stable
                   tx.unflushed_count <- tx.unflushed_count - 1
                 end
               | Some _ | None -> ())
-            tx.stubs;
+            (stubs tx);
           if tx.state = Committed && tx.unflushed_count = 0 then retire t tx)
       | Some _ | None -> ());
   t
@@ -184,9 +201,9 @@ let anchor_at t tx q slot =
 
 let retained_stubs tx =
   match tx.state with
-  | Active | Commit_pending -> tx.stubs
+  | Active | Commit_pending -> stubs tx
   | Committed ->
-    List.filter (fun s -> s.s_oid = None || not s.s_flushed) tx.stubs
+    List.filter (fun s -> s.s_oid = None || not s.s_flushed) (stubs tx)
 
 (* ---- space management with regeneration ---- *)
 
@@ -369,7 +386,7 @@ and kill_tx t tx =
           El_metrics.Gauge.add t.memory (-bytes_per_object)
         | Some _ | None -> ())
       | Some _ | None -> ())
-    tx.stubs;
+    (stubs tx);
   retire t tx;
   t.kills <- t.kills + 1;
   emit t (El_obs.Event.Kill { tid = Ids.Tid.to_int tx.tid });
@@ -390,7 +407,9 @@ let begin_tx t ~tid ~expected_duration:_ =
       tid;
       begun_at = El_sim.Engine.now t.engine;
       state = Active;
-      stubs = [ { s_oid = None; s_version = 0; s_size = t.tx_record_size; s_flushed = false } ];
+      stubs_rev =
+        [ { s_oid = None; s_version = 0; s_size = t.tx_record_size; s_flushed = false } ];
+      stubs_memo = None;
       anchor = None;
       unflushed_count = 0;
     }
@@ -403,8 +422,8 @@ let write_data t ~tid ~oid ~version ~size =
   let tx = require_tx t tid in
   if tx.state <> Active then
     invalid_arg "Hybrid_manager.write_data: transaction not active";
-  tx.stubs <-
-    tx.stubs @ [ { s_oid = Some oid; s_version = version; s_size = size; s_flushed = false } ];
+  add_stub tx
+    { s_oid = Some oid; s_version = version; s_size = size; s_flushed = false };
   append t t.queues.(0) ~size ~anchor_tx:(Some tx) ~hook:None
 
 let request_commit t ~tid ~on_ack =
@@ -412,9 +431,8 @@ let request_commit t ~tid ~on_ack =
   if tx.state <> Active then
     invalid_arg "Hybrid_manager.request_commit: transaction not active";
   tx.state <- Commit_pending;
-  tx.stubs <-
-    tx.stubs
-    @ [ { s_oid = None; s_version = 0; s_size = t.tx_record_size; s_flushed = false } ];
+  add_stub tx
+    { s_oid = None; s_version = 0; s_size = t.tx_record_size; s_flushed = false };
   let requested = El_sim.Engine.now t.engine in
   let hook at =
     if Ids.Tid.Table.mem t.txs tid then begin
@@ -451,7 +469,7 @@ let request_commit t ~tid ~on_ack =
                       os.s_flushed <- true;
                       old_tx.unflushed_count <- old_tx.unflushed_count - 1
                     | Some _ | None -> ())
-                  old_tx.stubs;
+                  (stubs old_tx);
                 if old_tx.state = Committed && old_tx.unflushed_count = 0 then
                   retire t old_tx
               | Some _ | None -> ())
@@ -460,7 +478,7 @@ let request_commit t ~tid ~on_ack =
             El_metrics.Gauge.add t.memory bytes_per_object;
             tx.unflushed_count <- tx.unflushed_count + 1;
             Flush_array.request t.flush oid ~version:s.s_version)
-        tx.stubs;
+        (stubs tx);
       if tx.unflushed_count = 0 then retire t tx;
       (* only a commit that actually took effect is acknowledged *)
       on_ack at
@@ -554,7 +572,7 @@ let check_invariants t =
           List.length
             (List.filter
                (fun s -> s.s_oid <> None && not s.s_flushed)
-               tx.stubs)
+               (stubs tx))
         in
         assert (tx.unflushed_count = pending));
       unflushed_total := !unflushed_total + tx.unflushed_count)
@@ -573,7 +591,7 @@ let check_invariants t =
                | Some o -> Ids.Oid.equal o oid
                | None -> false)
                && s.s_version = version && not s.s_flushed)
-             tx.stubs))
+             (stubs tx)))
     t.unflushed;
   assert
     (El_metrics.Gauge.value t.memory
