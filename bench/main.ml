@@ -6,7 +6,8 @@
      bench/main.exe [--quick] [--jobs N] [--json PATH]
                     [fig4] [fig5] [fig6] [fig7]
                     [headline] [scarce] [rates] [recovery] [ablation]
-                    [gens] [adaptive] [checkpoint] [poisson] [micro]
+                    [gens] [adaptive] [checkpoint] [poisson] [hotpath]
+                    [micro]
 
    With no selector, everything runs.  --quick shortens the simulated
    runs (120 s instead of the paper's 500 s) and coarsens sweeps; the
@@ -770,6 +771,221 @@ let poisson_bench speed =
      evaluation' and defers probabilistic models.  Under Poisson bursts\n\
      both schemes need a little headroom beyond the deterministic minima."
 
+(* ---- hot-path micro-benchmarks: the structures the O(log n)
+   refactor made sub-linear, measured directly ---- *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let hotpath speed =
+  heading "Hot-path micro-benchmarks (flush dispatch, ledger indexes, appends)";
+  let module F = El_disk.Flush_array in
+  let module Engine = El_sim.Engine in
+  let objects = 1_000_000 in
+  (* 1. Flush-backlog dispatch throughput: enqueue B requests on one
+     drive, then drain.  Every service is one scheduling pick — O(B)
+     under Reference, O(log B) under Indexed — so the drain isolates
+     pick cost. *)
+  let drain impl backlog =
+    let e = Engine.create () in
+    let f =
+      F.create e ~drives:1 ~transfer_time:(Time.of_us 1) ~num_objects:objects
+        ~implementation:impl ()
+    in
+    F.set_on_flush f (fun _ ~version:_ -> ());
+    let x = ref 88172645463325252 in
+    for _ = 1 to backlog do
+      (* xorshift: deterministic, seed-independent oid stream *)
+      x := !x lxor (!x lsl 13);
+      x := !x lxor (!x lsr 7);
+      x := !x lxor (!x lsl 17);
+      F.request f (Ids.Oid.of_int (abs !x mod objects)) ~version:1
+    done;
+    let (), secs = wall (fun () -> Engine.run_all e) in
+    F.check_invariants f;
+    (float_of_int (F.picks f) /. secs, secs)
+  in
+  let backlogs =
+    match speed with
+    | `Quick -> [ 1_000; 10_000 ]
+    | `Full -> [ 1_000; 10_000; 50_000 ]
+  in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("backlog", Table.Right);
+          ("Reference picks/s", Table.Right);
+          ("Indexed picks/s", Table.Right);
+          ("speedup", Table.Right);
+        ]
+  in
+  let dispatch_rows =
+    List.map
+      (fun b ->
+        let ref_rate, _ = drain F.Reference b in
+        let idx_rate, _ = drain F.Indexed b in
+        let speedup = idx_rate /. ref_rate in
+        Table.add_row t
+          [
+            string_of_int b;
+            fmt_f0 ref_rate;
+            fmt_f0 idx_rate;
+            fmt_f speedup ^ "x";
+          ];
+        J.Obj
+          [
+            ("backlog", J.Int b);
+            ("reference_picks_per_sec", J.Float ref_rate);
+            ("indexed_picks_per_sec", J.Float idx_rate);
+            ("speedup", J.Float speedup);
+          ])
+      backlogs
+  in
+  Table.print t;
+  print_newline ();
+  (* 2. Ledger throughput with a large active window: every iteration
+     consults oldest_active and live_cells, which the incremental
+     indexes serve in O(1) instead of full LOT/LTT walks. *)
+  let ledger_ops () =
+    let module L = El_core.Ledger in
+    let l = L.create ~remove_cell:(fun _ -> ()) () in
+    let window = 10_000 in
+    let iters = match speed with `Quick -> 30_000 | `Full -> 100_000 in
+    let ops = ref 0 in
+    let (), secs =
+      wall (fun () ->
+          for i = 0 to iters - 1 do
+            let tid = Ids.Tid.of_int i in
+            ignore
+              (L.begin_tx l ~tid ~expected_duration:(Time.of_sec 1)
+                 ~timestamp:(Time.of_us i) ~size:8);
+            ignore
+              (L.write_data l ~tid
+                 ~oid:(Ids.Oid.of_int (i * 7919 mod 500_000))
+                 ~version:i ~size:100 ~timestamp:(Time.of_us i));
+            ignore (L.oldest_active l);
+            ignore (L.live_cells l);
+            ops := !ops + 4;
+            if i >= window then begin
+              let victim = Ids.Tid.of_int (i - window) in
+              ignore
+                (L.request_commit l ~tid:victim ~timestamp:(Time.of_us i)
+                   ~size:8);
+              let to_flush = L.commit_durable l ~tid:victim in
+              List.iter
+                (fun (oid, version) ->
+                  ignore (L.flush_complete l ~oid ~version))
+                to_flush;
+              ops := !ops + 2 + List.length to_flush
+            end
+          done;
+          (* drain the remaining window through the O(1) victim head *)
+          let continue = ref true in
+          while !continue do
+            match L.oldest_active l with
+            | None -> continue := false
+            | Some e ->
+              L.kill l ~tid:e.El_core.Cell.e_tid;
+              ops := !ops + 2
+          done)
+    in
+    L.check_invariants l;
+    (float_of_int !ops /. secs, !ops)
+  in
+  let ledger_rate, ledger_total = ledger_ops () in
+  Printf.printf
+    "ledger: %s ops/s (%d begin/write/commit/kill ops, 10k-tx active window)\n\n"
+    (fmt_f0 ledger_rate) ledger_total;
+  (* 3. Hybrid long-transaction appends: stub accumulation is O(1)
+     amortised (prepend + lazy reverse) where it used to rebuild the
+     whole list per record. *)
+  let hybrid_append len =
+    let e = Engine.create () in
+    let flush =
+      F.create e ~drives:1 ~transfer_time:(Time.of_us 1) ~num_objects:objects ()
+    in
+    let stable = El_disk.Stable_db.create ~num_objects:objects in
+    let queue = (len * 100 / El_model.Params.block_payload) + 16 in
+    let h =
+      El_core.Hybrid_manager.create e ~queue_sizes:[| queue |] ~flush ~stable ()
+    in
+    let tid = Ids.Tid.of_int 1 in
+    El_core.Hybrid_manager.begin_tx h ~tid ~expected_duration:(Time.of_sec 10);
+    let (), secs =
+      wall (fun () ->
+          for i = 1 to len do
+            El_core.Hybrid_manager.write_data h ~tid
+              ~oid:(Ids.Oid.of_int (i mod objects))
+              ~version:i ~size:100
+          done)
+    in
+    Engine.run_all e;
+    float_of_int len /. secs
+  in
+  let lengths =
+    match speed with
+    | `Quick -> [ 1_000; 5_000 ]
+    | `Full -> [ 1_000; 5_000; 20_000 ]
+  in
+  let append_rows =
+    List.map
+      (fun len ->
+        let rate = hybrid_append len in
+        Printf.printf "hybrid append: %6d-record tx  %12s records/s\n" len
+          (fmt_f0 rate);
+        J.Obj [ ("records", J.Int len); ("records_per_sec", J.Float rate) ])
+      lengths
+  in
+  print_newline ();
+  (* 4. Whole-simulation wall-clock on the scarce-flush scenario (the
+     deepest backlog any paper figure builds), Reference vs Indexed,
+     with a result-identity check: the elevator must change how fast
+     the answer arrives, never the answer. *)
+  let scarce_cfg impl =
+    {
+      (Paper.base_config ~speed
+         ~kind:
+           (Experiment.Ephemeral (Policy.default ~generation_sizes:[| 24; 7 |]))
+         ~long_pct:5 ()) with
+      Experiment.flush_transfer = Time.of_ms 45;
+      Experiment.flush_impl = impl;
+    }
+  in
+  let r_ref, ref_secs =
+    wall (fun () -> Experiment.run (scarce_cfg El_disk.Flush_array.Reference))
+  in
+  let r_idx, idx_secs =
+    wall (fun () -> Experiment.run (scarce_cfg El_disk.Flush_array.Indexed))
+  in
+  let identical = Marshal.to_string r_ref [] = Marshal.to_string r_idx [] in
+  Printf.printf
+    "scarce-flush wall-clock: Reference %.3fs, Indexed %.3fs (results %s)\n"
+    ref_secs idx_secs
+    (if identical then "identical" else "DIVERGED");
+  if not identical then failwith "hotpath: Reference/Indexed results diverged";
+  add_section "hotpath"
+    (J.Obj
+       [
+         ("dispatch", J.List dispatch_rows);
+         ( "ledger",
+           J.Obj
+             [
+               ("ops_per_sec", J.Float ledger_rate);
+               ("ops", J.Int ledger_total);
+             ] );
+         ("hybrid_append", J.List append_rows);
+         ( "scarce_wallclock",
+           J.Obj
+             [
+               ("reference_secs", J.Float ref_secs);
+               ("indexed_secs", J.Float idx_secs);
+               ("results_identical", J.Bool identical);
+             ] );
+       ])
+
 (* ---- Bechamel micro-benchmarks: one Test.make per figure/table plus
    the core data structures ---- *)
 
@@ -937,6 +1153,7 @@ let () =
   if want "adaptive" then adaptive_bench speed;
   if want "checkpoint" then checkpoint_bench speed;
   if want "poisson" then poisson_bench speed;
+  if want "hotpath" then hotpath speed;
   if want "micro" then micro ();
   match json_path with
   | None -> ()

@@ -28,6 +28,11 @@ and ltt_entry = {
   mutable tx_cell : t option;
   mutable write_set : unit Ids.Oid.Table.t;
   mutable tx_state : [ `Active | `Commit_pending | `Committed ];
+  (* intrusive links of the ledger's begun_at-ordered active list;
+     self-describing so unlinking is O(1) and idempotent *)
+  mutable act_prev : ltt_entry option;
+  mutable act_next : ltt_entry option;
+  mutable act_linked : bool;
 }
 
 let staged_slot = -1

@@ -59,6 +59,10 @@ and ltt_entry = {
   mutable write_set : unit Ids.Oid.Table.t;
       (** oids with a non-garbage data record written by this tx *)
   mutable tx_state : [ `Active | `Commit_pending | `Committed ];
+  mutable act_prev : ltt_entry option;
+      (** intrusive links of {!Ledger}'s begun_at-ordered active list *)
+  mutable act_next : ltt_entry option;
+  mutable act_linked : bool;
 }
 
 val staged_slot : int

@@ -15,6 +15,11 @@ type tx = {
   begun_at : Time.t;
   mutable record_slots : int list;
   mutable terminated : bool;
+  (* intrusive links of the begun_at-ordered active list; the head is
+     the firewall transaction, i.e. the kill victim *)
+  mutable a_prev : tx option;
+  mutable a_next : tx option;
+  mutable a_linked : bool;
 }
 
 type checkpointing = { interval : Time.t; cost_blocks : int }
@@ -33,6 +38,8 @@ type t = {
   channel : Log_channel.t;
   mutable current : buffer option;
   txs : tx Ids.Tid.Table.t;
+  mutable act_head : tx option;
+  mutable act_tail : tx option;
   occupancy : El_metrics.Gauge.t;
   memory : El_metrics.Gauge.t;
   mutable kills : int;
@@ -110,6 +117,8 @@ let create engine ~size_blocks ?(block_payload = Params.block_payload)
         ~label:0 ();
     current = None;
     txs = Ids.Tid.Table.create 1024;
+    act_head = None;
+    act_tail = None;
     occupancy = El_metrics.Gauge.create ~name:"FW occupancy" ();
     memory = El_metrics.Gauge.create ~name:"FW memory" ();
     kills = 0;
@@ -137,6 +146,46 @@ let create engine ~size_blocks ?(block_payload = Params.block_payload)
 let set_on_kill t f = t.on_kill <- Some f
 let free_slots t = t.size - t.occupied
 
+(* Begin timestamps come from the engine clock and are monotone, so
+   this is an O(1) tail append; the backwards walk only runs if a
+   caller could ever begin transactions out of order. *)
+let active_append t tx =
+  assert (not tx.a_linked);
+  tx.a_linked <- true;
+  let rec find_pred = function
+    | None -> None
+    | Some p ->
+      if Time.(p.begun_at <= tx.begun_at) then Some p else find_pred p.a_prev
+  in
+  match find_pred t.act_tail with
+  | None ->
+    tx.a_prev <- None;
+    tx.a_next <- t.act_head;
+    (match t.act_head with
+    | Some h -> h.a_prev <- Some tx
+    | None -> t.act_tail <- Some tx);
+    t.act_head <- Some tx
+  | Some p ->
+    tx.a_prev <- Some p;
+    tx.a_next <- p.a_next;
+    (match p.a_next with
+    | Some n -> n.a_prev <- Some tx
+    | None -> t.act_tail <- Some tx);
+    p.a_next <- Some tx
+
+let active_unlink t tx =
+  if tx.a_linked then begin
+    (match tx.a_prev with
+    | Some p -> p.a_next <- tx.a_next
+    | None -> t.act_head <- tx.a_next);
+    (match tx.a_next with
+    | Some n -> n.a_prev <- tx.a_prev
+    | None -> t.act_tail <- tx.a_prev);
+    tx.a_prev <- None;
+    tx.a_next <- None;
+    tx.a_linked <- false
+  end
+
 let drop_tx_records t tx =
   List.iter (fun slot -> t.live.(slot) <- t.live.(slot) - 1) tx.record_slots;
   tx.record_slots <- []
@@ -150,23 +199,17 @@ let terminate ?(committed = false) t tx =
       t.awaiting_checkpoint <- tx.record_slots @ t.awaiting_checkpoint;
       tx.record_slots <- []
     | (Some _ | None), _ -> drop_tx_records t tx);
+    active_unlink t tx;
     Ids.Tid.Table.remove t.txs tx.tid;
     El_metrics.Gauge.add t.memory (-t.bytes_per_tx);
     reclaim t
   end
 
 let kill_oldest_active t =
-  let victim =
-    Ids.Tid.Table.fold
-      (fun _ tx best ->
-        if tx.terminated then best
-        else
-          match best with
-          | None -> Some tx
-          | Some b -> if Time.(tx.begun_at < b.begun_at) then Some tx else best)
-      t.txs None
-  in
-  match victim with
+  (* O(1): the head of the active list (vs the full-table fold this
+     replaced — that fold ran on every forced reclamation, making log
+     pressure quadratic in the transaction population). *)
+  match t.act_head with
   | None ->
     (* Only reachable if the gap invariant is impossible to satisfy. *)
     invalid_arg "Fw_manager: log full with no active transaction to kill"
@@ -243,9 +286,13 @@ let begin_tx t ~tid ~expected_duration:_ =
       begun_at = El_sim.Engine.now t.engine;
       record_slots = [];
       terminated = false;
+      a_prev = None;
+      a_next = None;
+      a_linked = false;
     }
   in
   Ids.Tid.Table.replace t.txs tid tx;
+  active_append t tx;
   El_metrics.Gauge.add t.memory t.bytes_per_tx;
   append t ~tid ~size:t.tx_record_size ~tracked_live:true ~hook:None
 
@@ -346,7 +393,37 @@ let check_invariants t =
   assert (!pinned = Array.fold_left ( + ) 0 t.live);
   assert
     (El_metrics.Gauge.value t.memory
-    = t.bytes_per_tx * Ids.Tid.Table.length t.txs)
+    = t.bytes_per_tx * Ids.Tid.Table.length t.txs);
+  (* the active list holds exactly the table's transactions, in
+     non-decreasing begun_at order *)
+  let walked = ref 0 in
+  let prev_at = ref None in
+  let cursor = ref t.act_head in
+  let last = ref None in
+  while !cursor <> None do
+    (match !cursor with
+    | None -> ()
+    | Some tx ->
+      incr walked;
+      assert (!walked <= Ids.Tid.Table.length t.txs);
+      assert (tx.a_linked && not tx.terminated);
+      assert (
+        match Ids.Tid.Table.find_opt t.txs tx.tid with
+        | Some tx' -> tx' == tx
+        | None -> false);
+      (match !prev_at with
+      | Some at -> assert (not Time.(tx.begun_at < at))
+      | None -> ());
+      prev_at := Some tx.begun_at;
+      last := Some tx;
+      cursor := tx.a_next)
+  done;
+  assert (!walked = Ids.Tid.Table.length t.txs);
+  assert (
+    match (t.act_tail, !last) with
+    | None, None -> true
+    | Some a, Some b -> a == b
+    | _ -> false)
 
 type stats = {
   size_blocks : int;

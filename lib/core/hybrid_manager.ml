@@ -22,6 +22,10 @@ type tx = {
   mutable stubs_rev : stub list;  (* newest first: appends are O(1) *)
   mutable stubs_memo : stub list option;  (* oldest-first view, lazily rebuilt *)
   mutable anchor : (int * int) option;  (* queue index, slot *)
+  (* intrusive links of the slot's anchored list (newest first);
+     meaningful only while [anchor] is [Some _] *)
+  mutable anc_prev : tx option;
+  mutable anc_next : tx option;
   mutable unflushed_count : int;
 }
 
@@ -52,7 +56,11 @@ type queue = {
   q_size : int;
   q_last : bool;
   anchors : int array;  (* anchored-transaction count per slot *)
-  anchored : tx list array;  (* the transactions anchored per slot *)
+  anchored : tx option array;
+      (* head (newest) of each slot's intrusive anchored list; a head
+         pointer plus the links in [tx] make both anchoring and
+         {!drop_anchor} O(1), where the former [tx list] array paid an
+         O(anchored-per-slot) rebuild on every unanchor *)
   mutable q_head : int;
   mutable q_tail : int;
   mutable q_occupied : int;
@@ -93,9 +101,24 @@ let drop_anchor t tx =
   | Some (qi, slot) ->
     let q = t.queues.(qi) in
     q.anchors.(slot) <- q.anchors.(slot) - 1;
-    q.anchored.(slot) <-
-      List.filter (fun x -> not (x == tx)) q.anchored.(slot);
+    (match tx.anc_prev with
+    | Some p -> p.anc_next <- tx.anc_next
+    | None -> q.anchored.(slot) <- tx.anc_next);
+    (match tx.anc_next with
+    | Some n -> n.anc_prev <- tx.anc_prev
+    | None -> ());
+    tx.anc_prev <- None;
+    tx.anc_next <- None;
     tx.anchor <- None
+
+(* Newest-first snapshot of a slot's anchored list, safe to iterate
+   while anchors move. *)
+let anchored_snapshot q slot =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some tx -> walk (tx :: acc) tx.anc_next
+  in
+  walk [] q.anchored.(slot)
 
 let retire t tx =
   drop_anchor t tx;
@@ -122,7 +145,7 @@ let create engine ~queue_sizes ~flush ~stable
       q_size = queue_sizes.(i);
       q_last = i = n - 1;
       anchors = Array.make queue_sizes.(i) 0;
-      anchored = Array.make queue_sizes.(i) [];
+      anchored = Array.make queue_sizes.(i) None;
       q_head = 0;
       q_tail = 0;
       q_occupied = 0;
@@ -197,7 +220,11 @@ let anchor_at t tx q slot =
   | None -> ());
   tx.anchor <- Some (q.q_index, slot);
   q.anchors.(slot) <- q.anchors.(slot) + 1;
-  q.anchored.(slot) <- tx :: q.anchored.(slot)
+  tx.anc_next <- q.anchored.(slot);
+  (match q.anchored.(slot) with
+  | Some h -> h.anc_prev <- Some tx
+  | None -> ());
+  q.anchored.(slot) <- Some tx
 
 let retained_stubs tx =
   match tx.state with
@@ -281,7 +308,7 @@ and advance_head t q =
          (Printf.sprintf "hybrid queue %d: empty but space demanded" q.q_index));
   let s = q.q_head in
   if Some s = current_slot q then seal_current t q;
-  let victims = q.anchored.(s) in
+  let victims = anchored_snapshot q s in
   emit t
     (El_obs.Event.Head_advance
        { gen = q.q_index; slot = s; survivors = List.length victims });
@@ -361,11 +388,19 @@ and kill_someone t q =
      progress, kill the oldest active anchored transaction. *)
   let oldest = ref None in
   Array.iter
-    (List.iter (fun tx ->
-         if tx.state = Active then
-           match !oldest with
-           | None -> oldest := Some tx
-           | Some b -> if Time.(tx.begun_at < b.begun_at) then oldest := Some tx))
+    (fun head ->
+      let cursor = ref head in
+      while !cursor <> None do
+        (match !cursor with
+        | None -> ()
+        | Some tx ->
+          (if tx.state = Active then
+             match !oldest with
+             | None -> oldest := Some tx
+             | Some b ->
+               if Time.(tx.begun_at < b.begun_at) then oldest := Some tx);
+          cursor := tx.anc_next)
+      done)
     q.anchored;
   match !oldest with
   | Some tx -> kill_tx t tx
@@ -411,6 +446,8 @@ let begin_tx t ~tid ~expected_duration:_ =
         [ { s_oid = None; s_version = 0; s_size = t.tx_record_size; s_flushed = false } ];
       stubs_memo = None;
       anchor = None;
+      anc_prev = None;
+      anc_next = None;
       unflushed_count = 0;
     }
   in
@@ -533,13 +570,21 @@ let check_invariants t =
         || (s - q.q_head + q.q_size) mod q.q_size < q.q_occupied
       in
       Array.iteri
-        (fun s txs ->
+        (fun s _head ->
+          let txs = anchored_snapshot q s in
           assert (q.anchors.(s) = List.length txs);
           if txs <> [] then assert (slot_occupied s);
+          (* head has no predecessor; links are mutually consistent *)
+          (match q.anchored.(s) with
+          | Some h -> assert (h.anc_prev = None)
+          | None -> ());
           List.iter
             (fun tx ->
               assert (tx.anchor = Some (q.q_index, s));
-              assert (Ids.Tid.Table.mem t.txs tx.tid))
+              assert (Ids.Tid.Table.mem t.txs tx.tid);
+              (match tx.anc_next with
+              | Some n -> assert (match n.anc_prev with Some p -> p == tx | None -> false)
+              | None -> ()))
             txs)
         q.anchored)
     t.queues;
@@ -561,7 +606,7 @@ let check_invariants t =
         assert (qi >= 0 && qi < Array.length t.queues);
         let q = t.queues.(qi) in
         assert (slot >= 0 && slot < q.q_size);
-        assert (List.exists (fun x -> x == tx) q.anchored.(slot)));
+        assert (List.exists (fun x -> x == tx) (anchored_snapshot q slot)));
       assert (tx.unflushed_count >= 0);
       (match tx.state with
       | Active | Commit_pending -> assert (tx.unflushed_count = 0)

@@ -4,7 +4,18 @@ type request = {
   oid : int;
   mutable version : int;
   mutable forced : bool;
-  seq : int;  (* arrival order, for FIFO scheduling *)
+  seq : int;  (* arrival order, for FIFO scheduling and tie-breaks *)
+}
+
+module Int_map = Map.Make (Int)
+
+(* One priority class (forced or unforced) of a drive's pending set,
+   indexed two ways: by oid for the elevator (C-SCAN style nearest
+   pick) and by seq for FIFO.  Both are balanced maps, so insert,
+   delete and pick are O(log B) in the class backlog B. *)
+type index = {
+  mutable by_oid : request Int_map.t;
+  mutable by_seq : request Int_map.t;
 }
 
 type drive = {
@@ -12,11 +23,15 @@ type drive = {
   span : int;  (* number of oids owned: [lo, lo + span) *)
   mutable position : int;  (* oid last written; starts at lo *)
   mutable has_history : bool;  (* false until the first flush *)
-  pending_tbl : (int, request) Hashtbl.t;
+  pending_tbl : (int, request) Hashtbl.t;  (* every pending request, by oid *)
+  normal : index;  (* unforced requests (Indexed implementation only) *)
+  urgent : index;  (* forced requests (Indexed implementation only) *)
   mutable busy : bool;
 }
 
 type scheduling = Nearest | Fifo
+
+type implementation = Indexed | Reference
 
 type t = {
   engine : El_sim.Engine.t;
@@ -24,6 +39,7 @@ type t = {
   num_objects : int;
   drives : drive array;
   scheduling : scheduling;
+  implementation : implementation;
   mutable on_flush : (Ids.Oid.t -> version:int -> unit) option;
   mutable next_seq : int;
   mutable pending_count : int;
@@ -31,12 +47,15 @@ type t = {
   mutable completed : int;
   mutable forced_count : int;
   mutable superseded : int;
+  mutable picks : int;
   distances : El_metrics.Running_stat.t;
   obs : El_obs.Obs.t option;
 }
 
+let empty_index () = { by_oid = Int_map.empty; by_seq = Int_map.empty }
+
 let create engine ~drives ~transfer_time ~num_objects
-    ?(scheduling = Nearest) ?obs () =
+    ?(scheduling = Nearest) ?(implementation = Indexed) ?obs () =
   if drives <= 0 then invalid_arg "Flush_array.create: no drives";
   if num_objects <= 0 || num_objects mod drives <> 0 then
     invalid_arg "Flush_array.create: num_objects must be a positive multiple of drives";
@@ -50,6 +69,8 @@ let create engine ~drives ~transfer_time ~num_objects
       position = i * span;
       has_history = false;
       pending_tbl = Hashtbl.create 64;
+      normal = empty_index ();
+      urgent = empty_index ();
       busy = false;
     }
   in
@@ -59,6 +80,7 @@ let create engine ~drives ~transfer_time ~num_objects
     num_objects;
     drives = Array.init drives make_drive;
     scheduling;
+    implementation;
     on_flush = None;
     next_seq = 0;
     pending_count = 0;
@@ -66,6 +88,7 @@ let create engine ~drives ~transfer_time ~num_objects
     completed = 0;
     forced_count = 0;
     superseded = 0;
+    picks = 0;
     distances = El_metrics.Running_stat.create ~name:"flush oid distance" ();
     obs;
   }
@@ -85,11 +108,39 @@ let drive_of t oid =
     invalid_arg "Flush_array: oid out of range";
   t.drives.(o / t.drives.(0).span)
 
-(* Pick the pending request closest to the drive's current position
-   (wrapped within its partition) — or the oldest one under FIFO
-   scheduling, the ablation baseline.  Forced requests always win;
-   their order is irrelevant since any forced order is "random" I/O. *)
-let pick_next t d =
+(* ---- index maintenance (Indexed implementation) ---- *)
+
+let class_of d r = if r.forced then d.urgent else d.normal
+
+let index_add idx r =
+  idx.by_oid <- Int_map.add r.oid r idx.by_oid;
+  idx.by_seq <- Int_map.add r.seq r idx.by_seq
+
+let index_remove idx r =
+  idx.by_oid <- Int_map.remove r.oid idx.by_oid;
+  idx.by_seq <- Int_map.remove r.seq idx.by_seq
+
+(* ---- picking the next request ----
+
+   Both implementations follow the same normalized order:
+   1. forced requests before unforced ones;
+   2. within a class, the scheduling discipline's key — wrapped oid
+      distance from the drive position under [Nearest], arrival [seq]
+      under [Fifo];
+   3. equal keys (two oids exactly equidistant on opposite sides of
+      the position) resolve to the *earlier arrival* (smaller [seq]).
+   The explicit seq tie-break replaces the hash-table iteration order
+   the linear scan historically relied on, so both implementations are
+   deterministic and agree request-for-request. *)
+
+(* The retained linear scan: O(B) per pick over the whole backlog.
+   Kept as the differential-testing baseline and as the benchmark
+   reference the elevator index is measured against. *)
+let pick_next_reference t d =
+  let dist oid =
+    Ids.Oid.distance ~wrap:d.span (Ids.Oid.of_int oid)
+      (Ids.Oid.of_int d.position)
+  in
   let best = ref None in
   let consider r =
     match !best with
@@ -101,16 +152,67 @@ let pick_next t d =
           match t.scheduling with
           | Fifo -> r.seq < b.seq
           | Nearest ->
-            let dist x =
-              Ids.Oid.distance ~wrap:d.span (Ids.Oid.of_int x)
-                (Ids.Oid.of_int d.position)
-            in
-            dist r.oid < dist b.oid
+            let dr = dist r.oid and db = dist b.oid in
+            dr < db || (dr = db && r.seq < b.seq)
       in
       if better then best := Some r
   in
   Hashtbl.iter (fun _ r -> consider r) d.pending_tbl;
   !best
+
+(* The elevator pick: the nearest pending oid on a circle is either
+   the circular successor or the circular predecessor of the drive
+   position, both O(log B) lookups in the by-oid map. *)
+let pick_nearest_indexed d idx =
+  let some = function
+    | Some (_, r) -> Some r
+    | None -> None
+  in
+  let succ =
+    match Int_map.find_first_opt (fun k -> k >= d.position) idx.by_oid with
+    | Some _ as s -> some s
+    | None -> some (Int_map.min_binding_opt idx.by_oid)  (* wrap *)
+  in
+  let pred =
+    match Int_map.find_last_opt (fun k -> k < d.position) idx.by_oid with
+    | Some _ as p -> some p
+    | None -> some (Int_map.max_binding_opt idx.by_oid)  (* wrap *)
+  in
+  match (succ, pred) with
+  | None, None -> None
+  | Some r, None | None, Some r -> Some r
+  | Some s, Some p ->
+    if s == p then Some s
+    else
+      let dist r =
+        Ids.Oid.distance ~wrap:d.span (Ids.Oid.of_int r.oid)
+          (Ids.Oid.of_int d.position)
+      in
+      let ds = dist s and dp = dist p in
+      if ds < dp then Some s
+      else if dp < ds then Some p
+      else if s.seq < p.seq then Some s
+      else Some p
+
+let pick_next_indexed t d =
+  let idx =
+    if not (Int_map.is_empty d.urgent.by_oid) then d.urgent else d.normal
+  in
+  match t.scheduling with
+  | Fifo -> (
+    match Int_map.min_binding_opt idx.by_seq with
+    | Some (_, r) -> Some r
+    | None -> None)
+  | Nearest -> pick_nearest_indexed d idx
+
+let pick_next t d =
+  t.picks <- t.picks + 1;
+  (match t.obs with
+  | None -> ()
+  | Some o -> El_metrics.Counter.incr (El_obs.Obs.counter o "flush.picks"));
+  match t.implementation with
+  | Reference -> pick_next_reference t d
+  | Indexed -> pick_next_indexed t d
 
 let rec dispatch t d =
   match pick_next t d with
@@ -118,6 +220,9 @@ let rec dispatch t d =
   | Some r ->
     d.busy <- true;
     Hashtbl.remove d.pending_tbl r.oid;
+    (match t.implementation with
+    | Indexed -> index_remove (class_of d r) r
+    | Reference -> ());
     emit t (El_obs.Event.Flush_start { drive = drive_index t d; oid = r.oid });
     El_sim.Engine.schedule_after t.engine t.transfer_time (fun () ->
         let distance =
@@ -155,14 +260,26 @@ let enqueue t oid ~version ~forced =
   emit t (El_obs.Event.Flush_request { oid = o; forced });
   (match Hashtbl.find_opt d.pending_tbl o with
   | Some r ->
-    (* Supersede in place: keep the single pending slot, newest version. *)
+    (* Supersede in place: keep the single pending slot, newest version.
+       A forced supersede promotes the request into the urgent class. *)
     r.version <- version;
-    r.forced <- r.forced || forced;
+    if forced && not r.forced then begin
+      (match t.implementation with
+      | Indexed ->
+        index_remove d.normal r;
+        r.forced <- true;
+        index_add d.urgent r
+      | Reference -> r.forced <- true)
+    end;
     t.superseded <- t.superseded + 1
   | None ->
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
-    Hashtbl.replace d.pending_tbl o { oid = o; version; forced; seq };
+    let r = { oid = o; version; forced; seq } in
+    Hashtbl.replace d.pending_tbl o r;
+    (match t.implementation with
+    | Indexed -> index_add (class_of d r) r
+    | Reference -> ());
     t.pending_count <- t.pending_count + 1;
     if t.pending_count > t.peak_backlog then t.peak_backlog <- t.pending_count);
   if not d.busy then dispatch t d
@@ -179,6 +296,7 @@ let peak_backlog t = t.peak_backlog
 let flushes_completed t = t.completed
 let forced_flushes t = t.forced_count
 let superseded t = t.superseded
+let picks t = t.picks
 let mean_distance t = El_metrics.Running_stat.mean t.distances
 let distance_stat t = t.distances
 
@@ -195,3 +313,32 @@ let drain_time t =
       if Time.(finish > !worst) then worst := finish)
     t.drives;
   !worst
+
+let check_invariants t =
+  Array.iter
+    (fun d ->
+      match t.implementation with
+      | Reference -> ()
+      | Indexed ->
+        let n = ref 0 in
+        let audit idx ~forced =
+          Int_map.iter
+            (fun oid r ->
+              incr n;
+              assert (r.oid = oid);
+              assert (r.forced = forced);
+              assert (
+                match Int_map.find_opt r.seq idx.by_seq with
+                | Some r' -> r' == r
+                | None -> false);
+              assert (
+                match Hashtbl.find_opt d.pending_tbl oid with
+                | Some r' -> r' == r
+                | None -> false))
+            idx.by_oid;
+          assert (Int_map.cardinal idx.by_oid = Int_map.cardinal idx.by_seq)
+        in
+        audit d.normal ~forced:false;
+        audit d.urgent ~forced:true;
+        assert (!n = Hashtbl.length d.pending_tbl))
+    t.drives

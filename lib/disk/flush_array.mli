@@ -23,21 +23,33 @@ type t
     feedback). *)
 type scheduling = Nearest | Fifo
 
+(** How the next request is found.  [Indexed] (the default) keeps each
+    drive's backlog in balanced maps — by oid for the elevator pick,
+    by arrival seq for FIFO — so every pick is O(log B).  [Reference]
+    is the retained linear rescan of the whole backlog (O(B) per
+    pick), kept as the differential-testing baseline and as the
+    benchmark reference.  Both follow the same normalized order:
+    forced first, then the discipline's key, ties to the earlier
+    arrival — so they agree request-for-request. *)
+type implementation = Indexed | Reference
+
 val create :
   El_sim.Engine.t ->
   drives:int ->
   transfer_time:Time.t ->
   num_objects:int ->
   ?scheduling:scheduling ->
+  ?implementation:implementation ->
   ?obs:El_obs.Obs.t ->
   unit ->
   t
 (** Raises [Invalid_argument] unless [drives > 0],
     [num_objects mod drives = 0] (the paper ignores the ragged case)
     and [transfer_time > Time.zero].  [scheduling] defaults to
-    [Nearest].  With [obs], the request/start/done lifecycle of every
-    flush is traced and seek distances feed the
-    ["flush.oid_distance"] histogram. *)
+    [Nearest], [implementation] to [Indexed].  With [obs], the
+    request/start/done lifecycle of every flush is traced, seek
+    distances feed the ["flush.oid_distance"] histogram and every
+    scheduling decision bumps the ["flush.picks"] counter. *)
 
 val set_on_flush : t -> (Ids.Oid.t -> version:int -> unit) -> unit
 (** Installs the completion callback (the log manager's "record is now
@@ -67,6 +79,11 @@ val forced_flushes : t -> int
 val superseded : t -> int
 (** Requests replaced in place before being serviced. *)
 
+val picks : t -> int
+(** Scheduling decisions taken (one per dispatch attempt, including
+    the one that finds the backlog empty).  Each pick costs O(log B)
+    under [Indexed] and O(B) under [Reference]. *)
+
 val mean_distance : t -> float
 (** Mean wrapped oid distance between successively flushed objects on
     the same drive (§4's locality metric). *)
@@ -79,3 +96,8 @@ val max_rate_per_sec : t -> float
 val drain_time : t -> Time.t
 (** Simulated time by which the current backlog will have been fully
     served, assuming no further arrivals. *)
+
+val check_invariants : t -> unit
+(** Cross-checks the elevator indexes against the pending table: every
+    pending request appears in exactly one class index, under both the
+    by-oid and by-seq keys.  A no-op under [Reference]. *)

@@ -21,6 +21,7 @@ type config = {
   flush_drives : int;
   flush_transfer : Time.t;
   flush_scheduling : Flush_array.scheduling;
+  flush_impl : Flush_array.implementation;
   num_objects : int;
   seed : int;
   abort_fraction : float;
@@ -37,6 +38,7 @@ let default_config ~kind ~mix =
     flush_drives = 10;
     flush_transfer = Time.of_ms 25;
     flush_scheduling = Flush_array.Nearest;
+    flush_impl = Flush_array.Indexed;
     num_objects = Params.num_objects;
     seed = 42;
     abort_fraction = 0.0;
@@ -151,7 +153,7 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
   let flush =
     Flush_array.create engine ~drives:cfg.flush_drives
       ~transfer_time:cfg.flush_transfer ~num_objects:cfg.num_objects
-      ~scheduling:cfg.flush_scheduling ?obs ()
+      ~scheduling:cfg.flush_scheduling ~implementation:cfg.flush_impl ?obs ()
   in
   let el, fw, hybrid, sink =
     match cfg.kind with

@@ -10,6 +10,9 @@ let dummy_entry tid =
     tx_cell = None;
     write_set = Ids.Oid.Table.create 4;
     tx_state = `Active;
+    act_prev = None;
+    act_next = None;
+    act_linked = false;
   }
 
 let make_cell ?(tid = 0) ?(gen = 0) ?(slot = 0) () =
