@@ -18,9 +18,15 @@ type outcome = {
   recoveries : int;
   failures : (int * string) list;
   overloaded : bool;
+  faulted : bool;
   committed : int;
   killed : int;
   max_records_scanned : int;
+  torn_blocks : int;
+  torn_records : int;
+  io_retries : int;
+  io_remaps : int;
+  sheds : int;
 }
 
 let kind_name = function
@@ -44,9 +50,15 @@ type slice_outcome = {
   s_failures : (int * int * string) list;
       (** (pause tag, events dispatched, message), oldest first *)
   s_overloaded : bool;
+  s_faulted : bool;
   s_committed : int;
   s_killed : int;
   s_max_scanned : int;
+  s_torn_blocks : int;  (** summed over this slice's recoveries *)
+  s_torn_records : int;
+  s_io_retries : int;  (** injector totals — identical across slices *)
+  s_io_remaps : int;
+  s_sheds : int;
 }
 
 let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle
@@ -64,6 +76,8 @@ let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle
   let pauses = ref 0 in
   let recoveries = ref 0 in
   let max_scanned = ref 0 in
+  let torn_blocks = ref 0 in
+  let torn_records = ref 0 in
   let record_failure ~tag msg =
     failures := (tag, Engine.events_dispatched engine, msg) :: !failures
   in
@@ -82,6 +96,8 @@ let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle
         let r = Recovery.recover image in
         if r.Recovery.records_scanned > !max_scanned then
           max_scanned := r.Recovery.records_scanned;
+        torn_blocks := !torn_blocks + r.Recovery.torn_blocks;
+        torn_records := !torn_records + r.Recovery.torn_records;
         let a = Recovery.audit image r in
         if not a.Recovery.ok then
           record_failure ~tag
@@ -90,7 +106,7 @@ let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle
     end
   in
   let final = max_int in
-  let overloaded =
+  let status =
     try
       let continue = ref true in
       while !continue && !pauses < max_points do
@@ -109,15 +125,26 @@ let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle
       | Some m -> Hybrid_manager.drain m
       | None -> ());
       Engine.run_all engine;
-      false
-    with El_manager.Log_overloaded msg ->
+      `Ok
+    with
+    | El_manager.Log_overloaded msg ->
       (* every slice hits the same overload at the same event; report
          it once *)
       if slice = 0 then
         record_failure ~tag:final (Printf.sprintf "log overloaded: %s" msg);
-      true
+      `Overloaded
+    | El_fault.Injector.Io_fatal { device; op; reason } ->
+      (* fault streams are per-device and untouched by pauses, so
+         every slice dies at the same op of the same device *)
+      if slice = 0 then
+        record_failure ~tag:final
+          (Printf.sprintf "io fatal on %s op %d: %s"
+             (El_fault.Fault_plan.device_name device)
+             op reason);
+      `Faulted
   in
-  if (not overloaded) && slice = 0 then begin
+  let overloaded = status = `Overloaded in
+  if status = `Ok && slice = 0 then begin
     let guarded f = guarded ~tag:final f in
     let record_failure msg = record_failure ~tag:final msg in
     guarded (fun () -> Auditor.audit_live live);
@@ -149,9 +176,24 @@ let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle
     s_recoveries = !recoveries;
     s_failures = List.rev !failures;
     s_overloaded = overloaded;
+    s_faulted = status = `Faulted;
     s_committed = Generator.committed live.Experiment.generator;
     s_killed = Generator.killed live.Experiment.generator;
     s_max_scanned = !max_scanned;
+    s_torn_blocks = !torn_blocks;
+    s_torn_records = !torn_records;
+    s_io_retries =
+      (match live.Experiment.fault with
+      | Some i -> El_fault.Injector.retries i
+      | None -> 0);
+    s_io_remaps =
+      (match live.Experiment.fault with
+      | Some i -> El_fault.Injector.remaps i
+      | None -> 0);
+    s_sheds =
+      (match live.Experiment.fault with
+      | Some i -> El_fault.Injector.sheds i
+      | None -> 0);
   }
 
 let run ?(pool = El_par.Pool.serial) ?(stride = 100) ?(max_points = max_int)
@@ -181,10 +223,19 @@ let run ?(pool = El_par.Pool.serial) ?(stride = 100) ?(max_points = max_int)
     recoveries = List.fold_left (fun a p -> a + p.s_recoveries) 0 parts;
     failures;
     overloaded = p0.s_overloaded;
+    faulted = p0.s_faulted;
     committed = p0.s_committed;
     killed = p0.s_killed;
     max_records_scanned =
       List.fold_left (fun a p -> max a p.s_max_scanned) 0 parts;
+    (* pauses partition across slices, so summing reproduces the
+       serial totals *)
+    torn_blocks = List.fold_left (fun a p -> a + p.s_torn_blocks) 0 parts;
+    torn_records = List.fold_left (fun a p -> a + p.s_torn_records) 0 parts;
+    (* injector totals, identical in every slice's replay *)
+    io_retries = p0.s_io_retries;
+    io_remaps = p0.s_io_remaps;
+    sheds = p0.s_sheds;
   }
 
 let standard_mix () =

@@ -37,9 +37,18 @@ type outcome = {
   failures : (int * string) list;
       (** (events dispatched at detection, message), oldest first *)
   overloaded : bool;  (** the run died with [Log_overloaded] *)
+  faulted : bool;
+      (** the run died with {!El_fault.Injector.Io_fatal} — a device
+          ran out of spare sectors (deterministic per plan + seed) *)
   committed : int;  (** transactions committed by the generator *)
-  killed : int;
+  killed : int;  (** includes transactions shed by degraded mode *)
   max_records_scanned : int;  (** largest recovery scan seen *)
+  torn_blocks : int;
+      (** torn tails discarded, summed over every crash image audited *)
+  torn_records : int;
+  io_retries : int;  (** transient failures absorbed over the run *)
+  io_remaps : int;  (** spare-sector remaps over the run *)
+  sheds : int;  (** transactions shed by degraded mode *)
 }
 
 val run :

@@ -36,6 +36,11 @@ type gen = {
   mutable g_buffer_seq : int;
   mutable g_stage : Cell.tracked Block.t;  (* recirculation staging (last gen) *)
   mutable g_stage_origins : int list;  (* slots whose survivors are staged *)
+  g_inflight : (int * Cell.tracked Block.t) Queue.t;
+      (* writes issued but not completed, FIFO; the head is the write
+         in service.  Tracked here, not via [g_blocks], because a slot
+         can be reassigned while an older write for it is still
+         queued. *)
 }
 
 type t = {
@@ -67,7 +72,7 @@ let emit t kind =
 
 let free_slots g = g.g_size - g.g_occupied
 
-let make_gen engine policy ~write_time ?obs i =
+let make_gen engine policy ~write_time ?obs ?fault i =
   let size = policy.Policy.generation_sizes.(i) in
   {
     g_index = i;
@@ -82,21 +87,25 @@ let make_gen engine policy ~write_time ?obs i =
     g_cells = Cell.Cell_list.create ();
     g_channel =
       Log_channel.create engine ~write_time
-        ~buffer_pool:policy.Policy.buffers_per_generation ?obs ~label:i ();
+        ~buffer_pool:policy.Policy.buffers_per_generation ?obs ~label:i
+        ?fault:
+          (Option.map (fun inj -> El_fault.Injector.log_gen inj i) fault)
+        ();
     g_occupancy =
       El_metrics.Gauge.create ~name:(Printf.sprintf "gen%d occupancy" i) ();
     g_current = None;
     g_buffer_seq = 0;
     g_stage = Block.create ~capacity:policy.Policy.block_payload;
     g_stage_origins = [];
+    g_inflight = Queue.create ();
   }
 
 let create engine ~policy ~flush ~stable ?(write_time = Params.tau_disk_write)
-    ?(tx_record_size = Params.tx_record_size) ?obs () =
+    ?(tx_record_size = Params.tx_record_size) ?obs ?fault () =
   Policy.validate policy;
   let gens =
     Array.init (Policy.num_generations policy)
-      (make_gen engine policy ~write_time ?obs)
+      (make_gen engine policy ~write_time ?obs ?fault)
   in
   let remove_cell (c : Cell.t) =
     (* A cell whose record is not yet in any buffer belongs to no
@@ -211,7 +220,10 @@ let free_slot g s =
 (* Issue a sealed buffer to the generation's channel. *)
 let issue_write t g (buf : buffer) =
   g.g_state.(buf.b_slot) <- Sealed;
+  Queue.add (buf.b_slot, buf.b_block) g.g_inflight;
   Log_channel.write g.g_channel ~on_complete:(fun () ->
+      (let s, _ = Queue.pop g.g_inflight in
+       assert (s = buf.b_slot));
       g.g_state.(buf.b_slot) <-
         (if g.g_state.(buf.b_slot) = Sealed then Durable
          else g.g_state.(buf.b_slot));
@@ -779,6 +791,72 @@ let durable_records t =
               (fun (tr : Cell.tracked) -> acc := tr.Cell.record :: !acc)
               block)
         g.g_durable)
+    t.gens;
+  !acc
+
+type durable_block = {
+  db_gen : int;
+  db_slot : int;
+  db_records : Log_record.t list;
+  db_torn_prefix : int option;
+}
+
+let block_records block =
+  List.map (fun (tr : Cell.tracked) -> tr.Cell.record) (Block.items block)
+
+let durable_blocks t =
+  let acc = ref [] in
+  Array.iter
+    (fun g ->
+      (* A torn verdict only materializes for the write actually in
+         service at the crash: the channel is sequential, so that is
+         the head of the in-flight queue.  Its slot's previous durable
+         content is partially overwritten — the crash image holds the
+         new block's prefix, with the suffix (at least the final
+         record) destroyed. *)
+      let torn =
+        match Log_channel.in_service_torn g.g_channel with
+        | None -> None
+        | Some f -> (
+          match Queue.peek_opt g.g_inflight with
+          | None -> None
+          | Some (slot, block) -> Some (slot, block, f))
+      in
+      let torn_slot =
+        match torn with Some (s, _, _) -> Some s | None -> None
+      in
+      Array.iteri
+        (fun s durable ->
+          if Some s <> torn_slot then
+            match durable with
+            | None -> ()
+            | Some block ->
+              acc :=
+                {
+                  db_gen = g.g_index;
+                  db_slot = s;
+                  db_records = block_records block;
+                  db_torn_prefix = None;
+                }
+                :: !acc)
+        g.g_durable;
+      match torn with
+      | None -> ()
+      | Some (s, block, f) ->
+        let records = block_records block in
+        let n = List.length records in
+        let k =
+          if n = 0 then 0
+          else Stdlib.min (n - 1) (int_of_float (f *. float_of_int n))
+        in
+        acc :=
+          {
+            db_gen = g.g_index;
+            db_slot = s;
+            db_records = records;
+            db_torn_prefix = Some k;
+          }
+          :: !acc)
     t.gens;
   !acc
 

@@ -37,6 +37,7 @@ val create :
   ?write_time:Time.t ->
   ?tx_record_size:int ->
   ?obs:El_obs.Obs.t ->
+  ?fault:El_fault.Injector.t ->
   unit ->
   t
 (** Builds the generations and takes ownership of the flush array's
@@ -45,7 +46,9 @@ val create :
     append, seal, head advance, forward, recirculation, stage write,
     kill, eviction, commit ack and abort is traced, commit latencies
     feed the ["commit.latency_us"] histogram, and the per-generation
-    log channels trace their block writes. *)
+    log channels trace their block writes.  With [fault], generation
+    [i]'s channel resolves every block write against the plan's
+    [Log_gen i] schedule (see {!El_disk.Log_channel.create}). *)
 
 val set_on_kill : t -> (Ids.Tid.t -> unit) -> unit
 
@@ -133,6 +136,24 @@ val durable_records : t -> Log_record.t list
 (** Every record in every block whose disk write has completed, across
     all generations — including stale copies in freed-but-not-yet
     -overwritten slots, exactly what a post-crash scan would read. *)
+
+(** One on-disk block as a crash would find it.  [db_torn_prefix =
+    Some k] marks the block whose write was in service with a torn
+    verdict at the crash: only its first [k] records persisted intact
+    ([k < length db_records]; the suffix — at least the final record —
+    is destroyed, replacing whatever the slot durably held before). *)
+type durable_block = {
+  db_gen : int;
+  db_slot : int;
+  db_records : Log_record.t list;
+  db_torn_prefix : int option;
+}
+
+val durable_blocks : t -> durable_block list
+(** The block-granular view of {!durable_records}, for checksummed
+    recovery: completed blocks verbatim, plus — per generation — the
+    write in service at the crash when (and only when) its fault
+    verdict was torn.  Reading this never draws fault randomness. *)
 
 val committed_reference : t -> (Ids.Oid.t * int) list
 (** Ground truth for recovery tests: for every object, the newest

@@ -93,7 +93,7 @@ let create engine ~size_blocks ?(block_payload = Params.block_payload)
     ?(buffers = Params.buffers_per_generation)
     ?(write_time = Params.tau_disk_write)
     ?(tx_record_size = Params.tx_record_size)
-    ?(bytes_per_tx = Params.fw_bytes_per_tx) ?checkpointing ?obs () =
+    ?(bytes_per_tx = Params.fw_bytes_per_tx) ?checkpointing ?obs ?fault () =
   if size_blocks < head_tail_gap + 2 then
     invalid_arg "Fw_manager.create: log needs at least gap+2 blocks";
   (match checkpointing with
@@ -114,7 +114,9 @@ let create engine ~size_blocks ?(block_payload = Params.block_payload)
     occupied = 0;
     channel =
       Log_channel.create engine ~write_time ~buffer_pool:buffers ?obs
-        ~label:0 ();
+        ~label:0
+        ?fault:(Option.map (fun inj -> El_fault.Injector.log_gen inj 0) fault)
+        ();
     current = None;
     txs = Ids.Tid.Table.create 1024;
     act_head = None;

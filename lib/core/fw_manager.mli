@@ -40,6 +40,7 @@ val create :
   ?bytes_per_tx:int ->
   ?checkpointing:checkpointing ->
   ?obs:El_obs.Obs.t ->
+  ?fault:El_fault.Injector.t ->
   unit ->
   t
 (** Raises [Invalid_argument] if [size_blocks < head_tail_gap + 2].

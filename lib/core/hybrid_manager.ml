@@ -130,7 +130,7 @@ let create engine ~queue_sizes ~flush ~stable
     ?(head_tail_gap = Params.head_tail_gap)
     ?(buffers = Params.buffers_per_generation)
     ?(write_time = Params.tau_disk_write)
-    ?(tx_record_size = Params.tx_record_size) ?obs () =
+    ?(tx_record_size = Params.tx_record_size) ?obs ?fault () =
   if Array.length queue_sizes = 0 then
     invalid_arg "Hybrid_manager.create: no queues";
   Array.iter
@@ -151,7 +151,10 @@ let create engine ~queue_sizes ~flush ~stable
       q_occupied = 0;
       q_channel =
         Log_channel.create engine ~write_time ~buffer_pool:buffers ?obs
-          ~label:i ();
+          ~label:i
+          ?fault:
+            (Option.map (fun inj -> El_fault.Injector.log_gen inj i) fault)
+          ();
       q_current = None;
     }
   in

@@ -36,6 +36,7 @@ val create :
   ?write_time:Time.t ->
   ?tx_record_size:int ->
   ?obs:El_obs.Obs.t ->
+  ?fault:El_fault.Injector.t ->
   unit ->
   t
 

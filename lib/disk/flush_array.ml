@@ -50,12 +50,13 @@ type t = {
   mutable picks : int;
   distances : El_metrics.Running_stat.t;
   obs : El_obs.Obs.t option;
+  fault : El_fault.Injector.device_state option array;
 }
 
 let empty_index () = { by_oid = Int_map.empty; by_seq = Int_map.empty }
 
 let create engine ~drives ~transfer_time ~num_objects
-    ?(scheduling = Nearest) ?(implementation = Indexed) ?obs () =
+    ?(scheduling = Nearest) ?(implementation = Indexed) ?obs ?fault () =
   if drives <= 0 then invalid_arg "Flush_array.create: no drives";
   if num_objects <= 0 || num_objects mod drives <> 0 then
     invalid_arg "Flush_array.create: num_objects must be a positive multiple of drives";
@@ -91,6 +92,9 @@ let create engine ~drives ~transfer_time ~num_objects
     picks = 0;
     distances = El_metrics.Running_stat.create ~name:"flush oid distance" ();
     obs;
+    fault =
+      Array.init drives (fun i ->
+          Option.map (fun inj -> El_fault.Injector.flush_drive inj i) fault);
   }
 
 let set_on_flush t f = t.on_flush <- Some f
@@ -214,6 +218,43 @@ let pick_next t d =
   | Reference -> pick_next_reference t d
   | Indexed -> pick_next_indexed t d
 
+let count t name n =
+  match t.obs with
+  | None -> ()
+  | Some o -> El_metrics.Counter.add (El_obs.Obs.counter o name) n
+
+(* Resolve the transfer against the drive's fault state when a plan is
+   armed.  Nominal resolutions reuse the exact [transfer_time] value so
+   armed-but-inert plans stay byte-identical.  Torn verdicts on flush
+   transfers are deliberately ignored: the stable version only changes
+   via [on_flush] at completion, so a transfer interrupted by a crash
+   leaves the old (consistent) object image in place — there is no
+   partially-applied state to tear. *)
+let transfer_service t d =
+  match t.fault.(drive_index t d) with
+  | None -> t.transfer_time
+  | Some ds ->
+    let r =
+      El_fault.Injector.next_op ds ~now:(El_sim.Engine.now t.engine)
+    in
+    let dev = El_fault.Fault_plan.device_name (El_fault.Injector.device ds) in
+    if r.El_fault.Injector.r_retries > 0 then begin
+      emit t
+        (El_obs.Event.Io_retry
+           { device = dev; attempts = r.El_fault.Injector.r_retries });
+      count t "fault.io_retries" r.El_fault.Injector.r_retries
+    end;
+    if r.El_fault.Injector.r_remapped then begin
+      emit t (El_obs.Event.Io_remap { device = dev });
+      count t "fault.io_remaps" 1
+    end;
+    if El_fault.Injector.nominal r then t.transfer_time
+    else
+      Time.add
+        (Time.of_sec_f
+           (Time.to_sec_f t.transfer_time *. r.El_fault.Injector.r_latency))
+        r.El_fault.Injector.r_penalty
+
 let rec dispatch t d =
   match pick_next t d with
   | None -> d.busy <- false
@@ -224,7 +265,7 @@ let rec dispatch t d =
     | Indexed -> index_remove (class_of d r) r
     | Reference -> ());
     emit t (El_obs.Event.Flush_start { drive = drive_index t d; oid = r.oid });
-    El_sim.Engine.schedule_after t.engine t.transfer_time (fun () ->
+    El_sim.Engine.schedule_after t.engine (transfer_service t d) (fun () ->
         let distance =
           if d.has_history then
             Ids.Oid.distance ~wrap:d.span (Ids.Oid.of_int r.oid)

@@ -41,6 +41,7 @@ val create :
   ?scheduling:scheduling ->
   ?implementation:implementation ->
   ?obs:El_obs.Obs.t ->
+  ?fault:El_fault.Injector.t ->
   unit ->
   t
 (** Raises [Invalid_argument] unless [drives > 0],
@@ -49,7 +50,12 @@ val create :
     [Nearest], [implementation] to [Indexed].  With [obs], the
     request/start/done lifecycle of every flush is traced, seek
     distances feed the ["flush.oid_distance"] histogram and every
-    scheduling decision bumps the ["flush.picks"] counter. *)
+    scheduling decision bumps the ["flush.picks"] counter.  With
+    [fault], each drive [i] resolves every transfer against the plan's
+    [Flush_drive i] schedule: retries and latency windows stretch the
+    transfer, remaps burn spares.  Torn verdicts are inert here — the
+    stable version only changes at transfer completion, so an
+    interrupted transfer leaves the old consistent image. *)
 
 val set_on_flush : t -> (Ids.Oid.t -> version:int -> unit) -> unit
 (** Installs the completion callback (the log manager's "record is now

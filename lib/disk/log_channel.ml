@@ -13,9 +13,11 @@ type t = {
   mutable busy_until : Time.t;
   obs : El_obs.Obs.t option;
   label : int;  (* generation index in trace events; -1 when unnamed *)
+  fault : El_fault.Injector.device_state option;
+  mutable current_torn : float option;
 }
 
-let create engine ~write_time ~buffer_pool ?obs ?(label = -1) () =
+let create engine ~write_time ~buffer_pool ?obs ?(label = -1) ?fault () =
   if buffer_pool <= 0 then invalid_arg "Log_channel.create: empty pool";
   {
     engine;
@@ -30,6 +32,8 @@ let create engine ~write_time ~buffer_pool ?obs ?(label = -1) () =
     busy_until = Time.zero;
     obs;
     label;
+    fault;
+    current_torn = None;
   }
 
 let emit t kind =
@@ -37,17 +41,54 @@ let emit t kind =
   | None -> ()
   | Some o -> El_obs.Obs.emit o El_obs.Event.Channel kind
 
+let count t name n =
+  match t.obs with
+  | None -> ()
+  | Some o -> El_metrics.Counter.add (El_obs.Obs.counter o name) n
+
 let in_flight t = t.started - t.completed
+
+(* Resolve the op against the fault plan when one is armed.  The
+   nominal path must return the channel's [write_time] value itself —
+   not a recomputed equivalent — so that an armed-but-inert plan stays
+   byte-identical to no plan at all. *)
+let service_time t =
+  match t.fault with
+  | None -> t.write_time
+  | Some ds ->
+    let r =
+      El_fault.Injector.next_op ds ~now:(El_sim.Engine.now t.engine)
+    in
+    t.current_torn <- r.El_fault.Injector.r_torn;
+    let dev = El_fault.Fault_plan.device_name (El_fault.Injector.device ds) in
+    if r.El_fault.Injector.r_retries > 0 then begin
+      emit t
+        (El_obs.Event.Io_retry
+           { device = dev; attempts = r.El_fault.Injector.r_retries });
+      count t "fault.io_retries" r.El_fault.Injector.r_retries
+    end;
+    if r.El_fault.Injector.r_remapped then begin
+      emit t (El_obs.Event.Io_remap { device = dev });
+      count t "fault.io_remaps" 1
+    end;
+    if El_fault.Injector.nominal r then t.write_time
+    else
+      Time.add
+        (Time.of_sec_f
+           (Time.to_sec_f t.write_time *. r.El_fault.Injector.r_latency))
+        r.El_fault.Injector.r_penalty
 
 let rec start_next t =
   match Queue.take_opt t.queue with
   | None -> t.busy <- false
   | Some on_complete ->
     t.busy <- true;
-    t.busy_until <- Time.add (El_sim.Engine.now t.engine) t.write_time;
+    let service = service_time t in
+    t.busy_until <- Time.add (El_sim.Engine.now t.engine) service;
     emit t (El_obs.Event.Log_write_start { gen = t.label });
-    El_sim.Engine.schedule_after t.engine t.write_time (fun () ->
+    El_sim.Engine.schedule_after t.engine service (fun () ->
         t.completed <- t.completed + 1;
+        t.current_torn <- None;
         emit t (El_obs.Event.Log_write_done { gen = t.label });
         on_complete ();
         start_next t)
@@ -63,6 +104,8 @@ let writes_started t = t.started
 let writes_completed t = t.completed
 let peak_in_flight t = t.peak
 let pool_overflows t = t.overflows
+
+let in_service_torn t = if t.busy then t.current_torn else None
 
 let quiesce_time t =
   if not t.busy then El_sim.Engine.now t.engine

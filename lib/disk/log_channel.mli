@@ -24,12 +24,19 @@ val create :
   buffer_pool:int ->
   ?obs:El_obs.Obs.t ->
   ?label:int ->
+  ?fault:El_fault.Injector.device_state ->
   unit ->
   t
 (** Raises [Invalid_argument] if [buffer_pool] is non-positive.  With
     [obs], every block write emits [Log_write_start]/[Log_write_done]
     trace events tagged with [label] (the owning generation's index;
-    [-1] when unnamed). *)
+    [-1] when unnamed).  With [fault], each write consults the fault
+    injector when it starts service: transient errors stretch the
+    service time by the retry penalty, latency windows scale it,
+    remaps burn spares (fatal when exhausted), and torn-write verdicts
+    are held for {!in_service_torn}.  A nominal resolution reuses the
+    exact [write_time], so an armed-but-inert plan is byte-identical
+    to none. *)
 
 val write : t -> on_complete:(unit -> unit) -> unit
 (** Enqueues one block write.  [on_complete] fires τ after the write
@@ -46,6 +53,13 @@ val peak_in_flight : t -> int
 val pool_overflows : t -> int
 (** Number of writes issued while the buffer pool was already fully
     occupied — should be 0 in every paper configuration. *)
+
+val in_service_torn : t -> float option
+(** The pre-drawn torn-write verdict of the write currently in
+    service: [Some f] means a crash right now persists only the
+    fraction [f] of that block.  [None] when idle or the write is not
+    torn.  Reading this never advances the fault stream, so crash
+    capture cannot perturb replay. *)
 
 val quiesce_time : t -> Time.t
 (** The simulated time at which all currently queued writes will have

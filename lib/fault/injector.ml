@@ -1,0 +1,162 @@
+open El_model
+
+exception
+  Io_fatal of { device : Fault_plan.device; op : int; reason : string }
+
+type resolution = {
+  r_op : int;
+  r_retries : int;
+  r_remapped : bool;
+  r_latency : float;
+  r_penalty : Time.t;
+  r_torn : float option;
+}
+
+type t = {
+  plan : Fault_plan.t;
+  states : (Fault_plan.device, device_state) Hashtbl.t;
+  mutable retries : int;
+  mutable remaps : int;
+  mutable sheds : int;
+}
+
+and device_state = {
+  ds_device : Fault_plan.device;
+  ds_spec : Fault_plan.spec;
+  ds_rng : Random.State.t;
+  ds_inj : t;
+  mutable ds_ops : int;
+  mutable ds_remaps : int;
+}
+
+let create plan =
+  if Fault_plan.is_empty plan then None
+  else begin
+    Fault_plan.validate plan;
+    Some
+      {
+        plan;
+        states = Hashtbl.create 8;
+        retries = 0;
+        remaps = 0;
+        sheds = 0;
+      }
+  end
+
+let plan t = t.plan
+
+(* Each device draws from its own stream, derived from the plan seed
+   and the device identity alone — never from the engine RNG — so
+   faults replay identically whatever the workload does, and an armed
+   plan cannot perturb the simulation's own random choices. *)
+let state t dev =
+  match Hashtbl.find_opt t.states dev with
+  | Some s -> s
+  | None ->
+    let spec =
+      Option.value (Fault_plan.spec_for t.plan dev)
+        ~default:Fault_plan.clean_spec
+    in
+    let tag, i =
+      match dev with
+      | Fault_plan.Log_gen i -> (0x10f6, i)
+      | Fault_plan.Flush_drive i -> (0xf1d5, i)
+    in
+    let s =
+      {
+        ds_device = dev;
+        ds_spec = spec;
+        ds_rng = Random.State.make [| t.plan.Fault_plan.seed; tag; i |];
+        ds_inj = t;
+        ds_ops = 0;
+        ds_remaps = 0;
+      }
+    in
+    Hashtbl.replace t.states dev s;
+    s
+
+let log_gen t i = state t (Fault_plan.Log_gen i)
+let flush_drive t i = state t (Fault_plan.Flush_drive i)
+let device ds = ds.ds_device
+
+let next_op ds ~now =
+  let op = ds.ds_ops in
+  ds.ds_ops <- op + 1;
+  let spec = ds.ds_spec in
+  (* Four draws per op, unconditionally, so pinned faults and rate
+     changes never shift the rest of the device's stream. *)
+  let u_transient = Random.State.float ds.ds_rng 1.0 in
+  let u_burst = Random.State.float ds.ds_rng 1.0 in
+  let u_sticky = Random.State.float ds.ds_rng 1.0 in
+  let u_torn = Random.State.float ds.ds_rng 1.0 in
+  let transients =
+    if List.mem op spec.Fault_plan.pinned_transient then 1
+    else if u_transient < spec.Fault_plan.transient_rate then
+      let burst = spec.Fault_plan.transient_burst in
+      1 + Stdlib.min (burst - 1) (int_of_float (u_burst *. float_of_int burst))
+    else 0
+  in
+  let sticky =
+    List.mem op spec.Fault_plan.pinned_sticky
+    || u_sticky < spec.Fault_plan.sticky_rate
+  in
+  let torn =
+    if List.mem op spec.Fault_plan.pinned_torn then Some u_torn
+    else if u_torn < spec.Fault_plan.torn_rate then
+      (* u_torn is uniform on [0, torn_rate) here, so the rescaled
+         value is a uniform tear fraction — one draw serves as both
+         the occurrence test and the fraction. *)
+      Some (u_torn /. spec.Fault_plan.torn_rate)
+    else None
+  in
+  let factor =
+    List.fold_left
+      (fun acc (w : Fault_plan.window) ->
+        if Time.(now >= w.Fault_plan.w_from) && Time.(now < w.Fault_plan.w_until)
+        then acc *. w.Fault_plan.w_factor
+        else acc)
+      1.0 spec.Fault_plan.latency
+  in
+  let retry = ds.ds_inj.plan.Fault_plan.retry in
+  let retries = Stdlib.min transients retry.Fault_plan.budget in
+  let remapped = sticky || transients > retry.Fault_plan.budget in
+  if remapped then begin
+    if ds.ds_remaps >= ds.ds_inj.plan.Fault_plan.spares then
+      raise
+        (Io_fatal
+           {
+             device = ds.ds_device;
+             op;
+             reason =
+               (if sticky then "sticky media error and no spare sectors left"
+                else
+                  Printf.sprintf
+                    "%d transient failures exceeded the retry budget of %d \
+                     and no spare sectors left"
+                    transients retry.Fault_plan.budget);
+           });
+    ds.ds_remaps <- ds.ds_remaps + 1;
+    ds.ds_inj.remaps <- ds.ds_inj.remaps + 1
+  end;
+  if retries > 0 then ds.ds_inj.retries <- ds.ds_inj.retries + retries;
+  {
+    r_op = op;
+    r_retries = retries;
+    r_remapped = remapped;
+    r_latency = factor;
+    r_penalty =
+      (if retries = 0 then Time.zero
+       else Time.mul_int retry.Fault_plan.penalty retries);
+    r_torn = torn;
+  }
+
+let nominal r =
+  r.r_retries = 0 && (not r.r_remapped) && r.r_latency = 1.0
+  && Time.equal r.r_penalty Time.zero
+
+let retries t = t.retries
+let remaps t = t.remaps
+let sheds t = t.sheds
+let count_shed t = t.sheds <- t.sheds + 1
+let device_ops ds = ds.ds_ops
+let device_remaps ds = ds.ds_remaps

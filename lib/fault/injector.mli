@@ -1,0 +1,79 @@
+(** The runtime half of the fault model: turns a {!Fault_plan} into
+    per-operation verdicts for the disk stack.
+
+    Each device (log channel, flush drive) gets a {!device_state}
+    holding its own RNG stream — seeded from the plan seed and the
+    device identity, never from the simulation engine — plus its op
+    counter and remap usage.  A device calls {!next_op} exactly once
+    per I/O operation, when the operation starts service; the returned
+    {!resolution} says how many transient failures the retry policy
+    absorbed, whether the op was remapped onto a spare, the service
+    time scaling, and the pre-drawn torn-write verdict.
+
+    Determinism contract: resolutions are a pure function of (plan,
+    device, op index, sim time for latency windows).  Draws are fixed
+    at four per op, so pinned faults never shift the stream, and
+    reading a verdict never consumes engine randomness — which is why
+    crash capture (which only {e reads} the in-service verdict) can
+    happen at any event boundary without perturbing replay. *)
+
+open El_model
+
+exception
+  Io_fatal of { device : Fault_plan.device; op : int; reason : string }
+(** A device ran out of spare sectors while needing a remap — the run
+    cannot continue.  Deterministic: the same plan and seed raise at
+    the same op of the same device every time. *)
+
+type resolution = {
+  r_op : int;  (** 0-based op index on this device *)
+  r_retries : int;  (** transient failures absorbed by the retry policy *)
+  r_remapped : bool;  (** sticky (or budget-exhausted) op moved to a spare *)
+  r_latency : float;  (** service-time multiplier; 1.0 = nominal *)
+  r_penalty : Time.t;  (** extra service time: retries x retry penalty *)
+  r_torn : float option;
+      (** [Some f]: if the machine crashes while this write is in
+          service, only the fraction [f] of the block persists *)
+}
+
+type t
+type device_state
+
+val create : Fault_plan.t -> t option
+(** [None] iff the plan {!Fault_plan.is_empty} — callers thread the
+    option through so an absent injector costs nothing and leaves
+    every code path untouched.  Validates the plan. *)
+
+val plan : t -> Fault_plan.t
+
+val log_gen : t -> int -> device_state
+(** The (memoized) state of log channel [i]. *)
+
+val flush_drive : t -> int -> device_state
+(** The (memoized) state of flush drive [i]. *)
+
+val device : device_state -> Fault_plan.device
+
+val next_op : device_state -> now:Time.t -> resolution
+(** Draw and resolve the device's next operation.  Raises {!Io_fatal}
+    when a needed remap finds no spare left. *)
+
+val nominal : resolution -> bool
+(** No retries, no remap, factor 1.0, zero penalty — the caller may
+    (and, for byte-identity, must) use the exact unscaled service
+    time. *)
+
+val retries : t -> int
+(** Total transient failures absorbed across all devices. *)
+
+val remaps : t -> int
+(** Total forced remaps across all devices. *)
+
+val sheds : t -> int
+(** Transactions shed by degraded mode (counted by the harness via
+    {!count_shed}). *)
+
+val count_shed : t -> unit
+
+val device_ops : device_state -> int
+val device_remaps : device_state -> int

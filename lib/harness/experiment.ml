@@ -26,6 +26,7 @@ type config = {
   seed : int;
   abort_fraction : float;
   observer : El_obs.Obs.config option;
+  fault : El_fault.Fault_plan.t;
 }
 
 let default_config ~kind ~mix =
@@ -43,6 +44,7 @@ let default_config ~kind ~mix =
     seed = 42;
     abort_fraction = 0.0;
     observer = None;
+    fault = El_fault.Fault_plan.empty;
   }
 
 type result = {
@@ -80,6 +82,7 @@ type live = {
   fw : Fw_manager.t option;
   hybrid : Hybrid_manager.t option;
   obs : El_obs.Obs.t option;
+  fault : El_fault.Injector.t option;
   finish : unit -> result;
 }
 
@@ -149,16 +152,23 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
   let obs =
     Option.map (fun c -> El_obs.Obs.create ~config:c engine) cfg.observer
   in
+  (* [None] for the empty plan: every component then takes its
+     fault-free path, so a default config is byte-identical to a build
+     without fault injection. *)
+  let inj = El_fault.Injector.create cfg.fault in
   let stable = Stable_db.create ~num_objects:cfg.num_objects in
   let flush =
     Flush_array.create engine ~drives:cfg.flush_drives
       ~transfer_time:cfg.flush_transfer ~num_objects:cfg.num_objects
-      ~scheduling:cfg.flush_scheduling ~implementation:cfg.flush_impl ?obs ()
+      ~scheduling:cfg.flush_scheduling ~implementation:cfg.flush_impl ?obs
+      ?fault:inj ()
   in
   let el, fw, hybrid, sink =
     match cfg.kind with
     | Ephemeral policy ->
-      let m = El_manager.create engine ~policy ~flush ~stable ?obs () in
+      let m =
+        El_manager.create engine ~policy ~flush ~stable ?obs ?fault:inj ()
+      in
       let sink =
         {
           Generator.begin_tx =
@@ -174,7 +184,7 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
       in
       (Some m, None, None, sink)
     | Firewall size_blocks ->
-      let m = Fw_manager.create engine ~size_blocks ?obs () in
+      let m = Fw_manager.create engine ~size_blocks ?obs ?fault:inj () in
       let sink =
         {
           Generator.begin_tx =
@@ -191,7 +201,8 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
       (None, Some m, None, sink)
     | Hybrid queue_sizes ->
       let m =
-        Hybrid_manager.create engine ~queue_sizes ~flush ~stable ?obs ()
+        Hybrid_manager.create engine ~queue_sizes ~flush ~stable ?obs
+          ?fault:inj ()
       in
       let sink =
         {
@@ -208,6 +219,40 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
       in
       (None, None, Some m, sink)
   in
+  (* Degraded mode: under a fault storm the flush backlog grows
+     without bound; past [shed_backlog] newly arriving transactions
+     are shed — admitted, then immediately killed and aborted — so
+     the system degrades instead of diverging (§5's stress shedding).
+     The wrapper sits inside [wrap_sink] so external oracles see the
+     begin and, through the composite kill, the shed itself. *)
+  let shed_kill = ref (fun (_ : Ids.Tid.t) -> ()) in
+  let sink =
+    match inj with
+    | Some i -> (
+      match (El_fault.Injector.plan i).El_fault.Fault_plan.degraded with
+      | None -> sink
+      | Some d ->
+        let inner = sink in
+        {
+          inner with
+          Generator.begin_tx =
+            (fun ~tid ~expected_duration ->
+              inner.Generator.begin_tx ~tid ~expected_duration;
+              let backlog = Flush_array.pending flush in
+              if backlog >= d.El_fault.Fault_plan.shed_backlog then begin
+                El_fault.Injector.count_shed i;
+                (match obs with
+                | None -> ()
+                | Some o ->
+                  El_obs.Obs.emit o El_obs.Event.Harness
+                    (El_obs.Event.Shed
+                       { tid = Ids.Tid.to_int tid; backlog }));
+                !shed_kill tid;
+                inner.Generator.request_abort ~tid
+              end);
+        })
+    | None -> sink
+  in
   let sink = wrap_sink sink in
   let generator =
     Generator.create engine ~sink ~mix:cfg.mix ~arrival_rate:cfg.arrival_rate
@@ -218,6 +263,7 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
     on_kill tid;
     Generator.kill generator tid
   in
+  shed_kill := kill;
   (match el with
   | Some m -> El_manager.set_on_kill m kill
   | None -> ());
@@ -283,6 +329,7 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
       fw;
       hybrid;
       obs;
+      fault = inj;
       finish = (fun () -> finish ());
     }
   and finish () =

@@ -38,11 +38,24 @@ type config = {
           — leaves every hook a no-op, and either way the simulation's
           {!result} is identical: observers never schedule events or
           draw randomness. *)
+  fault : El_fault.Fault_plan.t;
+      (** Disk fault schedule ({!El_fault.Fault_plan.empty} by
+          default).  The empty plan creates no injector at all, and an
+          armed-but-inert plan (all rates zero, no windows, no
+          degraded mode) resolves every op nominally — both produce
+          results byte-identical to a fault-free run (pinned by a
+          regression test).  A plan with [degraded = Some _] arms the
+          load-shedding wrapper: once the flush backlog passes the
+          threshold, arriving transactions are admitted and
+          immediately shed (killed + aborted), counted in
+          [result.killed] and in {!El_fault.Injector.sheds}.  A run
+          that exhausts a device's spare sectors raises
+          {!El_fault.Injector.Io_fatal} out of {!live.finish}. *)
 }
 
 val default_config : kind:manager_kind -> mix:El_workload.Mix.t -> config
 (** The paper's standard setup: 100 TPS, 500 s, 10 drives × 25 ms,
-    10^7 objects, seed 42, no aborts. *)
+    10^7 objects, seed 42, no aborts, no faults. *)
 
 type result = {
   total_blocks : int;  (** configured log size, all generations *)
@@ -85,6 +98,9 @@ type live = {
   obs : El_obs.Obs.t option;
       (** present iff the config's [observer] was set; hand it to
           {!El_obs.Export} after {!live.finish} *)
+  fault : El_fault.Injector.t option;
+      (** present iff the config's [fault] plan was non-empty; read
+          its retry/remap/shed counters after {!live.finish} *)
   finish : unit -> result;
       (** runs the simulation to [runtime] (from wherever the engine
           is now) and collects the result *)

@@ -37,6 +37,10 @@ type kind =
   | Flush_start of { drive : int; oid : int }
   | Flush_done of { drive : int; oid : int; distance : int }
   | Recovery_scan of { records : int; applied : int; skipped : int }
+  | Io_retry of { device : string; attempts : int }
+  | Io_remap of { device : string }
+  | Torn_discard of { blocks : int; records : int }
+  | Shed of { tid : int; backlog : int }
   | Mark of string
 
 type t = { at : Time.t; sub : subsystem; kind : kind }
@@ -60,6 +64,10 @@ let name = function
   | Flush_start _ -> "flush-start"
   | Flush_done _ -> "flush-done"
   | Recovery_scan _ -> "recovery-scan"
+  | Io_retry _ -> "io-retry"
+  | Io_remap _ -> "io-remap"
+  | Torn_discard _ -> "torn-discard"
+  | Shed _ -> "shed"
   | Mark _ -> "mark"
 
 let args kind : (string * Jsonx.t) list =
@@ -95,6 +103,12 @@ let args kind : (string * Jsonx.t) list =
   | Recovery_scan { records; applied; skipped } ->
     [ ("records", Int records); ("applied", Int applied);
       ("skipped", Int skipped) ]
+  | Io_retry { device; attempts } ->
+    [ ("device", String device); ("attempts", Int attempts) ]
+  | Io_remap { device } -> [ ("device", String device) ]
+  | Torn_discard { blocks; records } ->
+    [ ("blocks", Int blocks); ("records", Int records) ]
+  | Shed { tid; backlog } -> [ ("tid", Int tid); ("backlog", Int backlog) ]
   | Mark label -> [ ("label", String label) ]
 
 let pp ppf { at; sub; kind } =

@@ -9,9 +9,16 @@
     - a {!crash} captures what would survive a failure at an instant:
       every durable log block (including stale copies in freed slots —
       a real scan cannot tell them apart) and the stable database
-      version as of the completed flushes;
-    - {!recover} replays the image: a transaction is committed iff a
-      COMMIT record of it is durable; for every object the newest
+      version as of the completed flushes.  Records are captured
+      {e sealed} — stamped with a per-record checksum standing in for
+      the CRC a real log would store — and a block whose write was
+      torn by the crash carries valid stamps only on the prefix that
+      reached the platter;
+    - {!recover} replays the image: each block is trusted up to its
+      first failing checksum (writes are sequential within a block, so
+      everything past the first bad stamp is garbage), torn tails are
+      discarded and counted; then a transaction is committed iff a
+      COMMIT record of it survives, and for every object the newest
       committed version wins (version numbers order updates even when
       recirculation has shuffled physical order, standing in for the
       paper's timestamps); redo is idempotent on the stable version;
@@ -24,8 +31,28 @@
 
 open El_model
 
+type sealed = { payload : Log_record.t; stamp : int }
+(** One on-disk record with its checksum stamp as a crash would read
+    them.  [stamp = checksum payload] iff the record persisted
+    intact. *)
+
+val checksum : Log_record.t -> int
+(** Deterministic mix of every logical field — the simulation's stand-
+    in for a CRC over the serialized bytes. *)
+
+val seal : Log_record.t -> sealed
+(** A validly stamped record. *)
+
+val corrupt_seal : Log_record.t -> sealed
+(** A record whose stamp cannot validate — what a torn or corrupted
+    sector reads back as.  Exposed for negative tests. *)
+
+val seal_valid : sealed -> bool
+
 type image = {
-  records : Log_record.t list;  (** every durable record, any order *)
+  blocks : sealed list list;
+      (** every durable block's sealed records, in on-disk order
+          within each block; block order is immaterial *)
   stable : El_disk.Stable_db.t;  (** stable version at the crash point *)
   reference : (Ids.Oid.t * int) list;
       (** ground truth: newest durably-committed version per object *)
@@ -33,21 +60,34 @@ type image = {
 }
 
 val crash : El_sim.Engine.t -> El_core.El_manager.t -> image
-(** Captures the crash image of an EL-managed log, now. *)
+(** Captures the crash image of an EL-managed log, now.  A block write
+    in service with a torn fault verdict persists only its prefix:
+    the suffix is captured with corrupt seals, replacing whatever the
+    slot durably held before.
+
+    The [reference] is the manager's acked committed state, adjusted
+    for the durability point: a transaction whose COMMIT record
+    persisted inside a torn prefix is committed even though its ack
+    never fired, so its durable writes are folded in (channel FIFO
+    order guarantees they all persisted). *)
 
 type result = {
   recovered : El_disk.Stable_db.t;  (** the database after redo *)
   committed_tids : Ids.Tid.t list;
-  records_scanned : int;
+  records_scanned : int;  (** checksum-valid records scanned *)
   redo_applied : int;  (** data records whose version won *)
   redo_skipped : int;  (** stale copies, uncommitted or aborted records *)
+  torn_blocks : int;  (** blocks with a discarded (invalid) tail *)
+  torn_records : int;  (** records discarded from torn tails *)
 }
 
 val recover : ?obs:El_obs.Obs.t -> image -> result
-(** The single pass: scan, determine the committed transaction set,
-    redo newest committed versions onto a copy of the stable
-    version.  With [obs], emits a [Recovery_scan] trace event stamped
-    at the image's crash time. *)
+(** The single pass: validate checksums (each block trusted up to its
+    first failing stamp), scan, determine the committed transaction
+    set, redo newest committed versions onto a copy of the stable
+    version.  With [obs], emits a [Recovery_scan] trace event — plus a
+    [Torn_discard] event when any tail was dropped — stamped at the
+    image's crash time. *)
 
 type audit = {
   ok : bool;

@@ -26,8 +26,12 @@ let estimate ?(model = default) (image : Recovery.image)
        image does not say; derive from actual sizes instead *)
     let bytes =
       List.fold_left
-        (fun acc (r : Log_record.t) -> acc + r.Log_record.size)
-        0 image.Recovery.records
+        (fun acc block ->
+          List.fold_left
+            (fun acc (s : Recovery.sealed) ->
+              acc + s.Recovery.payload.Log_record.size)
+            acc block)
+        0 image.Recovery.blocks
     in
     (bytes + Params.block_payload - 1) / Params.block_payload
   in

@@ -105,10 +105,13 @@ let prop_sweep_random =
           (pp_failures o.Sweep.failures);
       not o.Sweep.overloaded)
 
-(* Negative test: the recovery auditor must catch a corrupted image.
-   We take a genuine crash image, bump the version of one durably
-   committed data record, and expect the audit to fail — the recovered
-   database now holds a version nobody committed. *)
+(* Negative test: the recovery auditor must catch a semantically
+   corrupted image.  We take a genuine crash image, bump the version
+   of one durably committed data record and RE-SEAL it — the checksum
+   validates, the content lies — and expect the audit to fail: the
+   recovered database now holds a version nobody committed.  This
+   pins down that the differential audit catches what the CRC layer
+   cannot. *)
 let test_corrupted_image_caught () =
   let kind = List.assoc "el" (Sweep.standard_kinds ()) in
   let cfg = Sweep.standard_config ~kind ~seed:42 () in
@@ -120,6 +123,11 @@ let test_corrupted_image_caught () =
   let sane = Recovery.recover image in
   Alcotest.(check bool) "pristine image audits ok" true
     (Recovery.audit image sane).Recovery.ok;
+  let payloads =
+    List.concat_map
+      (List.map (fun (s : Recovery.sealed) -> s.Recovery.payload))
+      image.Recovery.blocks
+  in
   (* Find a durable data record carrying the newest committed version
      of its object, written by a transaction whose COMMIT record is
      itself still in the scan (a record whose commit evidence has been
@@ -132,7 +140,7 @@ let test_corrupted_image_caught () =
       | Log_record.Commit ->
         Hashtbl.replace scanned_commits (Ids.Tid.to_int r.Log_record.tid) ()
       | _ -> ())
-    image.Recovery.records;
+    payloads;
   let is_target (r : Log_record.t) =
     match r.Log_record.kind with
     | Log_record.Data { oid; version } ->
@@ -142,28 +150,100 @@ let test_corrupted_image_caught () =
            image.Recovery.reference
     | _ -> false
   in
-  (match List.find_opt is_target image.Recovery.records with
+  (match List.find_opt is_target payloads with
   | None -> Alcotest.fail "no committed data record in a 15 s image"
   | Some victim ->
-    let corrupt (r : Log_record.t) =
-      if r == victim then
-        match r.Log_record.kind with
+    let corrupt (s : Recovery.sealed) =
+      if s.Recovery.payload == victim then
+        match victim.Log_record.kind with
         | Log_record.Data { oid; version } ->
-          {
-            r with
-            Log_record.kind = Log_record.Data { oid; version = version + 1000 };
-          }
+          Recovery.seal
+            {
+              victim with
+              Log_record.kind =
+                Log_record.Data { oid; version = version + 1000 };
+            }
         | _ -> assert false
-      else r
+      else s
     in
     let corrupted =
-      { image with Recovery.records = List.map corrupt image.Recovery.records }
+      {
+        image with
+        Recovery.blocks = List.map (List.map corrupt) image.Recovery.blocks;
+      }
     in
     let r = Recovery.recover corrupted in
     let audit = Recovery.audit corrupted r in
     Alcotest.(check bool) "corruption detected" false audit.Recovery.ok;
     Alcotest.(check bool) "spurious version reported" true
       (audit.Recovery.spurious <> []))
+
+(* Torn-checksum negative: invalidate the stamps on every durable copy
+   of a committed-but-unflushed version.  Prefix validation must
+   discard those records (and everything behind them in their blocks),
+   recovery counts the discarded tails, and the audit reports the
+   version missing — durability violations cannot hide behind the
+   checksum layer.  The flush array is starved so such a version
+   exists: once a version is flushed, the stable database alone can
+   serve it and the log copies are expendable. *)
+let test_torn_checksum_caught () =
+  let kind = List.assoc "el" (Sweep.standard_kinds ()) in
+  let cfg =
+    {
+      (Sweep.standard_config ~kind ~seed:11 ()) with
+      Experiment.flush_transfer = Time.of_ms 20;
+    }
+  in
+  let live = Experiment.prepare cfg in
+  Engine.run live.Experiment.engine ~until:(Time.of_sec 15);
+  let image =
+    Recovery.crash live.Experiment.engine (Option.get live.Experiment.el)
+  in
+  Alcotest.(check bool) "pristine image audits ok" true
+    (Recovery.audit image (Recovery.recover image)).Recovery.ok;
+  let payloads =
+    List.concat_map
+      (List.map (fun (s : Recovery.sealed) -> s.Recovery.payload))
+      image.Recovery.blocks
+  in
+  let has_copy (oid, v) (r : Log_record.t) =
+    match r.Log_record.kind with
+    | Log_record.Data { oid = o; version = w } -> Ids.Oid.equal o oid && w = v
+    | _ -> false
+  in
+  let target =
+    List.find_opt
+      (fun (oid, v) ->
+        El_disk.Stable_db.version image.Recovery.stable oid <> Some v
+        && List.exists (has_copy (oid, v)) payloads)
+      image.Recovery.reference
+  in
+  match target with
+  | None -> Alcotest.fail "no unflushed committed version in a 15 s image"
+  | Some (oid, version) ->
+    let hits = ref 0 in
+    let corrupt (s : Recovery.sealed) =
+      match s.Recovery.payload.Log_record.kind with
+      | Log_record.Data { oid = o; version = v }
+        when Ids.Oid.equal o oid && v = version ->
+        incr hits;
+        Recovery.corrupt_seal s.Recovery.payload
+      | _ -> s
+    in
+    let corrupted =
+      {
+        image with
+        Recovery.blocks = List.map (List.map corrupt) image.Recovery.blocks;
+      }
+    in
+    Alcotest.(check bool) "found a durable copy to corrupt" true (!hits > 0);
+    let r = Recovery.recover corrupted in
+    Alcotest.(check bool) "discarded tails counted" true
+      (r.Recovery.torn_blocks > 0 && r.Recovery.torn_records > 0);
+    let audit = Recovery.audit corrupted r in
+    Alcotest.(check bool) "lost durability detected" false audit.Recovery.ok;
+    Alcotest.(check bool) "version reported missing" true
+      (audit.Recovery.missing <> [])
 
 (* The auditor also runs standalone against a healthy mid-flight
    manager of each kind. *)
@@ -190,6 +270,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_sweep_random;
     Alcotest.test_case "corrupted image is caught" `Quick
       test_corrupted_image_caught;
+    Alcotest.test_case "torn checksums are caught" `Quick
+      test_torn_checksum_caught;
     Alcotest.test_case "auditor runs standalone on all kinds" `Quick
       test_auditor_standalone;
   ]

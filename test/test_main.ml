@@ -23,6 +23,7 @@ let () =
       ("experiment", Test_experiment.suite);
       ("min-space", Test_min_space.suite);
       ("check", Test_check.suite);
+      ("fault", Test_fault.suite);
       ("hotpath", Test_hotpath.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);

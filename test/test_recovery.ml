@@ -156,7 +156,7 @@ let test_fw_rejected () =
 
 (* Recovery must be a pure function of the crash image: running it
    twice gives identical results, and the physical order of the
-   scanned records (which recirculation shuffles arbitrarily) must not
+   scanned blocks (which recirculation shuffles arbitrarily) must not
    matter. *)
 let shuffle rng l =
   let a = Array.of_list l in
@@ -187,13 +187,53 @@ let prop_recover_idempotent_order_insensitive =
       let rng = Random.State.make [| seed; crash_s |] in
       let r3 =
         Recovery.recover
-          { image with Recovery.records = shuffle rng image.Recovery.records }
+          { image with Recovery.blocks = shuffle rng image.Recovery.blocks }
       in
       El_disk.Stable_db.equal r1.Recovery.recovered r2.Recovery.recovered
       && El_disk.Stable_db.equal r1.Recovery.recovered r3.Recovery.recovered
       && sorted_tids r1 = sorted_tids r2
       && sorted_tids r1 = sorted_tids r3
       && r1.Recovery.records_scanned = r3.Recovery.records_scanned)
+
+(* Negative case for the checksum machinery: an image whose every
+   stamp is corrupted recovers nothing, counts every non-empty block
+   as a torn tail, and fails the audit — the durably committed state
+   is missing from the recovered database.  The flush array is starved
+   so that committed state provably lags the stable version: a fully
+   caught-up stable database would survive the loss of the log. *)
+let test_corrupted_checksums_caught () =
+  let cfg =
+    { (el_config ()) with Experiment.flush_transfer = Time.of_ms 20 }
+  in
+  let live = Experiment.prepare cfg in
+  El_sim.Engine.run live.Experiment.engine ~until:(Time.of_sec 15);
+  let image =
+    Recovery.crash live.Experiment.engine (Option.get live.Experiment.el)
+  in
+  Alcotest.(check bool) "pristine image audits ok" true
+    (Recovery.audit image (Recovery.recover image)).Recovery.ok;
+  Alcotest.(check bool) "unflushed committed state exists at 15 s" true
+    (List.exists
+       (fun (oid, v) ->
+         El_disk.Stable_db.version image.Recovery.stable oid <> Some v)
+       image.Recovery.reference);
+  let corrupted =
+    {
+      image with
+      Recovery.blocks =
+        List.map
+          (List.map (fun (s : Recovery.sealed) ->
+               Recovery.corrupt_seal s.Recovery.payload))
+          image.Recovery.blocks;
+    }
+  in
+  let r = Recovery.recover corrupted in
+  Alcotest.(check int) "nothing survives the scan" 0 r.Recovery.records_scanned;
+  Alcotest.(check bool) "torn blocks counted" true (r.Recovery.torn_blocks > 0);
+  let audit = Recovery.audit corrupted r in
+  Alcotest.(check bool) "audit fails" false audit.Recovery.ok;
+  Alcotest.(check bool) "committed versions reported missing" true
+    (audit.Recovery.missing <> [])
 
 let suite =
   [
@@ -217,4 +257,6 @@ let suite =
       test_audit_with_invariants;
     Alcotest.test_case "firewall configs are rejected" `Quick test_fw_rejected;
     QCheck_alcotest.to_alcotest prop_recover_idempotent_order_insensitive;
+    Alcotest.test_case "corrupted checksums are caught" `Quick
+      test_corrupted_checksums_caught;
   ]
