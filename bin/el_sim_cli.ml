@@ -492,44 +492,73 @@ let check_cmd =
     let doc = "Transaction arrival rate of each swept run, per second." in
     Arg.(value & opt float 40.0 & info [ "rate" ] ~doc)
   in
-  let action seeds stride runtime rate jobs =
+  let spec =
+    let doc =
+      "Also replay each sweep against the durable-log state-machine spec: \
+       every sink event, kill and flush completion must be a legal step, the \
+       persistent-never-exceeds-ephemeral invariant must hold at every \
+       pause, and each recovered crash image must honour every acked commit."
+    in
+    Arg.(value & flag & info [ "spec" ] ~doc)
+  in
+  let quick =
+    let doc =
+      "CI preset: 1 seed, stride 40, 15 s runs; requires at least 50 crash \
+       points per manager kind."
+    in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let action seeds stride runtime rate spec quick jobs =
     with_pool jobs @@ fun pool ->
+    let seeds, stride, runtime =
+      if quick then (1, 40, 15.0) else (seeds, stride, runtime)
+    in
     let runtime = Time.of_sec_f runtime in
     let module Sweep = El_check.Sweep in
     let t =
       El_metrics.Table.create
         ~columns:
-          [
-            ("manager", El_metrics.Table.Left);
-            ("seed", El_metrics.Table.Right);
-            ("events", El_metrics.Table.Right);
-            ("pauses", El_metrics.Table.Right);
-            ("recoveries", El_metrics.Table.Right);
-            ("committed", El_metrics.Table.Right);
-            ("killed", El_metrics.Table.Right);
-            ("max scan", El_metrics.Table.Right);
-            ("failures", El_metrics.Table.Right);
-          ]
+          ([
+             ("manager", El_metrics.Table.Left);
+             ("seed", El_metrics.Table.Right);
+             ("events", El_metrics.Table.Right);
+             ("pauses", El_metrics.Table.Right);
+             ("recoveries", El_metrics.Table.Right);
+             ("committed", El_metrics.Table.Right);
+             ("killed", El_metrics.Table.Right);
+             ("max scan", El_metrics.Table.Right);
+           ]
+          @ (if spec then [ ("spec checks", El_metrics.Table.Right) ] else [])
+          @ [ ("failures", El_metrics.Table.Right) ])
     in
     let failures = ref [] in
     List.iter
       (fun (name, kind) ->
         for seed = 1 to seeds do
           let cfg = Sweep.standard_config ~kind ~runtime ~rate ~seed () in
-          let o = Sweep.run ~pool ~stride cfg in
+          let o = Sweep.run ~pool ~stride ~spec cfg in
           El_metrics.Table.add_row t
-            [
-              name;
-              string_of_int seed;
-              string_of_int o.Sweep.events;
-              string_of_int o.Sweep.points;
-              string_of_int o.Sweep.recoveries;
-              string_of_int o.Sweep.committed;
-              string_of_int o.Sweep.killed;
-              string_of_int o.Sweep.max_records_scanned;
-              (if o.Sweep.overloaded then "overloaded"
-               else string_of_int (List.length o.Sweep.failures));
-            ];
+            ([
+               name;
+               string_of_int seed;
+               string_of_int o.Sweep.events;
+               string_of_int o.Sweep.points;
+               string_of_int o.Sweep.recoveries;
+               string_of_int o.Sweep.committed;
+               string_of_int o.Sweep.killed;
+               string_of_int o.Sweep.max_records_scanned;
+             ]
+            @ (if spec then [ string_of_int o.Sweep.spec_checks ] else [])
+            @ [
+                (if o.Sweep.overloaded then "overloaded"
+                 else string_of_int (List.length o.Sweep.failures));
+              ]);
+          if quick && o.Sweep.points < 50 then
+            failures :=
+              Printf.sprintf
+                "%s seed %d: only %d crash points (quick mode requires 50)"
+                name seed o.Sweep.points
+              :: !failures;
           List.iter
             (fun (at, msg) ->
               failures :=
@@ -552,10 +581,15 @@ let check_cmd =
          "Model-check the simulator: sweep seeded runs of all three log \
           managers, auditing invariants and (for EL) crash-recovering at \
           every stride-th event boundary, then compare each manager against \
-          an in-memory reference model.  Exits non-zero on any divergence.  \
-          --jobs N fans each sweep's crash points out across N domains \
-          (identical findings, shorter wall-clock).")
-    Term.(const action $ seeds $ stride $ check_runtime $ check_rate $ jobs_term)
+          an in-memory reference model.  With --spec, additionally replay \
+          every run against the pure durable-log state machine (a \
+          machine-checked 'ack implies recoverable' contract).  Exits \
+          non-zero on any divergence.  --jobs N fans each sweep's crash \
+          points out across N domains (identical findings, shorter \
+          wall-clock).")
+    Term.(
+      const action $ seeds $ stride $ check_runtime $ check_rate $ spec
+      $ quick $ jobs_term)
 
 let fault_cmd =
   let module FP = El_fault.Fault_plan in

@@ -1,0 +1,140 @@
+(* Drives the pure durable-log state machine (lib/spec) from a live
+   run and checks the implementation against it — the differential
+   side of the spec oracle.
+
+   The tracker mirrors [Reference]: it interposes on the workload
+   sink, so every begin/write/commit/abort becomes a spec step, the
+   manager's kills arrive through [kill], and flush completions
+   arrive through [observe_flush] (registered on the flush array).
+   Illegal steps are collected as violations rather than raised — a
+   sink callback runs deep inside the event loop.  The explicit
+   checks ([check_invariant] at every pause, [check_crash] against
+   each recovered image, [check_settled] at the end) raise
+   [Auditor.Audit_failure] like every other auditor. *)
+
+open El_model
+module Generator = El_workload.Generator
+module Stable_db = El_disk.Stable_db
+module Spec = El_spec.Durable_log
+
+type t = {
+  mutable spec : Spec.t;
+  mutable violations : string list;  (** newest first *)
+  mutable checks : int;
+}
+
+let create () = { spec = Spec.init; violations = []; checks = 0 }
+
+let violation t fmt =
+  Format.kasprintf (fun s -> t.violations <- s :: t.violations) fmt
+
+(* One transition of the model.  A rejected step means the
+   implementation performed an action the durable-log contract
+   forbids (or the trace plumbing lost an event); the model state is
+   left unchanged so later steps keep producing useful messages
+   instead of cascading. *)
+let apply t step =
+  match Spec.step t.spec step with
+  | Ok spec -> t.spec <- spec
+  | Error msg -> violation t "spec: illegal step — %s" msg
+
+let wrap t (sink : Generator.sink) =
+  {
+    Generator.begin_tx =
+      (fun ~tid ~expected_duration ->
+        apply t (Spec.Begin tid);
+        sink.Generator.begin_tx ~tid ~expected_duration);
+    write_data =
+      (fun ~tid ~oid ~version ~size ->
+        apply t (Spec.Append (tid, oid, version));
+        sink.Generator.write_data ~tid ~oid ~version ~size);
+    request_commit =
+      (fun ~tid ~on_ack ->
+        (* The commit request puts the COMMIT record into the log
+           channel — the spec's log extension.  The ack callback is
+           the group commit firing. *)
+        apply t (Spec.Log_extension tid);
+        let on_ack time =
+          apply t (Spec.Commit_ack tid);
+          on_ack time
+        in
+        sink.Generator.request_commit ~tid ~on_ack);
+    request_abort =
+      (fun ~tid ->
+        apply t (Spec.Abort tid);
+        sink.Generator.request_abort ~tid);
+  }
+
+let kill t tid = apply t (Spec.Kill tid)
+
+(* A completed database-drive transfer both lands the version on disk
+   and makes the stable database serve it ([Stable_db.apply] runs in
+   the same completion), so the flush-complete and superblock-advance
+   steps coincide in this implementation. *)
+let observe_flush t oid ~version =
+  apply t (Spec.Flush_complete (oid, version));
+  apply t (Spec.Superblock_advance (oid, version))
+
+let violations t = List.rev t.violations
+let checks t = t.checks
+
+let fail fmt = Format.kasprintf (fun s -> raise (Auditor.Audit_failure s)) fmt
+
+let check_invariant t =
+  t.checks <- t.checks + 1;
+  match Spec.check t.spec with
+  | Ok () -> ()
+  | Error msg -> fail "spec: %s" msg
+
+(* The contract at a crash point, checked against the recovered
+   database: every acked version is served at least as new (and any
+   excess is explainable by a log-extended transaction whose COMMIT
+   may have persisted — e.g. inside a torn prefix), and nothing that
+   was never acked nor log-extended survives.  The live spec state is
+   used as-is: [may_survive] needs the in-flight transactions the
+   crash would have wiped. *)
+let check_crash t recovered =
+  t.checks <- t.checks + 1;
+  (match Spec.check t.spec with
+  | Ok () -> ()
+  | Error msg -> fail "spec: %s" msg);
+  List.iter
+    (fun (oid, v) ->
+      match Stable_db.version recovered oid with
+      | None -> fail "spec: acked %a v%d lost by recovery" Ids.Oid.pp oid v
+      | Some r when r = v -> ()
+      | Some r when r > v ->
+        if not (Spec.may_survive t.spec oid r) then
+          fail
+            "spec: recovery advanced %a to v%d, which no log-extended \
+             transaction wrote (acked v%d)"
+            Ids.Oid.pp oid r v
+      | Some r ->
+        fail "spec: acked %a v%d regressed to v%d after recovery" Ids.Oid.pp
+          oid v r)
+    (Spec.persistent t.spec);
+  List.iter
+    (fun (oid, r) ->
+      if
+        Spec.acked_version t.spec oid = None
+        && not (Spec.may_survive t.spec oid r)
+      then
+        fail "spec: recovery holds %a v%d that was never acked nor log-extended"
+          Ids.Oid.pp oid r)
+    (Stable_db.snapshot recovered)
+
+(* After the run settles (all buffers written, flushes drained) every
+   acked version must have completed its flush — "ack implies
+   recoverable" with nothing left in flight. *)
+let check_settled t =
+  t.checks <- t.checks + 1;
+  List.iter
+    (fun (oid, v) ->
+      match Spec.flushed_version t.spec oid with
+      | Some f when f = v -> ()
+      | Some f ->
+        fail "spec: settled run flushed %a at v%d, acked v%d" Ids.Oid.pp oid f
+          v
+      | None ->
+        fail "spec: settled run never flushed acked %a v%d" Ids.Oid.pp oid v)
+    (Spec.persistent t.spec)

@@ -1,0 +1,52 @@
+(** The spec oracle: drives the {!El_spec.Durable_log} state machine
+    from a live run and checks the implementation against it.
+
+    Like {!Reference}, the tracker interposes on the workload sink —
+    every begin/write/commit-request/ack/abort becomes a spec step —
+    and the manager's kills arrive through {!kill}.  Flush completions
+    arrive through {!observe_flush}, registered on the run's
+    {!El_disk.Flush_array} with [add_flush_observer].  An illegal step
+    (one the durable-log contract forbids) is recorded as a violation,
+    not raised; the explicit checks raise {!Auditor.Audit_failure}
+    with a ["spec:"]-prefixed message. *)
+
+open El_model
+
+type t
+
+val create : unit -> t
+
+val wrap : t -> El_workload.Generator.sink -> El_workload.Generator.sink
+(** Interposes the tracker between generator and manager: every call
+    is stepped through the spec, then forwarded. *)
+
+val kill : t -> Ids.Tid.t -> unit
+(** The manager killed a transaction (a [Kill] step). *)
+
+val observe_flush : t -> Ids.Oid.t -> version:int -> unit
+(** A database-drive flush completed.  In this implementation the
+    stable database serves the version from the same completion, so
+    this steps both [Flush_complete] and [Superblock_advance]. *)
+
+val check_invariant : t -> unit
+(** The [persistent ⊆ ephemeral] invariant, checked at a pause
+    point.  Raises {!Auditor.Audit_failure} on violation. *)
+
+val check_crash : t -> El_disk.Stable_db.t -> unit
+(** Checks a recovered database against the spec at the crash point:
+    every acked version is served at least as new, any newer version
+    is one {!El_spec.Durable_log.may_survive} allows (a log-extended
+    transaction's write — e.g. a COMMIT persisted inside a torn
+    prefix), and nothing never-acked-nor-log-extended survives.
+    "Zero lost acked commits", machine-checked.  Raises
+    {!Auditor.Audit_failure} on divergence. *)
+
+val check_settled : t -> unit
+(** After the run settles every acked version must have completed its
+    flush.  Raises {!Auditor.Audit_failure} otherwise. *)
+
+val violations : t -> string list
+(** Illegal steps recorded while tracing, oldest first. *)
+
+val checks : t -> int
+(** Explicit spec checks performed (invariant, crash, settled). *)

@@ -27,6 +27,7 @@ type outcome = {
   io_retries : int;
   io_remaps : int;
   sheds : int;
+  spec_checks : int;
 }
 
 let kind_name = function
@@ -59,18 +60,27 @@ type slice_outcome = {
   s_io_retries : int;  (** injector totals — identical across slices *)
   s_io_remaps : int;
   s_sheds : int;
+  s_spec_checks : int;
 }
 
-let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle
+let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle ~spec
     (cfg : Experiment.config) =
   let reference = Reference.create () in
-  let live =
-    if oracle then
-      Experiment.prepare
-        ~wrap_sink:(Reference.wrap reference)
-        ~on_kill:(Reference.kill reference) cfg
-    else Experiment.prepare cfg
+  let tracker = if spec then Some (Spec_tracker.create ()) else None in
+  let wrap_sink sink =
+    let sink = if oracle then Reference.wrap reference sink else sink in
+    match tracker with Some t -> Spec_tracker.wrap t sink | None -> sink
   in
+  let on_kill tid =
+    if oracle then Reference.kill reference tid;
+    match tracker with Some t -> Spec_tracker.kill t tid | None -> ()
+  in
+  let live = Experiment.prepare ~wrap_sink ~on_kill cfg in
+  (match tracker with
+  | Some t ->
+    El_disk.Flush_array.add_flush_observer live.Experiment.flush
+      (Spec_tracker.observe_flush t)
+  | None -> ());
   let engine = live.Experiment.engine in
   let failures = ref [] in
   let pauses = ref 0 in
@@ -89,6 +99,9 @@ let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle
     incr pauses;
     if tag mod slices = slice then begin
       guarded ~tag (fun () -> Auditor.audit_live live);
+      (match tracker with
+      | Some t -> guarded ~tag (fun () -> Spec_tracker.check_invariant t)
+      | None -> ());
       match live.Experiment.el with
       | Some m when recover ->
         incr recoveries;
@@ -101,7 +114,12 @@ let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle
         let a = Recovery.audit image r in
         if not a.Recovery.ok then
           record_failure ~tag
-            (Format.asprintf "crash recovery diverged: %a" Recovery.pp_audit a)
+            (Format.asprintf "crash recovery diverged: %a" Recovery.pp_audit a);
+        (match tracker with
+        | Some t ->
+          guarded ~tag (fun () ->
+              Spec_tracker.check_crash t r.Recovery.recovered)
+        | None -> ())
       | _ -> ()
     end
   in
@@ -163,12 +181,24 @@ let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle
         guarded (fun () ->
             Reference.check_settled_stable reference (El_manager.stable m))
       | None -> ());
-      match live.Experiment.hybrid with
+      (match live.Experiment.hybrid with
       | Some _ ->
         guarded (fun () ->
             Reference.check_settled_stable reference live.Experiment.stable)
-      | None -> ()
-    end
+      | None -> ())
+    end;
+    match tracker with
+    | Some t ->
+      List.iter record_failure (Spec_tracker.violations t);
+      (* FW is exempt from the settled flush check for the same reason
+         Reference skips its stable check: the baseline retires records
+         by log-space reuse, not by a full drain to the database. *)
+      if
+        Option.is_some live.Experiment.el
+        || Option.is_some live.Experiment.hybrid
+      then
+        guarded (fun () -> Spec_tracker.check_settled t)
+    | None -> ()
   end;
   {
     s_events = Engine.events_dispatched engine;
@@ -194,16 +224,19 @@ let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle
       (match live.Experiment.fault with
       | Some i -> El_fault.Injector.sheds i
       | None -> 0);
+    s_spec_checks =
+      (match tracker with Some t -> Spec_tracker.checks t | None -> 0);
   }
 
 let run ?(pool = El_par.Pool.serial) ?(stride = 100) ?(max_points = max_int)
-    ?(recover = true) ?(oracle = true) (cfg : Experiment.config) =
+    ?(recover = true) ?(oracle = true) ?(spec = false)
+    (cfg : Experiment.config) =
   if stride <= 0 then invalid_arg "Sweep.run: stride must be positive";
   let slices = El_par.Pool.jobs pool in
   let parts =
     El_par.Pool.map pool
       (fun slice ->
-        run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle cfg)
+        run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle ~spec cfg)
       (List.init slices Fun.id)
   in
   let p0 = List.hd parts in
@@ -236,6 +269,7 @@ let run ?(pool = El_par.Pool.serial) ?(stride = 100) ?(max_points = max_int)
     io_retries = p0.s_io_retries;
     io_remaps = p0.s_io_remaps;
     sheds = p0.s_sheds;
+    spec_checks = List.fold_left (fun a p -> a + p.s_spec_checks) 0 parts;
   }
 
 let standard_mix () =

@@ -49,6 +49,10 @@ type outcome = {
   io_retries : int;  (** transient failures absorbed over the run *)
   io_remaps : int;  (** spare-sector remaps over the run *)
   sheds : int;  (** transactions shed by degraded mode *)
+  spec_checks : int;
+      (** explicit {!Spec_tracker} checks performed (invariant at each
+          pause, recovered-image check at each crash point, settled
+          check); 0 unless [spec] was set *)
 }
 
 val run :
@@ -57,16 +61,22 @@ val run :
   ?max_points:int ->
   ?recover:bool ->
   ?oracle:bool ->
+  ?spec:bool ->
   El_harness.Experiment.config ->
   outcome
 (** [stride] (default 100) is the number of events between pauses;
     [max_points] caps the number of pauses (default: no cap);
     [recover] (default true) enables the per-pause crash/recovery
     cycle on EL runs; [oracle] (default true) enables the differential
-    model and its settled-state checks; [pool] (default serial) fans
-    the audit pauses out across its workers with an outcome identical
-    to the serial sweep's.  Raises [Invalid_argument] if
-    [stride <= 0]. *)
+    model and its settled-state checks; [spec] (default false) also
+    replays the run against the {!El_spec.Durable_log} state machine
+    via {!Spec_tracker} — every sink event, kill and flush completion
+    must be a legal step, the [persistent ⊆ ephemeral] invariant must
+    hold at every pause, each recovered crash image must agree with
+    the spec's durable promises, and the settled state must have
+    flushed every ack; [pool] (default serial) fans the audit pauses
+    out across its workers with an outcome identical to the serial
+    sweep's.  Raises [Invalid_argument] if [stride <= 0]. *)
 
 val kind_name : El_harness.Experiment.manager_kind -> string
 

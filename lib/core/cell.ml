@@ -18,6 +18,7 @@ and lot_entry = {
   l_oid : Ids.Oid.t;
   mutable committed : t option;
   mutable committed_version : int;
+  mutable flush_forced : bool;
   mutable uncommitted : (Ids.Tid.t * t) list;
 }
 

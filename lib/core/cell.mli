@@ -47,6 +47,10 @@ and lot_entry = {
   mutable committed : t option;
       (** cell for the most recently committed, still unflushed update *)
   mutable committed_version : int;
+  mutable flush_forced : bool;
+      (** a forced flush of the committed update is in flight; the
+          record is pinned — carried, never evicted — until the flush
+          completes and the disposal cascade clears this flag *)
   mutable uncommitted : (Ids.Tid.t * t) list;
       (** cells for uncommitted updates, newest first *)
 }

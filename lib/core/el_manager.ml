@@ -152,10 +152,17 @@ let kill_tx t tid =
   Ids.Tid.Table.remove t.placements tid;
   match t.on_kill with Some f -> f tid | None -> ()
 
-(* Force a committed update out of the log: its record becomes garbage
-   now and the update is flushed with a forced (random-I/O) request. *)
+(* Force a committed update out of the log with a forced (random-I/O)
+   flush request.  The record stays pinned in the log — carried like
+   any survivor — until the flush completes and the disposal cascade
+   ([Ledger.flush_complete] via the flush array's completion hook)
+   retires it: disposing it at request time would leave the acked
+   version durable nowhere for the whole transfer window (the DESIGN
+   §11 hole).  The unsafe-eager ablation keeps the pre-fix
+   dispose-first behaviour for the negative durability tests. *)
 let force_flush_data t cell oid version =
-  Ledger.dispose t.ledger cell;
+  if t.policy.Policy.unsafe_eager_dispose then Ledger.dispose t.ledger cell
+  else Ledger.pin_flush t.ledger cell;
   Flush_array.request_forced t.flush oid ~version
 
 let force_flush_tx t tid =
@@ -168,41 +175,39 @@ let force_flush_tx t tid =
     List.iter
       (fun oid ->
         match Ledger.committed_cell t.ledger oid with
-        | Some (cell, version) -> force_flush_data t cell oid version
+        | Some (cell, version) -> (
+          match Ledger.classify t.ledger cell with
+          | Ledger.Flush_pinned -> ()  (* forced flush already in flight *)
+          | _ -> force_flush_data t cell oid version)
         | None -> ())
       oids
 (* draining the write set retires the LTT entry and its tx record *)
 
-(* Handle one record that cannot be kept in the log.  [context] only
-   flavours the overload message. *)
-let discard_survivor t (cell : Cell.t) ~context ~count_as =
-  match Ledger.classify t.ledger cell with
-  | Ledger.Keep_active -> (
-    let tid = Ledger.writer_tid cell in
-    match Ledger.tx_state t.ledger tid with
-    | Some `Active -> kill_tx t tid
-    | Some `Commit_pending ->
-      overload
-        "%s: record of commit-pending transaction %d cannot be kept nor killed"
-        context (Ids.Tid.to_int tid)
-    | Some `Committed | None -> assert false)
-  | Ledger.Committed_data (oid, version) ->
-    force_flush_data t cell oid version;
-    (match count_as with
-    | `Eviction ->
-      t.evictions <- t.evictions + 1;
-      emit t
-        (El_obs.Event.Evict
-           { target = Ids.Oid.to_int oid; committed_tx = false })
-    | `Head_flush -> t.forced_head_flushes <- t.forced_head_flushes + 1)
-  | Ledger.Committed_tx tid ->
-    force_flush_tx t tid;
-    (match count_as with
-    | `Eviction ->
-      t.evictions <- t.evictions + 1;
-      emit t
-        (El_obs.Event.Evict { target = Ids.Tid.to_int tid; committed_tx = true })
-    | `Head_flush -> t.forced_head_flushes <- t.forced_head_flushes + 1)
+(* A surviving record that cannot be carried along: an active writer is
+   killed (the paper's kill-on-no-space rule); a commit-pending one can
+   be neither kept nor killed.  [context] only flavours the overload
+   message. *)
+let kill_or_overload t (cell : Cell.t) ~context =
+  let tid = Ledger.writer_tid cell in
+  match Ledger.tx_state t.ledger tid with
+  | Some `Active -> kill_tx t tid
+  | Some `Commit_pending ->
+    overload
+      "%s: record of commit-pending transaction %d cannot be kept nor killed"
+      context (Ids.Tid.to_int tid)
+  | Some `Committed | None -> assert false
+
+(* Stat and event bookkeeping for a forced flush.  Under the safe
+   discipline the record survives in the log whatever the context, so
+   every forced flush counts as a head flush; only the unsafe-eager
+   ablation's pressure paths really evict. *)
+let note_forced t ~count_as ~target ~committed_tx =
+  match count_as with
+  | `Eviction when t.policy.Policy.unsafe_eager_dispose ->
+    t.evictions <- t.evictions + 1;
+    emit t (El_obs.Event.Evict { target; committed_tx })
+  | `Eviction | `Head_flush ->
+    t.forced_head_flushes <- t.forced_head_flushes + 1
 
 (* ---- slot and buffer mechanics ---- *)
 
@@ -247,23 +252,59 @@ let rec assign_slot t g =
   s
 
 (* Write the recirculation staging buffer at the last generation's
-   tail.  When the generation is completely full, staged records are
-   discarded one way or another (kill / forced flush): the paper's
-   kill-on-no-space rule. *)
+   tail.  When the generation is completely full, active writers die
+   (the paper's kill-on-no-space rule) but committed records cannot be
+   dropped — an acked update must stay durable until its flush
+   completes — so they are force-flushed and re-staged, their origin
+   slots still guarded.  If nothing was killable the generation is
+   genuinely wedged on in-flight commits and the run overloads. *)
 and write_stage t g =
   if not (Block.is_empty g.g_stage) then begin
     let content = g.g_stage in
+    let origins = g.g_stage_origins in
     g.g_stage <- Block.create ~capacity:t.policy.Policy.block_payload;
     g.g_stage_origins <- [];
     if free_slots g = 0 then begin
-      (* No room to recirculate: drop every staged survivor. *)
+      let killed = ref false in
       Block.iter
         (fun (tr : Cell.tracked) ->
           match tr.Cell.cell with
           | None -> ()
-          | Some cell ->
-            discard_survivor t cell ~context:"recirculation" ~count_as:`Eviction)
-        content
+          | Some cell -> (
+            match Ledger.classify t.ledger cell with
+            | Ledger.Keep_active ->
+              kill_or_overload t cell ~context:"recirculation";
+              killed := true
+            | Ledger.Committed_data (oid, version) ->
+              force_flush_data t cell oid version;
+              note_forced t ~count_as:`Eviction ~target:(Ids.Oid.to_int oid)
+                ~committed_tx:false
+            | Ledger.Committed_tx tid ->
+              force_flush_tx t tid;
+              note_forced t ~count_as:`Eviction ~target:(Ids.Tid.to_int tid)
+                ~committed_tx:true
+            | Ledger.Flush_pinned -> ()))
+        content;
+      (* Whatever is still live after the kill/dispose pass (pinned
+         updates and their commit evidence — nothing, under the eager
+         ablation) goes back on the stage. *)
+      let restaged = ref 0 in
+      Block.iter
+        (fun (tr : Cell.tracked) ->
+          match tr.Cell.cell with
+          | None -> ()
+          | Some _ ->
+            Block.add g.g_stage ~size:tr.Cell.record.Log_record.size tr;
+            incr restaged)
+        content;
+      if !restaged > 0 then begin
+        g.g_stage_origins <- origins;
+        if not !killed then
+          overload
+            "generation %d: stage full of acked records awaiting their \
+             flushes; nothing can be killed"
+            g.g_index
+      end
     end
     else begin
       let s = assign_slot t g in
@@ -292,6 +333,26 @@ and write_stage t g =
       end
     end
   end
+
+(* Move one surviving cell of head slot [origin] into the last
+   generation's staging buffer (to be rewritten at the tail); shared by
+   recirculation and by the no-recirculation head path that must keep
+   pinned committed records alive until their flushes land. *)
+let stage_survivor t g ~origin (cell : Cell.t) =
+  let tr = cell.Cell.tracked in
+  let size = tr.Cell.record.Log_record.size in
+  if not (Block.fits g.g_stage ~size) then write_stage t g;
+  (* writing the stage can kill transactions; re-check liveness *)
+  match tr.Cell.cell with
+  | None -> ()
+  | Some cell ->
+    Block.add g.g_stage ~size tr;
+    Cell.Cell_list.remove g.g_cells cell;
+    cell.Cell.slot <- Cell.staged_slot;
+    Cell.Cell_list.insert_tail g.g_cells cell;
+    if not (List.mem origin g.g_stage_origins) then
+      g.g_stage_origins <- origin :: g.g_stage_origins;
+    t.recirculated <- t.recirculated + 1
 
 (* ---- head advance: discard, forward, recirculate ---- *)
 
@@ -322,33 +383,7 @@ let rec seal_current t g =
    blocks to fill the outgoing buffer as full as possible (§2.2). *)
 and forward t g s survivors =
   let next = t.gens.(g.g_index + 1) in
-  (* Under the forced-flush policy, committed updates are flushed
-     rather than carried along. *)
-  let keep, flushed =
-    if t.policy.Policy.unflushed = Policy.Force_flush then
-      List.partition
-        (fun (tr : Cell.tracked) ->
-          match tr.Cell.cell with
-          | None -> false
-          | Some cell -> (
-            match Ledger.classify t.ledger cell with
-            | Ledger.Committed_data _ -> false
-            | Ledger.Keep_active | Ledger.Committed_tx _ -> true))
-        survivors
-    else (survivors, [])
-  in
-  List.iter
-    (fun (tr : Cell.tracked) ->
-      match tr.Cell.cell with
-      | None -> ()
-      | Some cell -> (
-        match Ledger.classify t.ledger cell with
-        | Ledger.Committed_data (oid, version) ->
-          force_flush_data t cell oid version;
-          t.forced_head_flushes <- t.forced_head_flushes + 1
-        | Ledger.Keep_active | Ledger.Committed_tx _ -> ()))
-    flushed;
-  if keep = [] then free_slot g s
+  if survivors = [] then free_slot g s
   else begin
     ensure_space t next ~extra:1;
     let s' = assign_slot t next in
@@ -382,19 +417,28 @@ and forward t g s survivors =
         else begin
           if mandatory && g.g_state.(s) <> Durable then
             t.nondurable_head_reads <- t.nondurable_head_reads + 1;
+          (* Under the forced-flush policy a committed update is
+             flushed at the head instead of waiting for a scheduled
+             flush — but its record is pinned and carried until the
+             flush completes (a pinned record passing another head is
+             not re-requested). *)
           (match Ledger.classify t.ledger c with
           | Ledger.Committed_data (oid, version)
             when t.policy.Policy.unflushed = Policy.Force_flush ->
             force_flush_data t c oid version;
             t.forced_head_flushes <- t.forced_head_flushes + 1
           | Ledger.Keep_active | Ledger.Committed_tx _ | Ledger.Committed_data _
-            ->
+          | Ledger.Flush_pinned ->
+            ());
+          match c.Cell.tracked.Cell.cell with
+          | None -> ()  (* the eager ablation disposed it at request *)
+          | Some _ ->
             Cell.Cell_list.remove g.g_cells c;
             c.Cell.gen <- next.g_index;
             c.Cell.slot <- s';
             Cell.Cell_list.insert_tail next.g_cells c;
             Block.add buf ~size c.Cell.tracked;
-            incr moved)
+            incr moved
         end
     done;
     if !moved = 0 then begin
@@ -423,23 +467,20 @@ and recirculate t g s survivors =
     (fun (tr : Cell.tracked) ->
       match tr.Cell.cell with
       | None -> ()
-      | Some cell -> (
-        match Ledger.classify t.ledger cell with
+      | Some cell ->
+        (match Ledger.classify t.ledger cell with
         | Ledger.Committed_data (oid, version)
           when t.policy.Policy.unflushed = Policy.Force_flush ->
           force_flush_data t cell oid version;
           t.forced_head_flushes <- t.forced_head_flushes + 1
         | Ledger.Keep_active | Ledger.Committed_tx _ | Ledger.Committed_data _
-          ->
-          let size = tr.Cell.record.Log_record.size in
-          if not (Block.fits g.g_stage ~size) then write_stage t g;
-          Block.add g.g_stage ~size tr;
-          Cell.Cell_list.remove g.g_cells cell;
-          cell.Cell.slot <- Cell.staged_slot;
-          Cell.Cell_list.insert_tail g.g_cells cell;
-          if not (List.mem s g.g_stage_origins) then
-            g.g_stage_origins <- s :: g.g_stage_origins;
-          t.recirculated <- t.recirculated + 1))
+        | Ledger.Flush_pinned ->
+          ());
+        (* A pinned record recirculates like any survivor until its
+           flush completes; the eager ablation just disposed it. *)
+        (match tr.Cell.cell with
+        | None -> ()
+        | Some cell -> stage_survivor t g ~origin:s cell))
     survivors;
   if t.recirculated > before then
     emit t
@@ -464,14 +505,32 @@ and advance_head t g =
   else if not g.g_last then forward t g s survivors
   else if t.policy.Policy.recirculate then recirculate t g s survivors
   else begin
-    (* Recirculation off: nothing can be kept past the last head. *)
+    (* Recirculation off: nothing can be kept past the last head.
+       Active writers die (kill-on-no-space) and committed updates are
+       forced out — but an acked update must stay durable until its
+       flush completes, so such records (and the commit evidence
+       anchoring them) ride the staging buffer instead of being
+       dropped; the completion path retires them. *)
     List.iter
       (fun (tr : Cell.tracked) ->
         match tr.Cell.cell with
         | None -> ()
         | Some cell ->
-          discard_survivor t cell ~context:"last-generation head"
-            ~count_as:`Head_flush)
+          (match Ledger.classify t.ledger cell with
+          | Ledger.Keep_active ->
+            kill_or_overload t cell ~context:"last-generation head"
+          | Ledger.Committed_data (oid, version) ->
+            force_flush_data t cell oid version;
+            note_forced t ~count_as:`Head_flush ~target:(Ids.Oid.to_int oid)
+              ~committed_tx:false
+          | Ledger.Committed_tx tid ->
+            force_flush_tx t tid;
+            note_forced t ~count_as:`Head_flush ~target:(Ids.Tid.to_int tid)
+              ~committed_tx:true
+          | Ledger.Flush_pinned -> ());
+          (match tr.Cell.cell with
+          | None -> ()  (* killed, or eager-disposed *)
+          | Some cell -> stage_survivor t g ~origin:s cell))
       survivors;
     free_slot g s
   end
@@ -496,28 +555,47 @@ and ensure_space t g ~extra =
   done
 
 and relieve_pressure t g =
-  (* Find a victim, scanning from the head: prefer killing an active
-     transaction (the paper's rule), else evict a committed record. *)
+  (* Find a victim, scanning from the head: kill an active transaction
+     (the paper's rule).  Committed records are no longer evictable —
+     disposing an acked update before its flush lands is the DESIGN
+     §11 durability hole — so a generation wedged on in-flight commits
+     overloads instead of silently dropping durability.  The
+     unsafe-eager ablation keeps the pre-fix eviction for the negative
+     durability tests. *)
   let cells = Cell.Cell_list.to_list g.g_cells in
   let is_active c =
     Ledger.tx_state t.ledger (Ledger.writer_tid c) = Some `Active
   in
   match List.find_opt is_active cells with
   | Some c -> kill_tx t (Ledger.writer_tid c)
-  | None -> (
+  | None when t.policy.Policy.unsafe_eager_dispose -> (
     let evictable c =
       match Ledger.classify t.ledger c with
       | Ledger.Committed_data _ | Ledger.Committed_tx _ -> true
-      | Ledger.Keep_active -> false
+      | Ledger.Keep_active | Ledger.Flush_pinned -> false
     in
     match List.find_opt evictable cells with
-    | Some c ->
-      discard_survivor t c ~context:"pressure relief" ~count_as:`Eviction
+    | Some c -> (
+      match Ledger.classify t.ledger c with
+      | Ledger.Committed_data (oid, version) ->
+        force_flush_data t c oid version;
+        note_forced t ~count_as:`Eviction ~target:(Ids.Oid.to_int oid)
+          ~committed_tx:false
+      | Ledger.Committed_tx tid ->
+        force_flush_tx t tid;
+        note_forced t ~count_as:`Eviction ~target:(Ids.Tid.to_int tid)
+          ~committed_tx:true
+      | Ledger.Keep_active | Ledger.Flush_pinned -> assert false)
     | None ->
       overload
         "generation %d: full of records of in-flight commits; nothing can be \
          killed or evicted"
         g.g_index)
+  | None ->
+    overload
+      "generation %d: nothing can be killed, and acked records cannot be \
+       evicted before their flushes complete"
+      g.g_index
 
 (* ---- incoming records (tail of a chosen generation) ---- *)
 

@@ -135,6 +135,7 @@ let rec dispose_data_cell t cell (entry : Cell.lot_entry) tid =
   (match entry.committed with
   | Some c when c == cell ->
     entry.committed <- None;
+    entry.flush_forced <- false;
     t.unflushed <- t.unflushed - 1
   | Some _ | None ->
     entry.uncommitted <-
@@ -193,7 +194,13 @@ let find_lot t oid =
   | Some e -> e
   | None ->
     let e =
-      { Cell.l_oid = oid; committed = None; committed_version = 0; uncommitted = [] }
+      {
+        Cell.l_oid = oid;
+        committed = None;
+        committed_version = 0;
+        flush_forced = false;
+        uncommitted = [];
+      }
     in
     Ids.Oid.Table.replace t.lot oid e;
     mem_add_obj t;
@@ -354,6 +361,7 @@ type survivor_class =
   | Keep_active
   | Committed_data of Ids.Oid.t * int
   | Committed_tx of Ids.Tid.t
+  | Flush_pinned
 
 let classify _t (cell : Cell.t) =
   match cell.Cell.owner with
@@ -363,8 +371,23 @@ let classify _t (cell : Cell.t) =
     | `Committed -> Committed_tx e.e_tid)
   | Cell.Data_of (entry, _) -> (
     match entry.committed with
-    | Some c when c == cell -> Committed_data (entry.l_oid, entry.committed_version)
+    | Some c when c == cell ->
+      if entry.flush_forced then Flush_pinned
+      else Committed_data (entry.l_oid, entry.committed_version)
     | Some _ | None -> Keep_active)
+
+(* Pin the committed update: a forced flush has been requested, so the
+   record must remain durable in the log until the completion path
+   ([flush_complete]) disposes it.  Disposing it earlier — the pre-fix
+   behaviour — left the acked version durable nowhere while the
+   transfer was in flight. *)
+let pin_flush _t (cell : Cell.t) =
+  match cell.Cell.owner with
+  | Cell.Data_of (entry, _) -> (
+    match entry.Cell.committed with
+    | Some c when c == cell -> entry.Cell.flush_forced <- true
+    | Some _ | None -> invalid_arg "Ledger.pin_flush: not the committed update")
+  | Cell.Tx_of _ -> invalid_arg "Ledger.pin_flush: tx record"
 
 let writer_tid (cell : Cell.t) =
   match cell.Cell.owner with
@@ -411,6 +434,8 @@ let check_invariants t =
     (fun oid (entry : Cell.lot_entry) ->
       assert (Ids.Oid.equal oid entry.l_oid);
       assert (entry.committed <> None || entry.uncommitted <> []);
+      (* a pin without a committed update would never be cleared *)
+      assert ((not entry.flush_forced) || entry.committed <> None);
       (match entry.committed with
       | Some c ->
         incr unflushed;

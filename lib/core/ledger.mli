@@ -105,8 +105,21 @@ type survivor_class =
   | Committed_tx of Ids.Tid.t
       (** tx record of a committed transaction with a non-empty write
           set (still anchoring unflushed updates) *)
+  | Flush_pinned
+      (** committed update with a forced flush already in flight: the
+          record must be carried (never re-requested, never evicted)
+          until the completion path disposes it *)
 
 val classify : t -> Cell.t -> survivor_class
+
+val pin_flush : t -> Cell.t -> unit
+(** Marks the committed update as having a forced flush in flight.
+    Until {!flush_complete} (or supersession by a newer commit)
+    disposes the record, {!classify} reports it as {!Flush_pinned} and
+    the log manager must keep carrying it: its log copy is the only
+    durable home of an acked version while the transfer is in flight.
+    Raises [Invalid_argument] if the cell is not a most recently
+    committed update. *)
 
 val dispose : t -> Cell.t -> unit
 (** Forces a record to garbage, with full cascade.  Used by eviction

@@ -13,6 +13,7 @@ type t = {
   buffers_per_generation : int;
   forward_backfill : bool;
   group_commit_timeout : Time.t option;
+  unsafe_eager_dispose : bool;
 }
 
 let validate t =
@@ -42,6 +43,7 @@ let default ~generation_sizes =
       buffers_per_generation = Params.buffers_per_generation;
       forward_backfill = true;
       group_commit_timeout = None;
+      unsafe_eager_dispose = false;
     }
   in
   validate t;

@@ -38,6 +38,14 @@ type t = {
           filled buffer before it is written anyway.  The paper's
           simulator has none (buffers are written when as full as
           possible); low-rate applications want one *)
+  unsafe_eager_dispose : bool;
+      (** dispose a committed update's log record the moment its forced
+          flush is {e requested} instead of pinning it until the flush
+          {e completes} — the pre-fix DESIGN §11 behaviour, which loses
+          acked data when a crash lands inside the transfer window.
+          Kept (default [false]) purely as an ablation so the negative
+          durability tests can reproduce the hazard against the spec
+          oracle *)
 }
 
 val default : generation_sizes:int array -> t

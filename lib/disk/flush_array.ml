@@ -41,6 +41,7 @@ type t = {
   scheduling : scheduling;
   implementation : implementation;
   mutable on_flush : (Ids.Oid.t -> version:int -> unit) option;
+  mutable observers : (Ids.Oid.t -> version:int -> unit) list;
   mutable next_seq : int;
   mutable pending_count : int;
   mutable peak_backlog : int;
@@ -83,6 +84,7 @@ let create engine ~drives ~transfer_time ~num_objects
     scheduling;
     implementation;
     on_flush = None;
+    observers = [];
     next_seq = 0;
     pending_count = 0;
     peak_backlog = 0;
@@ -98,6 +100,12 @@ let create engine ~drives ~transfer_time ~num_objects
   }
 
 let set_on_flush t f = t.on_flush <- Some f
+
+(* Observers ride along the owner's [on_flush] hook (called after it,
+   in registration order): passive instruments — the spec oracle's
+   flush-completion feed — that must see every completion without
+   displacing the manager's own completion path. *)
+let add_flush_observer t f = t.observers <- t.observers @ [ f ]
 
 let emit t kind =
   match t.obs with
@@ -293,6 +301,9 @@ let rec dispatch t d =
         (match t.on_flush with
         | Some f -> f (Ids.Oid.of_int r.oid) ~version:r.version
         | None -> ());
+        List.iter
+          (fun f -> f (Ids.Oid.of_int r.oid) ~version:r.version)
+          t.observers;
         dispatch t d)
 
 let enqueue t oid ~version ~forced =

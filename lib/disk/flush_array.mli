@@ -61,6 +61,13 @@ val set_on_flush : t -> (Ids.Oid.t -> version:int -> unit) -> unit
 (** Installs the completion callback (the log manager's "record is now
     garbage" transition).  Must be called before the first request. *)
 
+val add_flush_observer : t -> (Ids.Oid.t -> version:int -> unit) -> unit
+(** Registers a passive completion observer, called after the owner's
+    {!set_on_flush} callback, in registration order.  Observers are
+    instrumentation — the spec oracle's flush-completion feed — and
+    must not mutate the manager.  Like {!set_on_flush}, register
+    before the first request. *)
+
 val request : t -> Ids.Oid.t -> version:int -> unit
 (** Asks for [oid]'s committed update to be written to the stable
     version.  If a request for the same oid is already pending it is

@@ -1,0 +1,86 @@
+(** A pure state-machine model of the durable-log contract, in the
+    style of the verified-betrfs [DiskLog] state machine: explicit
+    labelled steps, a transition function that rejects illegal steps,
+    and a [persistent ⊆ ephemeral]-style invariant.
+
+    The model deliberately knows nothing about generations, blocks,
+    recirculation or flush scheduling — only about the contract every
+    manager kind (EL, FW, hybrid) must honour:
+
+    - an {e ack} ([Commit_ack]) promises that the transaction's writes
+      survive any later crash ("ack implies recoverable");
+    - a {e flush completion} moves a version into the stable database,
+      and the {e superblock} (stable floor) never runs ahead of it;
+    - a {e crash} erases every in-memory structure but none of the
+      durable promises.
+
+    The crash-point sweeper drives one instance of this model from the
+    workload trace (the differential oracle): every sink event and
+    flush completion becomes a step, every step must be legal, the
+    invariant must hold at every pause, and the recovered image at a
+    crash point must agree with {!persistent}/{!may_survive}. *)
+
+open El_model
+
+type tx_phase =
+  | Running  (** begun, still appending *)
+  | Log_extended
+      (** commit requested: the COMMIT record has entered the log
+          (the log extension), but the ack has not fired — a crash may
+          or may not commit it, depending on what persisted *)
+  | Acked  (** commit acknowledged: durably committed, must survive *)
+  | Aborted
+  | Killed
+
+type t
+
+type step =
+  | Begin of Ids.Tid.t
+  | Append of Ids.Tid.t * Ids.Oid.t * int  (** write of (oid, version) *)
+  | Log_extension of Ids.Tid.t  (** commit record entered the log *)
+  | Commit_ack of Ids.Tid.t  (** group commit acked the transaction *)
+  | Abort of Ids.Tid.t
+  | Kill of Ids.Tid.t  (** the paper's kill-on-no-space *)
+  | Flush_complete of Ids.Oid.t * int
+      (** a database-drive flush transferred (oid, version) *)
+  | Superblock_advance of Ids.Oid.t * int
+      (** the stable database now serves (oid, version) *)
+  | Crash
+
+val init : t
+
+val step : t -> step -> (t, string) result
+(** One transition.  [Error] describes why the step is illegal in the
+    current state; the state is unchanged. *)
+
+val check : t -> (unit, string) result
+(** The invariant: per object, stable floor ≤ flushed ≤ acked — the
+    persistent image never claims more than the ephemeral contract
+    (cf. DiskLog's [SupersedesDisk]). *)
+
+val crash : t -> t
+(** Total form of the [Crash] step: wipes volatile transaction state,
+    preserves every durable promise. *)
+
+val persistent : t -> (Ids.Oid.t * int) list
+(** The durable floor: every acked (oid, newest version).  All of it
+    must be recoverable after any crash. *)
+
+val may_survive : t -> Ids.Oid.t -> int -> bool
+(** Whether a recovered image may legitimately hold this exact
+    version: the acked version itself, or a newer version written by a
+    transaction whose log extension happened (its COMMIT record may
+    have persisted — e.g. inside a torn prefix — without the ack ever
+    firing). *)
+
+val phase_of : t -> Ids.Tid.t -> tx_phase option
+val acked_version : t -> Ids.Oid.t -> int option
+val flushed_version : t -> Ids.Oid.t -> int option
+val floor_version : t -> Ids.Oid.t -> int option
+val num_txs : t -> int
+
+val equal : t -> t -> bool
+(** Structural equality, for the model's own property tests
+    (crash-step monotonicity, recovery idempotence). *)
+
+val pp_step : Format.formatter -> step -> unit

@@ -79,6 +79,85 @@ let test_sweep_aborts_and_kills () =
   let o = Sweep.run ~stride:40 cfg in
   check_clean ~min_points:50 o
 
+(* The DESIGN §11 regression: a 45 ms flush transfer under 40 TPS
+   saturates the two database drives (44 flushes/s of capacity against
+   ~88 committed writes/s), so records reach generation heads with
+   their flushes still in flight and the Force_flush policy forces one
+   at every head.  Sweeping crash points through such a run crashes
+   mid-forced-flush over and over; every recovered image must still
+   hold every acked commit, and the spec oracle replays the whole run.
+   Before forced flushes pinned their records until completion this
+   exact configuration lost acked data — the reason the old tests kept
+   flush_transfer at 20 ms. *)
+let scarce_45ms_config ?(eager = false) ~seed () =
+  let policy =
+    {
+      (El_core.Policy.default ~generation_sizes:[| 20; 11 |]) with
+      El_core.Policy.unflushed = El_core.Policy.Force_flush;
+      unsafe_eager_dispose = eager;
+    }
+  in
+  {
+    (Sweep.standard_config
+       ~kind:(Experiment.Ephemeral policy)
+       ~runtime:(Time.of_sec 10) ~seed ())
+    with
+    Experiment.flush_transfer = Time.of_ms 45;
+  }
+
+let test_sweep_mid_forced_flush () =
+  let cfg = scarce_45ms_config ~seed:7 () in
+  let r = Experiment.run cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "forced flushes exercised (%d)" r.Experiment.forced_flushes)
+    true
+    (r.Experiment.forced_flushes > 0);
+  let o = Sweep.run ~stride:25 ~spec:true cfg in
+  check_clean ~min_points:50 o;
+  Alcotest.(check bool) "recovered at every pause" true
+    (o.Sweep.recoveries >= 50);
+  Alcotest.(check bool)
+    (Printf.sprintf "spec checks performed (%d)" o.Sweep.spec_checks)
+    true
+    (o.Sweep.spec_checks > o.Sweep.points)
+
+(* The acceptance sweep: all three manager kinds at flush_transfer =
+   45 ms, each against the spec oracle.  The arrival rate is scaled to
+   16 TPS so the halved flush capacity stays sufficient (the managers
+   must be feasible, not saturated, for FW and hybrid to finish
+   clean). *)
+let test_sweep_45ms_all_kinds () =
+  List.iter
+    (fun (name, kind) ->
+      let cfg =
+        {
+          (Sweep.standard_config ~kind ~rate:16.0 ~seed:42 ()) with
+          Experiment.flush_transfer = Time.of_ms 45;
+        }
+      in
+      let o = Sweep.run ~stride:25 ~spec:true cfg in
+      check_clean ~min_points:50 o;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: spec checks performed" name)
+        true
+        (o.Sweep.spec_checks > 0))
+    (Sweep.standard_kinds ())
+
+(* Negative: re-introduce the early dispose (the pre-fix behaviour,
+   kept behind Policy.unsafe_eager_dispose) and the same sweep must
+   diverge from the spec — a crash landing inside a forced flush's
+   transfer window finds the record gone from the log and not yet in
+   the stable database.  This pins that the spec oracle actually has
+   teeth: the hazard cannot be silently re-introduced. *)
+let test_eager_dispose_caught_by_spec () =
+  let cfg = scarce_45ms_config ~eager:true ~seed:7 () in
+  let o = Sweep.run ~stride:25 ~spec:true cfg in
+  Alcotest.(check bool) "divergences found" true (o.Sweep.failures <> []);
+  let is_spec (_, msg) = Astring_like.contains msg "spec:" in
+  Alcotest.(check bool)
+    "at least one divergence is a spec-oracle finding" true
+    (List.exists is_spec o.Sweep.failures)
+
 (* Differential oracle under randomised run parameters: seeds, abort
    fractions, arrival burstiness, and both flushing manager kinds. *)
 let prop_sweep_random =
@@ -185,13 +264,20 @@ let test_corrupted_image_caught () =
    version missing — durability violations cannot hide behind the
    checksum layer.  The flush array is starved so such a version
    exists: once a version is flushed, the stable database alone can
-   serve it and the log copies are expendable. *)
+   serve it and the log copies are expendable.  The 30 ms transfer
+   does the starving (2 drives cannot keep up with 40 TPS); the
+   generations are sized so the pinned backlog stays in the log —
+   before forced flushes pinned their records, this config silently
+   lost acked data, which is why the transfer used to be capped at
+   20 ms. *)
 let test_torn_checksum_caught () =
-  let kind = List.assoc "el" (Sweep.standard_kinds ()) in
+  let kind =
+    Experiment.Ephemeral (El_core.Policy.default ~generation_sizes:[| 12; 24 |])
+  in
   let cfg =
     {
       (Sweep.standard_config ~kind ~seed:11 ()) with
-      Experiment.flush_transfer = Time.of_ms 20;
+      Experiment.flush_transfer = Time.of_ms 30;
     }
   in
   let live = Experiment.prepare cfg in
@@ -267,6 +353,12 @@ let suite =
     Alcotest.test_case "sweep is deterministic" `Quick test_sweep_deterministic;
     Alcotest.test_case "sweep with aborts and kills" `Quick
       test_sweep_aborts_and_kills;
+    Alcotest.test_case "crash mid-forced-flush at 45 ms stays durable" `Quick
+      test_sweep_mid_forced_flush;
+    Alcotest.test_case "45 ms sweep: all kinds pass the spec oracle" `Slow
+      test_sweep_45ms_all_kinds;
+    Alcotest.test_case "eager dispose diverges from the spec" `Quick
+      test_eager_dispose_caught_by_spec;
     QCheck_alcotest.to_alcotest prop_sweep_random;
     Alcotest.test_case "corrupted image is caught" `Quick
       test_corrupted_image_caught;

@@ -363,6 +363,42 @@ let test_torn_battery () =
     (Sweep.standard_kinds ());
   Alcotest.(check bool) "torn tails actually exercised" true (!el_torn > 0)
 
+(* The spec-vs-torn battery: the same torn storm, but every run is
+   additionally replayed against the durable-log state machine.  Torn
+   prefixes are exactly where the spec's may_survive clause earns its
+   keep — a COMMIT record can persist inside a torn prefix without its
+   ack ever firing, and the recovered image must agree with the spec's
+   durable promises anyway. *)
+let test_spec_torn_battery () =
+  let torn_spec = { FP.clean_spec with FP.torn_rate = 0.8 } in
+  let spec_checks = ref 0 in
+  List.iter
+    (fun (name, kind) ->
+      List.iter
+        (fun seed ->
+          let cfg =
+            {
+              (Sweep.standard_config ~kind ~runtime:(Time.of_sec 12) ~seed ())
+              with
+              Experiment.fault =
+                FP.make ~seed ~log_spec:torn_spec ~log_gens:2 ~flush_drives:2
+                  ();
+            }
+          in
+          let o = Sweep.run ~stride:60 ~spec:true cfg in
+          Alcotest.(check string)
+            (Printf.sprintf "%s seed %d: no spec or audit failures" name seed)
+            ""
+            (String.concat "; " (List.map snd o.Sweep.failures));
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed %d: ran to completion" name seed)
+            false
+            (o.Sweep.overloaded || o.Sweep.faulted);
+          spec_checks := !spec_checks + o.Sweep.spec_checks)
+        [ 1; 2; 3 ])
+    (Sweep.standard_kinds ());
+  Alcotest.(check bool) "spec checks actually performed" true (!spec_checks > 0)
+
 (* Degraded mode: a flush-drive latency storm builds backlog past the
    threshold and arriving transactions are shed; without the plan the
    same run sheds nothing. *)
@@ -413,6 +449,8 @@ let suite =
       test_torn_exact_suffix;
     Alcotest.test_case "torn-write battery: 3 seeds x all kinds" `Slow
       test_torn_battery;
+    Alcotest.test_case "spec-vs-torn battery: 3 seeds x all kinds" `Slow
+      test_spec_torn_battery;
     Alcotest.test_case "degraded mode sheds under a latency storm" `Quick
       test_degraded_shedding;
   ]

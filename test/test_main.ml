@@ -22,6 +22,7 @@ let () =
       ("recovery", Test_recovery.suite);
       ("experiment", Test_experiment.suite);
       ("min-space", Test_min_space.suite);
+      ("spec", Test_spec.suite);
       ("check", Test_check.suite);
       ("fault", Test_fault.suite);
       ("hotpath", Test_hotpath.suite);

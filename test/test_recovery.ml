@@ -200,10 +200,18 @@ let prop_recover_idempotent_order_insensitive =
    as a torn tail, and fails the audit — the durably committed state
    is missing from the recovered database.  The flush array is starved
    so that committed state provably lags the stable version: a fully
-   caught-up stable database would survive the loss of the log. *)
+   caught-up stable database would survive the loss of the log.  The
+   30 ms transfer makes the starvation real (2 drives cannot keep up
+   with 40 TPS); the generations are sized so the pinned backlog stays
+   in the log — before forced flushes pinned their records, this
+   config silently lost acked data, which is why the transfer used to
+   be capped at 20 ms. *)
 let test_corrupted_checksums_caught () =
   let cfg =
-    { (el_config ()) with Experiment.flush_transfer = Time.of_ms 20 }
+    {
+      (el_config ~sizes:[| 12; 24 |] ()) with
+      Experiment.flush_transfer = Time.of_ms 30;
+    }
   in
   let live = Experiment.prepare cfg in
   El_sim.Engine.run live.Experiment.engine ~until:(Time.of_sec 15);

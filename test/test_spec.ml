@@ -1,0 +1,208 @@
+(* The durable-log spec's own tests: the transition laws as unit
+   cases, and the contract-level properties — invariant preservation,
+   crash-step monotonicity, recovery idempotence — as QCheck
+   properties over random step sequences. *)
+
+open El_model
+module Spec = El_spec.Durable_log
+
+let tid n = Ids.Tid.of_int n
+let oid n = Ids.Oid.of_int n
+
+let ok label s step =
+  match Spec.step s step with
+  | Ok s' -> s'
+  | Error msg -> Alcotest.failf "%s: rejected — %s" label msg
+
+let rejected label s step =
+  match Spec.step s step with
+  | Ok _ -> Alcotest.failf "%s: accepted an illegal step" label
+  | Error _ -> ()
+
+(* The canonical legal lifecycle, used as a fixture by several
+   tests: one transaction begun, appended, log-extended, acked,
+   flushed, superblock-advanced. *)
+let acked_state () =
+  let s = ok "begin" Spec.init (Spec.Begin (tid 1)) in
+  let s = ok "append" s (Spec.Append (tid 1, oid 0, 3)) in
+  let s = ok "extension" s (Spec.Log_extension (tid 1)) in
+  ok "ack" s (Spec.Commit_ack (tid 1))
+
+let test_happy_path () =
+  let s = acked_state () in
+  Alcotest.(check (option int)) "acked" (Some 3) (Spec.acked_version s (oid 0));
+  let s = ok "flush" s (Spec.Flush_complete (oid 0, 3)) in
+  let s = ok "superblock" s (Spec.Superblock_advance (oid 0, 3)) in
+  Alcotest.(check (option int))
+    "flushed" (Some 3)
+    (Spec.flushed_version s (oid 0));
+  Alcotest.(check (option int)) "floor" (Some 3) (Spec.floor_version s (oid 0));
+  (match Spec.check s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant after happy path: %s" m);
+  Alcotest.(check (list (pair int int)))
+    "persistent"
+    [ (0, 3) ]
+    (List.map (fun (o, v) -> (Ids.Oid.to_int o, v)) (Spec.persistent s))
+
+let test_transition_laws () =
+  let s1 = ok "begin" Spec.init (Spec.Begin (tid 1)) in
+  rejected "duplicate begin" s1 (Spec.Begin (tid 1));
+  rejected "append by unknown tx" Spec.init (Spec.Append (tid 9, oid 0, 1));
+  rejected "append v0" s1 (Spec.Append (tid 1, oid 0, 0));
+  rejected "ack without extension" s1 (Spec.Commit_ack (tid 1));
+  rejected "extension of unknown tx" Spec.init (Spec.Log_extension (tid 9));
+  let ext = ok "extension" s1 (Spec.Log_extension (tid 1)) in
+  rejected "append after extension" ext (Spec.Append (tid 1, oid 0, 1));
+  rejected "abort after extension" ext (Spec.Abort (tid 1));
+  rejected "kill after extension" ext (Spec.Kill (tid 1));
+  rejected "double extension" ext (Spec.Log_extension (tid 1));
+  let acked = ok "ack" ext (Spec.Commit_ack (tid 1)) in
+  rejected "double ack" acked (Spec.Commit_ack (tid 1));
+  let s = acked_state () in
+  rejected "flush of never-acked oid" s (Spec.Flush_complete (oid 5, 1));
+  rejected "flush ahead of acked" s (Spec.Flush_complete (oid 0, 4));
+  rejected "superblock without flush" s (Spec.Superblock_advance (oid 0, 3));
+  let s = ok "flush" s (Spec.Flush_complete (oid 0, 3)) in
+  rejected "flush regression" s (Spec.Flush_complete (oid 0, 2));
+  rejected "superblock ahead of flush" s (Spec.Superblock_advance (oid 0, 4))
+
+let test_abort_and_kill_discard () =
+  let s = ok "begin" Spec.init (Spec.Begin (tid 1)) in
+  let s = ok "append" s (Spec.Append (tid 1, oid 0, 2)) in
+  let s = ok "abort" s (Spec.Abort (tid 1)) in
+  Alcotest.(check (option int)) "nothing acked" None
+    (Spec.acked_version s (oid 0));
+  Alcotest.(check bool)
+    "aborted write must not survive" false
+    (Spec.may_survive s (oid 0) 2);
+  let s = ok "begin2" s (Spec.Begin (tid 2)) in
+  let s = ok "append2" s (Spec.Append (tid 2, oid 1, 7)) in
+  let s = ok "kill" s (Spec.Kill (tid 2)) in
+  Alcotest.(check bool)
+    "killed write must not survive" false
+    (Spec.may_survive s (oid 1) 7)
+
+let test_may_survive_torn_prefix () =
+  (* A log-extended-but-unacked transaction's write may survive (its
+     COMMIT record can persist inside a torn prefix); a running one's
+     may not. *)
+  let s = acked_state () in
+  let s = ok "begin2" s (Spec.Begin (tid 2)) in
+  let s = ok "append2" s (Spec.Append (tid 2, oid 0, 5)) in
+  Alcotest.(check bool)
+    "running write may not survive" false
+    (Spec.may_survive s (oid 0) 5);
+  let s = ok "extension2" s (Spec.Log_extension (tid 2)) in
+  Alcotest.(check bool)
+    "log-extended write may survive" true
+    (Spec.may_survive s (oid 0) 5);
+  Alcotest.(check bool) "acked version may survive" true
+    (Spec.may_survive s (oid 0) 3);
+  Alcotest.(check bool)
+    "never-written version may not survive" false
+    (Spec.may_survive s (oid 0) 4);
+  (* After the crash wipes the transaction table, only the ack
+     remains. *)
+  let c = Spec.crash s in
+  Alcotest.(check bool)
+    "crash narrows survival to the ack" false
+    (Spec.may_survive c (oid 0) 5);
+  Alcotest.(check bool) "ack survives the crash" true
+    (Spec.may_survive c (oid 0) 3)
+
+(* Random step sequences over a small universe: 5 transactions,
+   3 objects, versions 1-6.  Illegal steps are skipped (the state is
+   unchanged by construction), so a replayed prefix is always a
+   reachable state. *)
+let step_of (c, a, b) =
+  let t = tid (a mod 5) and o = oid (a mod 3) and v = (b mod 6) + 1 in
+  match c mod 9 with
+  | 0 -> Spec.Begin t
+  | 1 -> Spec.Append (t, o, v)
+  | 2 -> Spec.Log_extension t
+  | 3 -> Spec.Commit_ack t
+  | 4 -> Spec.Abort t
+  | 5 -> Spec.Kill t
+  | 6 -> Spec.Flush_complete (o, v)
+  | 7 -> Spec.Superblock_advance (o, v)
+  | _ -> Spec.Crash
+
+let replay codes =
+  List.fold_left
+    (fun s code ->
+      match Spec.step s (step_of code) with Ok s' -> s' | Error _ -> s)
+    Spec.init codes
+
+let steps_arb =
+  QCheck.(list_of_size (Gen.int_range 0 120) (triple small_nat small_nat small_nat))
+
+let prop_invariant_preserved =
+  QCheck.Test.make ~name:"invariant holds in every reachable state" ~count:500
+    steps_arb (fun codes ->
+      match Spec.check (replay codes) with
+      | Ok () -> true
+      | Error m -> QCheck.Test.fail_reportf "invariant broken: %s" m)
+
+let prop_crash_monotone =
+  QCheck.Test.make
+    ~name:"crash-step monotonicity: persistent state never gains records"
+    ~count:500 steps_arb (fun codes ->
+      let s = replay codes in
+      let c = Spec.crash s in
+      Spec.persistent c = Spec.persistent s
+      && Spec.num_txs c = 0
+      && (* whatever may survive a crash of the crashed state is
+            exactly the acked state *)
+      List.for_all
+        (fun (o, v) -> Spec.may_survive c o v)
+        (Spec.persistent c))
+
+let prop_recovery_idempotent =
+  QCheck.Test.make ~name:"recovery idempotence: crash of a crash is a no-op"
+    ~count:500 steps_arb (fun codes ->
+      let s = replay codes in
+      let once = Spec.crash s in
+      Spec.equal (Spec.crash once) once
+      &&
+      match Spec.step s Spec.Crash with
+      | Ok via_step -> Spec.equal via_step once
+      | Error _ -> false)
+
+let prop_acked_monotone =
+  QCheck.Test.make
+    ~name:"acked versions never regress under any accepted step" ~count:500
+    steps_arb (fun codes ->
+      let oids = List.init 3 oid in
+      let ok = ref true in
+      let _final =
+        List.fold_left
+          (fun s code ->
+            match Spec.step s (step_of code) with
+            | Error _ -> s
+            | Ok s' ->
+              List.iter
+                (fun o ->
+                  match (Spec.acked_version s o, Spec.acked_version s' o) with
+                  | Some before, Some after when after < before -> ok := false
+                  | Some _, None -> ok := false
+                  | _ -> ())
+                oids;
+              s')
+          Spec.init codes
+      in
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "happy path" `Quick test_happy_path;
+    Alcotest.test_case "transition laws" `Quick test_transition_laws;
+    Alcotest.test_case "abort and kill discard writes" `Quick
+      test_abort_and_kill_discard;
+    Alcotest.test_case "may_survive models torn-prefix commits" `Quick
+      test_may_survive_torn_prefix;
+    QCheck_alcotest.to_alcotest prop_invariant_preserved;
+    QCheck_alcotest.to_alcotest prop_crash_monotone;
+    QCheck_alcotest.to_alcotest prop_recovery_idempotent;
+    QCheck_alcotest.to_alcotest prop_acked_monotone;
+  ]
