@@ -7,7 +7,7 @@
                     [fig4] [fig5] [fig6] [fig7]
                     [headline] [scarce] [rates] [recovery] [ablation]
                     [gens] [adaptive] [checkpoint] [poisson] [hotpath]
-                    [micro]
+                    [store] [micro]
 
    With no selector, everything runs.  --quick shortens the simulated
    runs (120 s instead of the paper's 500 s) and coarsens sweeps; the
@@ -43,7 +43,19 @@ let pool = ref El_par.Pool.serial
 
 let json_sections : (string * J.t) list ref = ref []
 
+(* Every object section records which durable-store backend produced
+   it.  The paper benches run the pure simulation ("sim"); a section
+   that measures a real store (e.g. [store]) carries its own
+   "backend" field, which wins. *)
+let section_backend = ref "sim"
+
 let add_section name doc =
+  let doc =
+    match doc with
+    | J.Obj fields when not (List.mem_assoc "backend" fields) ->
+      J.Obj (("backend", J.String !section_backend) :: fields)
+    | _ -> doc
+  in
   if not (List.mem_assoc name !json_sections) then
     json_sections := !json_sections @ [ (name, doc) ]
 
@@ -451,6 +463,124 @@ let recovery_bench speed =
          ("el_restart_s", J.Float (Time.to_sec_f el_time));
          ("fw_restart_s", J.Float (Time.to_sec_f fw_time));
        ])
+
+(* The same crash/recover run as [recovery], but on the real-bytes
+   path: once per store backend, with the store replay cross-checked
+   against the simulated recovery.  Reports the I/O the durability
+   contract costs (pwrites, fsync barriers, bytes) and the wall-clock
+   spread between mem and file. *)
+let store_bench speed =
+  heading "Durable store: mem vs file backends on the real-bytes path";
+  let runtime =
+    match speed with `Full -> Time.of_sec 60 | `Quick -> Time.of_sec 15
+  in
+  let crash_at = Time.mul_int (Time.div_int runtime 4) 3 in
+  let policy = Policy.default ~generation_sizes:[| 18; 12 |] in
+  let view (r : El_recovery.Recovery.result) =
+    ( List.sort compare
+        (El_disk.Stable_db.snapshot r.El_recovery.Recovery.recovered),
+      List.sort compare
+        (List.map Ids.Tid.to_int r.El_recovery.Recovery.committed_tids) )
+  in
+  let run_backend backend =
+    let cfg =
+      {
+        (Paper.base_config ~kind:(Experiment.Ephemeral policy) ~long_pct:5 ())
+        with
+        Experiment.runtime;
+        backend;
+        num_objects = 100_000;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let result, sim, audit, store = Experiment.run_with_crash_store cfg ~crash_at in
+    let wall = Unix.gettimeofday () -. t0 in
+    let agrees =
+      match store with Some s -> view s = view sim | None -> false
+    in
+    (result, sim, audit, wall, agrees)
+  in
+  let with_image_dir f =
+    let dir = Filename.temp_file "el-bench-store" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun x ->
+            try Sys.remove (Filename.concat dir x) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      (fun () -> f dir)
+  in
+  let runs =
+    with_image_dir (fun dir ->
+        [
+          ("mem", run_backend Experiment.Mem_store);
+          ("file", run_backend (Experiment.File_store dir));
+        ])
+  in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("backend", Table.Left);
+          ("pwrites", Table.Right);
+          ("fsyncs", Table.Right);
+          ("MB written", Table.Right);
+          ("wall s", Table.Right);
+          ("replay agrees", Table.Left);
+          ("audit", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (name, (result, _sim, audit, wall, agrees)) ->
+      Table.add_row t
+        [
+          name;
+          string_of_int result.Experiment.store_pwrites;
+          string_of_int result.Experiment.store_barriers;
+          fmt_f
+            (float_of_int result.Experiment.store_bytes_written /. 1048576.);
+          fmt_f wall;
+          (if agrees then "yes" else "DIVERGES");
+          (if audit.El_recovery.Recovery.ok then "OK" else "FAILED");
+        ])
+    runs;
+  Table.print t;
+  let backends_identical =
+    match runs with
+    | [ (_, (_, sim_m, _, _, _)); (_, (_, sim_f, _, _, _)) ] ->
+      view sim_m = view sim_f
+    | _ -> false
+  in
+  Format.printf
+    "@.mem and file recover %s state; every ack came after pwrite+fsync.@."
+    (if backends_identical then "identical" else "DIFFERENT (bug!)");
+  add_section "store"
+    (J.Obj
+       (("backend", J.String "mem+file")
+       :: ("backends_identical", J.Bool backends_identical)
+       :: List.concat_map
+            (fun (name, (result, sim, audit, wall, agrees)) ->
+              [
+                ( name,
+                  J.Obj
+                    [
+                      ("pwrites", J.Int result.Experiment.store_pwrites);
+                      ("barriers", J.Int result.Experiment.store_barriers);
+                      ( "bytes_written",
+                        J.Int result.Experiment.store_bytes_written );
+                      ("wall_s", J.Float wall);
+                      ("replay_agrees", J.Bool agrees);
+                      ("audit_ok", J.Bool audit.El_recovery.Recovery.ok);
+                      ( "committed_txs",
+                        J.Int
+                          (List.length sim.El_recovery.Recovery.committed_tids)
+                      );
+                    ] );
+              ])
+            runs))
 
 let ablation speed =
   heading "Ablations of EL design choices (5% mix, 18+12 blocks)";
@@ -1148,6 +1278,7 @@ let () =
   if want "headline" then headline speed;
   if want "scarce" then ignore (scarce speed);
   if want "recovery" then recovery_bench speed;
+  if want "store" then store_bench speed;
   if want "ablation" then ablation speed;
   if want "gens" then gens_sweep speed;
   if want "adaptive" then adaptive_bench speed;

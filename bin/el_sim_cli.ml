@@ -4,14 +4,9 @@
    arrival rate, the flush rate (drives x transfer time), the number
    and sizes of generations, the recirculation flag and the runtime.
 
-   Subcommands:
-     run        one simulation, printing the full report
-     min-space  minimum-disk-space search for EL or FW
-     recover    crash a run midway, recover, audit
-     paper      the published experiments (fig4..fig7, headline, ...)
-     trace      run with the observability layer on; export Chrome
-                trace JSON, a time-series CSV and a JSON summary
-*)
+   The subcommand list lives in [subcommands] at the bottom of this
+   file; the group's synopsis is generated from it, so adding a
+   command there is the only step needed to advertise it. *)
 
 open El_model
 open Cmdliner
@@ -88,6 +83,53 @@ let poisson =
   let doc = "Use Poisson arrivals instead of the paper's regular spacing." in
   Arg.(value & flag & info [ "poisson" ] ~doc)
 
+(* --backend sim|mem|file[:DIR].  [file] without a directory puts the
+   image in a fresh temp directory removed at exit; with one, images
+   land (and stay) there. *)
+let backend_term =
+  let doc =
+    "Durable store backend: $(b,sim) (default; durability is simulated, no \
+     bytes written), $(b,mem) (blocks serialized with checksums into an \
+     in-memory image), or $(b,file)[:DIR] (a real disk image written with \
+     pwrite+fsync, in DIR or in a temporary directory removed at exit)."
+  in
+  let parse s =
+    match s with
+    | "sim" -> Ok `Sim
+    | "mem" -> Ok `Mem
+    | "file" -> Ok (`File None)
+    | _ when String.length s > 5 && String.sub s 0 5 = "file:" ->
+      Ok (`File (Some (String.sub s 5 (String.length s - 5))))
+    | _ -> Error (`Msg ("bad backend (want sim|mem|file[:DIR]): " ^ s))
+  in
+  let print ppf = function
+    | `Sim -> Format.pp_print_string ppf "sim"
+    | `Mem -> Format.pp_print_string ppf "mem"
+    | `File None -> Format.pp_print_string ppf "file"
+    | `File (Some d) -> Format.fprintf ppf "file:%s" d
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Sim
+    & info [ "backend" ] ~doc ~docv:"BACKEND")
+
+let resolve_backend = function
+  | `Sim -> Experiment.Sim
+  | `Mem -> Experiment.Mem_store
+  | `File (Some dir) -> Experiment.File_store dir
+  | `File None ->
+    let dir = Filename.temp_file "el-sim-images" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    at_exit (fun () ->
+        try
+          Array.iter
+            (fun f -> Sys.remove (Filename.concat dir f))
+            (Sys.readdir dir);
+          Unix.rmdir dir
+        with Sys_error _ | Unix.Unix_error _ -> ());
+    Experiment.File_store dir
+
 (* Shared by every sweeping subcommand (min-space, paper, check): the
    independent simulations fan out across $(docv) domains; outputs
    are identical to --jobs 1 (see lib/par). *)
@@ -115,7 +157,7 @@ let mix_of opts long_pct =
     failwith "--tx-type and --long-pct are mutually exclusive"
 
 let config_of types long_pct rate runtime drives transfer_ms objects seed
-    generations no_recirc firewall abort_fraction poisson =
+    generations no_recirc firewall abort_fraction poisson backend =
   let mix = mix_of types long_pct in
   let kind =
     match firewall with
@@ -141,13 +183,14 @@ let config_of types long_pct rate runtime drives transfer_ms objects seed
     num_objects = objects;
     seed;
     abort_fraction;
+    backend = resolve_backend backend;
   }
 
 let config_term =
   Term.(
     const config_of $ mix_term $ long_pct $ rate $ runtime $ drives
     $ transfer_ms $ objects $ seed $ generations $ recirculate $ firewall
-    $ abort_fraction $ poisson)
+    $ abort_fraction $ poisson $ backend_term)
 
 (* ---- report rendering ---- *)
 
@@ -178,6 +221,12 @@ let print_result (r : Experiment.result) =
     (Printf.sprintf "%.1f" (r.commit_latency_mean *. 1000.0));
   add "forwarded records" (string_of_int r.forwarded_records);
   add "recirculated records" (string_of_int r.recirculated_records);
+  if r.backend_name <> "sim" then begin
+    add "store backend" r.backend_name;
+    add "store pwrites" (string_of_int r.store_pwrites);
+    add "store fsync barriers" (string_of_int r.store_barriers);
+    add "store bytes written" (string_of_int r.store_bytes_written)
+  end;
   add "feasible (no kills/evictions)" (if r.feasible then "yes" else "NO");
   El_metrics.Table.print t
 
@@ -256,7 +305,9 @@ let recover_cmd =
       | Some s -> Time.of_sec_f s
       | None -> Time.mul_int (Time.div_int cfg.Experiment.runtime 4) 3
     in
-    let result, recovery, audit = Experiment.run_with_crash cfg ~crash_at in
+    let result, recovery, audit, store_recovery =
+      Experiment.run_with_crash_store cfg ~crash_at
+    in
     Format.printf "crash at %a into a %a run@." Time.pp crash_at Time.pp
       cfg.Experiment.runtime;
     Printf.printf "records scanned: %d\n"
@@ -267,12 +318,28 @@ let recover_cmd =
     Printf.printf "committed transactions in durable log: %d\n"
       (List.length recovery.El_recovery.Recovery.committed_tids);
     Format.printf "%a@." El_recovery.Recovery.pp_audit audit;
+    (match store_recovery with
+    | None -> ()
+    | Some sr ->
+      let state (r : El_recovery.Recovery.result) =
+        ( List.sort compare (El_disk.Stable_db.snapshot r.recovered),
+          List.sort compare r.committed_tids )
+      in
+      Printf.printf
+        "store replay: %d records scanned, %d committed — %s\n"
+        sr.El_recovery.Recovery.records_scanned
+        (List.length sr.El_recovery.Recovery.committed_tids)
+        (if state sr = state recovery then "agrees with simulated recovery"
+         else "DIVERGES from simulated recovery"));
     print_newline ();
     print_result result
   in
   Cmd.v
     (Cmd.info "recover"
-       ~doc:"Crash an EL run midway, run single-pass recovery and audit it.")
+       ~doc:
+         "Crash an EL run midway, run single-pass recovery and audit it.  \
+          With --backend mem|file, also replay the durable image frozen at \
+          the crash instant and compare the two recovered states.")
     Term.(const action $ config_term $ crash_at)
 
 let paper_cmd =
@@ -508,12 +575,13 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
-  let action seeds stride runtime rate spec quick jobs =
+  let action seeds stride runtime rate spec quick backend jobs =
     with_pool jobs @@ fun pool ->
     let seeds, stride, runtime =
       if quick then (1, 40, 15.0) else (seeds, stride, runtime)
     in
     let runtime = Time.of_sec_f runtime in
+    let backend = resolve_backend backend in
     let module Sweep = El_check.Sweep in
     let t =
       El_metrics.Table.create
@@ -535,7 +603,9 @@ let check_cmd =
     List.iter
       (fun (name, kind) ->
         for seed = 1 to seeds do
-          let cfg = Sweep.standard_config ~kind ~runtime ~rate ~seed () in
+          let cfg =
+            Sweep.standard_config ~kind ~runtime ~rate ~seed ~backend ()
+          in
           let o = Sweep.run ~pool ~stride ~spec cfg in
           El_metrics.Table.add_row t
             ([
@@ -583,13 +653,14 @@ let check_cmd =
           every stride-th event boundary, then compare each manager against \
           an in-memory reference model.  With --spec, additionally replay \
           every run against the pure durable-log state machine (a \
-          machine-checked 'ack implies recoverable' contract).  Exits \
-          non-zero on any divergence.  --jobs N fans each sweep's crash \
-          points out across N domains (identical findings, shorter \
-          wall-clock).")
+          machine-checked 'ack implies recoverable' contract).  With \
+          --backend mem|file, every swept run also serializes its blocks \
+          through the durable store.  Exits non-zero on any divergence.  \
+          --jobs N fans each sweep's crash points out across N domains \
+          (identical findings, shorter wall-clock).")
     Term.(
       const action $ seeds $ stride $ check_runtime $ check_rate $ spec
-      $ quick $ jobs_term)
+      $ quick $ backend_term $ jobs_term)
 
 let fault_cmd =
   let module FP = El_fault.Fault_plan in
@@ -867,13 +938,87 @@ let fault_cmd =
       $ burst $ sticky $ torn $ retry_budget $ penalty_ms $ spares $ latency
       $ shed_backlog $ quick $ identity $ jobs_term)
 
-let () =
-  let info =
-    Cmd.info "el-sim" ~version:"1.0.0"
-      ~doc:"Ephemeral logging simulator (Keen & Dally, SIGMOD 1993)"
+let serve_cmd =
+  let image =
+    let doc = "Disk image to serve (created if absent)." in
+    Arg.(value & opt string "disk.img" & info [ "image" ] ~doc ~docv:"PATH")
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ run_cmd; min_space_cmd; recover_cmd; paper_cmd; adaptive_cmd;
-            check_cmd; fault_cmd; trace_cmd ]))
+  let socket =
+    let doc =
+      "Listen on a Unix-domain socket at $(docv) instead of serving one \
+       session over stdin/stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~doc ~docv:"PATH")
+  in
+  let fresh =
+    let doc = "Truncate the image instead of recovering its contents." in
+    Arg.(value & flag & info [ "fresh" ] ~doc)
+  in
+  let serve_objects =
+    let doc = "Number of objects in the served database." in
+    Arg.(value & opt int 100_000 & info [ "objects" ] ~doc)
+  in
+  let serve_generations =
+    let doc = "EL generation sizes in blocks." in
+    Arg.(value & opt (list int) [ 32; 32 ] & info [ "g"; "generations" ] ~doc)
+  in
+  let hybrid =
+    let doc = "Use the hybrid manager with $(docv) queue sizes." in
+    Arg.(
+      value & opt (some (list int)) None & info [ "hybrid" ] ~doc ~docv:"BLOCKS")
+  in
+  let action image socket fresh objects generations firewall hybrid =
+    let kind =
+      match (firewall, hybrid) with
+      | Some _, Some _ -> failwith "--fw and --hybrid are mutually exclusive"
+      | Some blocks, None -> Experiment.Firewall blocks
+      | None, Some qs -> Experiment.Hybrid (Array.of_list qs)
+      | None, None ->
+        Experiment.Ephemeral
+          (Policy.default ~generation_sizes:(Array.of_list generations))
+    in
+    let t =
+      El_serve.Serve.start
+        { El_serve.Serve.image; fresh; kind; num_objects = objects }
+    in
+    let r = El_serve.Serve.recovered t in
+    (* Status goes to stderr: in stdio mode stdout carries the
+       protocol. *)
+    Printf.eprintf "el-sim serve: image %s, %d committed transaction(s) recovered\n%!"
+      image
+      (List.length r.El_recovery.Recovery.committed_tids);
+    (match socket with
+    | None -> El_serve.Serve.serve_channel t stdin stdout
+    | Some path ->
+      Printf.eprintf "el-sim serve: listening on %s\n%!" path;
+      El_serve.Serve.serve_socket t ~socket_path:path);
+    El_serve.Serve.close t
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a durable log over a real disk image: transactions arrive as \
+          BEGIN/WRITE/COMMIT/ABORT lines (stdin or --socket), every \
+          [ok committed] ack is written only after the COMMIT record has \
+          been fsynced, and a restart recovers all acked state from the \
+          image.")
+    Term.(
+      const action $ image $ socket $ fresh $ serve_objects
+      $ serve_generations $ firewall $ hybrid)
+
+let () =
+  let subcommands =
+    [ run_cmd; min_space_cmd; recover_cmd; paper_cmd; adaptive_cmd; check_cmd;
+      fault_cmd; trace_cmd; serve_cmd ]
+  in
+  (* One list, one synopsis: the summary is generated from the
+     commands themselves so it cannot drift as subcommands come and
+     go. *)
+  let doc =
+    Printf.sprintf
+      "Ephemeral logging simulator (Keen & Dally, SIGMOD 1993). Subcommands: \
+       %s."
+      (String.concat ", " (List.map Cmd.name subcommands))
+  in
+  let info = Cmd.info "el-sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info subcommands))

@@ -200,6 +200,7 @@ let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle ~spec
         guarded (fun () -> Spec_tracker.check_settled t)
     | None -> ()
   end;
+  let outcome =
   {
     s_events = Engine.events_dispatched engine;
     s_pauses = !pauses;
@@ -227,6 +228,9 @@ let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle ~spec
     s_spec_checks =
       (match tracker with Some t -> Spec_tracker.checks t | None -> 0);
   }
+  in
+  Experiment.dispose live;
+  outcome
 
 let run ?(pool = El_par.Pool.serial) ?(stride = 100) ?(max_points = max_int)
     ?(recover = true) ?(oracle = true) ?(spec = false)
@@ -283,7 +287,8 @@ let standard_mix () =
 
 let standard_config ~kind ?(runtime = Time.of_sec 20) ?(rate = 40.0)
     ?(seed = 42) ?(abort_fraction = 0.0)
-    ?(arrival_process = Generator.Deterministic) () =
+    ?(arrival_process = Generator.Deterministic)
+    ?(backend = Experiment.Sim) () =
   {
     (Experiment.default_config ~kind ~mix:(standard_mix ())) with
     Experiment.runtime;
@@ -294,6 +299,7 @@ let standard_config ~kind ?(runtime = Time.of_sec 20) ?(rate = 40.0)
     flush_transfer = Time.of_ms 8;
     seed;
     abort_fraction;
+    backend;
   }
 
 let standard_kinds () =

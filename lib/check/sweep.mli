@@ -87,12 +87,14 @@ val standard_config :
   ?seed:int ->
   ?abort_fraction:float ->
   ?arrival_process:El_workload.Generator.arrival_process ->
+  ?backend:El_harness.Experiment.backend ->
   unit ->
   El_harness.Experiment.config
 (** A check-sized configuration (small log, short transactions, a
     modest flush array) shared by the test suite and the [check] CLI
     subcommand, so both sweep the same state space.  Defaults: 20 s
-    runtime, 40 TPS, seed 42, no aborts, deterministic arrivals. *)
+    runtime, 40 TPS, seed 42, no aborts, deterministic arrivals,
+    [Sim] backend. *)
 
 val standard_kinds : unit -> (string * El_harness.Experiment.manager_kind) list
 (** The three managers swept by default: an EL chain, the FW baseline

@@ -53,6 +53,7 @@ type t = {
   gens : gen array;
   placements : int Ids.Tid.Table.t;  (* lifetime-hint target generation *)
   committed_ref : int Ids.Oid.Table.t;
+  store : El_store.Log_store.t option;
   mutable on_kill : (Ids.Tid.t -> unit) option;
   mutable forwarded : int;
   mutable recirculated : int;
@@ -72,7 +73,7 @@ let emit t kind =
 
 let free_slots g = g.g_size - g.g_occupied
 
-let make_gen engine policy ~write_time ?obs ?fault i =
+let make_gen engine policy ~write_time ?obs ?fault ?store i =
   let size = policy.Policy.generation_sizes.(i) in
   {
     g_index = i;
@@ -90,7 +91,7 @@ let make_gen engine policy ~write_time ?obs ?fault i =
         ~buffer_pool:policy.Policy.buffers_per_generation ?obs ~label:i
         ?fault:
           (Option.map (fun inj -> El_fault.Injector.log_gen inj i) fault)
-        ();
+        ?store ();
     g_occupancy =
       El_metrics.Gauge.create ~name:(Printf.sprintf "gen%d occupancy" i) ();
     g_current = None;
@@ -101,11 +102,11 @@ let make_gen engine policy ~write_time ?obs ?fault i =
   }
 
 let create engine ~policy ~flush ~stable ?(write_time = Params.tau_disk_write)
-    ?(tx_record_size = Params.tx_record_size) ?obs ?fault () =
+    ?(tx_record_size = Params.tx_record_size) ?obs ?fault ?store () =
   Policy.validate policy;
   let gens =
     Array.init (Policy.num_generations policy)
-      (make_gen engine policy ~write_time ?obs ?fault)
+      (make_gen engine policy ~write_time ?obs ?fault ?store)
   in
   let remove_cell (c : Cell.t) =
     (* A cell whose record is not yet in any buffer belongs to no
@@ -124,6 +125,7 @@ let create engine ~policy ~flush ~stable ?(write_time = Params.tau_disk_write)
       gens;
       placements = Ids.Tid.Table.create 256;
       committed_ref = Ids.Oid.Table.create 1024;
+      store;
       on_kill = None;
       forwarded = 0;
       recirculated = 0;
@@ -222,11 +224,17 @@ let free_slot g s =
   g.g_state.(s) <- Free;
   set_occupancy g
 
+let block_records block =
+  List.map (fun (tr : Cell.tracked) -> tr.Cell.record) (Block.items block)
+
 (* Issue a sealed buffer to the generation's channel. *)
 let issue_write t g (buf : buffer) =
   g.g_state.(buf.b_slot) <- Sealed;
   Queue.add (buf.b_slot, buf.b_block) g.g_inflight;
-  Log_channel.write g.g_channel ~on_complete:(fun () ->
+  Log_channel.write
+    ~payload:(fun () -> (buf.b_slot, block_records buf.b_block))
+    g.g_channel
+    ~on_complete:(fun () ->
       (let s, _ = Queue.pop g.g_inflight in
        assert (s = buf.b_slot));
       g.g_state.(buf.b_slot) <-
@@ -879,9 +887,6 @@ type durable_block = {
   db_torn_prefix : int option;
 }
 
-let block_records block =
-  List.map (fun (tr : Cell.tracked) -> tr.Cell.record) (Block.items block)
-
 let durable_blocks t =
   let acc = ref [] in
   Array.iter
@@ -923,10 +928,7 @@ let durable_blocks t =
       | Some (s, block, f) ->
         let records = block_records block in
         let n = List.length records in
-        let k =
-          if n = 0 then 0
-          else Stdlib.min (n - 1) (int_of_float (f *. float_of_int n))
-        in
+        let k = El_store.Log_store.torn_keep ~count:n f in
         acc :=
           {
             db_gen = g.g_index;
@@ -943,3 +945,16 @@ let committed_reference t =
 
 let acked_commits t = t.acked
 let stable t = t.stable
+
+(* Freeze the store at the crash instant: persist each channel's torn
+   in-service write, then mark the position.  A later scan bounded by
+   the mark replays exactly the image a crash now would leave — the
+   write currently in service will still complete in simulation and
+   append a full segment, but under a sequence number at or above the
+   mark, so bounded scans never see it. *)
+let persist_crash_mark t =
+  match t.store with
+  | None -> None
+  | Some store ->
+    Array.iter (fun g -> Log_channel.crash_persist g.g_channel) t.gens;
+    Some (El_store.Log_store.position store)

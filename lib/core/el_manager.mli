@@ -38,6 +38,7 @@ val create :
   ?tx_record_size:int ->
   ?obs:El_obs.Obs.t ->
   ?fault:El_fault.Injector.t ->
+  ?store:El_store.Log_store.t ->
   unit ->
   t
 (** Builds the generations and takes ownership of the flush array's
@@ -48,7 +49,11 @@ val create :
     feed the ["commit.latency_us"] histogram, and the per-generation
     log channels trace their block writes.  With [fault], generation
     [i]'s channel resolves every block write against the plan's
-    [Log_gen i] schedule (see {!El_disk.Log_channel.create}). *)
+    [Log_gen i] schedule (see {!El_disk.Log_channel.create}).  With
+    [store], every completed block write is appended to the durable
+    log before its completion hooks (so group-commit acks imply
+    on-backend durability); pass the same store to the flush array so
+    stable installs are persisted too. *)
 
 val set_on_kill : t -> (Ids.Tid.t -> unit) -> unit
 
@@ -161,3 +166,11 @@ val committed_reference : t -> (Ids.Oid.t * int) list
 
 val acked_commits : t -> int
 val stable : t -> El_disk.Stable_db.t
+
+val persist_crash_mark : t -> int option
+(** Freezes the attached store at the crash instant: persists each
+    generation channel's torn in-service write (valid prefix + corrupt
+    tail, superseding the slot's old segment) and returns the store
+    position.  A {!El_store.Log_store.scan} bounded by [~upto:mark]
+    then reads exactly the image an in-simulation crash at this moment
+    would leave on the backend.  [None] when no store is attached. *)

@@ -2,11 +2,9 @@ open El_model
 module Block = El_disk.Block
 module Log_channel = El_disk.Log_channel
 
-type record_stub = { r_tid : Ids.Tid.t; r_size : int }
-
 type buffer = {
   b_slot : int;
-  b_block : record_stub Block.t;
+  b_block : Log_record.t Block.t;
   mutable b_hooks : (Time.t -> unit) list;
 }
 
@@ -93,7 +91,8 @@ let create engine ~size_blocks ?(block_payload = Params.block_payload)
     ?(buffers = Params.buffers_per_generation)
     ?(write_time = Params.tau_disk_write)
     ?(tx_record_size = Params.tx_record_size)
-    ?(bytes_per_tx = Params.fw_bytes_per_tx) ?checkpointing ?obs ?fault () =
+    ?(bytes_per_tx = Params.fw_bytes_per_tx) ?checkpointing ?obs ?fault ?store
+    () =
   if size_blocks < head_tail_gap + 2 then
     invalid_arg "Fw_manager.create: log needs at least gap+2 blocks";
   (match checkpointing with
@@ -116,7 +115,7 @@ let create engine ~size_blocks ?(block_payload = Params.block_payload)
       Log_channel.create engine ~write_time ~buffer_pool:buffers ?obs
         ~label:0
         ?fault:(Option.map (fun inj -> El_fault.Injector.log_gen inj 0) fault)
-        ();
+        ?store ();
     current = None;
     txs = Ids.Tid.Table.create 1024;
     act_head = None;
@@ -227,7 +226,10 @@ let seal_current t =
   | Some buf ->
     t.current <- None;
     emit t (El_obs.Event.Seal { gen = 0; slot = buf.b_slot });
-    Log_channel.write t.channel ~on_complete:(fun () ->
+    Log_channel.write
+      ~payload:(fun () -> (buf.b_slot, Block.items buf.b_block))
+      t.channel
+      ~on_complete:(fun () ->
         let now = El_sim.Engine.now t.engine in
         List.iter (fun hook -> hook now) (List.rev buf.b_hooks);
         buf.b_hooks <- [];
@@ -263,9 +265,11 @@ let current_buffer t ~size =
     t.current <- Some buf;
     buf
 
-let append t ~tid ~size ~tracked_live ~hook =
+let append t ~rec_ ~tracked_live ~hook =
+  let tid = rec_.Log_record.tid in
+  let size = rec_.Log_record.size in
   let buf = current_buffer t ~size in
-  Block.add buf.b_block ~size { r_tid = tid; r_size = size };
+  Block.add buf.b_block ~size rec_;
   emit t
     (El_obs.Event.Append
        { gen = 0; slot = buf.b_slot; tid = Ids.Tid.to_int tid; size });
@@ -296,14 +300,23 @@ let begin_tx t ~tid ~expected_duration:_ =
   Ids.Tid.Table.replace t.txs tid tx;
   active_append t tx;
   El_metrics.Gauge.add t.memory t.bytes_per_tx;
-  append t ~tid ~size:t.tx_record_size ~tracked_live:true ~hook:None
+  append t
+    ~rec_:
+      (Log_record.begin_ ~tid ~size:t.tx_record_size
+         ~timestamp:(El_sim.Engine.now t.engine))
+    ~tracked_live:true ~hook:None
 
-let write_data t ~tid ~oid:_ ~version:_ ~size =
+let write_data t ~tid ~oid ~version ~size =
   match Ids.Tid.Table.find_opt t.txs tid with
   | None -> invalid_arg "Fw_manager.write_data: unknown transaction"
   | Some tx when tx.terminated ->
     invalid_arg "Fw_manager.write_data: transaction terminated"
-  | Some _ -> append t ~tid ~size ~tracked_live:true ~hook:None
+  | Some _ ->
+    append t
+      ~rec_:
+        (Log_record.data ~tid ~oid ~version ~size
+           ~timestamp:(El_sim.Engine.now t.engine))
+      ~tracked_live:true ~hook:None
 
 let request_commit t ~tid ~on_ack =
   match Ids.Tid.Table.find_opt t.txs tid with
@@ -316,7 +329,10 @@ let request_commit t ~tid ~on_ack =
        modelled (as in the paper), never retained. *)
     terminate ~committed:true t tx;
     let requested = El_sim.Engine.now t.engine in
-    append t ~tid ~size:t.tx_record_size ~tracked_live:false
+    append t
+      ~rec_:
+        (Log_record.commit ~tid ~size:t.tx_record_size ~timestamp:requested)
+      ~tracked_live:false
       ~hook:
         (Some
            (fun ack_time ->
@@ -338,7 +354,11 @@ let request_abort t ~tid =
   | Some tx ->
     terminate t tx;
     emit t (El_obs.Event.Abort { tid = Ids.Tid.to_int tid });
-    append t ~tid ~size:t.tx_record_size ~tracked_live:false ~hook:None
+    append t
+      ~rec_:
+        (Log_record.abort ~tid ~size:t.tx_record_size
+           ~timestamp:(El_sim.Engine.now t.engine))
+      ~tracked_live:false ~hook:None
 
 let drain t = seal_current t
 

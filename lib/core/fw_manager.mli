@@ -41,11 +41,15 @@ val create :
   ?checkpointing:checkpointing ->
   ?obs:El_obs.Obs.t ->
   ?fault:El_fault.Injector.t ->
+  ?store:El_store.Log_store.t ->
   unit ->
   t
 (** Raises [Invalid_argument] if [size_blocks < head_tail_gap + 2].
     Without [checkpointing] this is the paper's idealised FW: records
-    stop mattering the moment their transaction terminates. *)
+    stop mattering the moment their transaction terminates.  With
+    [store], every sealed block is appended to the durable log before
+    its completion hooks fire; checkpoint writes carry no payload
+    (they model bandwidth only) and persist nothing. *)
 
 val set_on_kill : t -> (Ids.Tid.t -> unit) -> unit
 

@@ -5,13 +5,17 @@ module Flush_array = El_disk.Flush_array
 module Stable_db = El_disk.Stable_db
 
 (* A remembered record: enough to regenerate it from main memory and
-   to route flush completions.  [flushed] covers data stubs only. *)
+   to route flush completions.  [s_flushed] covers data stubs only. *)
 type stub = {
-  s_oid : Ids.Oid.t option;  (* None for tx records *)
-  s_version : int;
-  s_size : int;
+  s_rec : Log_record.t;
   mutable s_flushed : bool;
 }
+
+(* The (oid, version) of a data stub; [None] for tx records. *)
+let stub_data s =
+  match s.s_rec.Log_record.kind with
+  | Log_record.Data { oid; version } -> Some (oid, version)
+  | Log_record.Begin | Log_record.Commit | Log_record.Abort -> None
 
 type tx_state = Active | Commit_pending | Committed
 
@@ -47,7 +51,7 @@ let add_stub tx s =
 
 type buffer = {
   b_slot : int;
-  b_block : int Block.t;  (* payload sizes only; contents live in stubs *)
+  b_block : Log_record.t Block.t;
   mutable b_hooks : (Time.t -> unit) list;
 }
 
@@ -130,7 +134,7 @@ let create engine ~queue_sizes ~flush ~stable
     ?(head_tail_gap = Params.head_tail_gap)
     ?(buffers = Params.buffers_per_generation)
     ?(write_time = Params.tau_disk_write)
-    ?(tx_record_size = Params.tx_record_size) ?obs ?fault () =
+    ?(tx_record_size = Params.tx_record_size) ?obs ?fault ?store () =
   if Array.length queue_sizes = 0 then
     invalid_arg "Hybrid_manager.create: no queues";
   Array.iter
@@ -154,7 +158,7 @@ let create engine ~queue_sizes ~flush ~stable
           ~label:i
           ?fault:
             (Option.map (fun inj -> El_fault.Injector.log_gen inj i) fault)
-          ();
+          ?store ();
       q_current = None;
     }
   in
@@ -188,8 +192,8 @@ let create engine ~queue_sizes ~flush ~stable
         | Some tx ->
           List.iter
             (fun s ->
-              match s.s_oid with
-              | Some o when Ids.Oid.equal o oid && s.s_version = version ->
+              match stub_data s with
+              | Some (o, v) when Ids.Oid.equal o oid && v = version ->
                 if not s.s_flushed then begin
                   s.s_flushed <- true;
                   tx.unflushed_count <- tx.unflushed_count - 1
@@ -212,7 +216,10 @@ let seal_current t q =
   | Some buf ->
     q.q_current <- None;
     emit t (El_obs.Event.Seal { gen = q.q_index; slot = buf.b_slot });
-    Log_channel.write q.q_channel ~on_complete:(fun () ->
+    Log_channel.write
+      ~payload:(fun () -> (buf.b_slot, Block.items buf.b_block))
+      q.q_channel
+      ~on_complete:(fun () ->
         let now = El_sim.Engine.now t.engine in
         List.iter (fun h -> h now) (List.rev buf.b_hooks);
         buf.b_hooks <- [])
@@ -233,7 +240,7 @@ let retained_stubs tx =
   match tx.state with
   | Active | Commit_pending -> stubs tx
   | Committed ->
-    List.filter (fun s -> s.s_oid = None || not s.s_flushed) (stubs tx)
+    List.filter (fun s -> stub_data s = None || not s.s_flushed) (stubs tx)
 
 (* ---- space management with regeneration ---- *)
 
@@ -257,7 +264,8 @@ let rec assign_slot _t q =
    head advance may be triggered (it would re-enter the advance in
    progress), so a full ring raises {!Regeneration_full} and the
    caller kills or retires the transaction instead. *)
-and append ?(self_regen = false) t q ~size ~anchor_tx ~hook =
+and append ?(self_regen = false) t q ~rec_ ~anchor_tx ~hook =
+  let size = rec_.Log_record.size in
   if size > t.block_payload then
     raise (El_manager.Log_overloaded "record exceeds block payload");
   (match q.q_current with
@@ -275,7 +283,7 @@ and append ?(self_regen = false) t q ~size ~anchor_tx ~hook =
   match q.q_current with
   | None -> assert false
   | Some buf ->
-    Block.add buf.b_block ~size size;
+    Block.add buf.b_block ~size rec_;
     emit t
       (El_obs.Event.Append
          {
@@ -348,7 +356,7 @@ and advance_head t q =
                  are garbage and must not be rewritten *)
               if Ids.Tid.Table.mem t.txs tx.tid then begin
                 t.regenerated_records <- t.regenerated_records + 1;
-                append ~self_regen t destination ~size:stub.s_size
+                append ~self_regen t destination ~rec_:stub.s_rec
                   ~anchor_tx:(Some tx) ~hook:None
               end)
             stubs;
@@ -416,7 +424,7 @@ and kill_tx t tx =
   (* all records become garbage; unflushed bookkeeping is dropped *)
   List.iter
     (fun s ->
-      match s.s_oid with
+      match Option.map fst (stub_data s) with
       | Some oid when not s.s_flushed -> (
         match Ids.Oid.Table.find_opt t.unflushed oid with
         | Some (tid, _) when Ids.Tid.equal tid tx.tid ->
@@ -440,13 +448,16 @@ let require_tx t tid =
 let begin_tx t ~tid ~expected_duration:_ =
   if Ids.Tid.Table.mem t.txs tid then
     invalid_arg "Hybrid_manager.begin_tx: duplicate tid";
+  let begin_rec =
+    Log_record.begin_ ~tid ~size:t.tx_record_size
+      ~timestamp:(El_sim.Engine.now t.engine)
+  in
   let tx =
     {
       tid;
       begun_at = El_sim.Engine.now t.engine;
       state = Active;
-      stubs_rev =
-        [ { s_oid = None; s_version = 0; s_size = t.tx_record_size; s_flushed = false } ];
+      stubs_rev = [ { s_rec = begin_rec; s_flushed = false } ];
       stubs_memo = None;
       anchor = None;
       anc_prev = None;
@@ -456,24 +467,29 @@ let begin_tx t ~tid ~expected_duration:_ =
   in
   Ids.Tid.Table.replace t.txs tid tx;
   El_metrics.Gauge.add t.memory bytes_per_tx;
-  append t t.queues.(0) ~size:t.tx_record_size ~anchor_tx:(Some tx) ~hook:None
+  append t t.queues.(0) ~rec_:begin_rec ~anchor_tx:(Some tx) ~hook:None
 
 let write_data t ~tid ~oid ~version ~size =
   let tx = require_tx t tid in
   if tx.state <> Active then
     invalid_arg "Hybrid_manager.write_data: transaction not active";
-  add_stub tx
-    { s_oid = Some oid; s_version = version; s_size = size; s_flushed = false };
-  append t t.queues.(0) ~size ~anchor_tx:(Some tx) ~hook:None
+  let rec_ =
+    Log_record.data ~tid ~oid ~version ~size
+      ~timestamp:(El_sim.Engine.now t.engine)
+  in
+  add_stub tx { s_rec = rec_; s_flushed = false };
+  append t t.queues.(0) ~rec_ ~anchor_tx:(Some tx) ~hook:None
 
 let request_commit t ~tid ~on_ack =
   let tx = require_tx t tid in
   if tx.state <> Active then
     invalid_arg "Hybrid_manager.request_commit: transaction not active";
   tx.state <- Commit_pending;
-  add_stub tx
-    { s_oid = None; s_version = 0; s_size = t.tx_record_size; s_flushed = false };
   let requested = El_sim.Engine.now t.engine in
+  let commit_rec =
+    Log_record.commit ~tid ~size:t.tx_record_size ~timestamp:requested
+  in
+  add_stub tx { s_rec = commit_rec; s_flushed = false };
   let hook at =
     if Ids.Tid.Table.mem t.txs tid then begin
       tx.state <- Committed;
@@ -491,9 +507,9 @@ let request_commit t ~tid ~on_ack =
          versions of the same objects *)
       List.iter
         (fun s ->
-          match s.s_oid with
+          match stub_data s with
           | None -> ()
-          | Some oid ->
+          | Some (oid, version) ->
             (match Ids.Oid.Table.find_opt t.unflushed oid with
             | Some (old_tid, old_version) -> (
               Ids.Oid.Table.remove t.unflushed oid;
@@ -502,9 +518,9 @@ let request_commit t ~tid ~on_ack =
               | Some old_tx when not (Ids.Tid.equal old_tid tid) ->
                 List.iter
                   (fun os ->
-                    match os.s_oid with
-                    | Some o
-                      when Ids.Oid.equal o oid && os.s_version = old_version
+                    match stub_data os with
+                    | Some (o, v)
+                      when Ids.Oid.equal o oid && v = old_version
                            && not os.s_flushed ->
                       os.s_flushed <- true;
                       old_tx.unflushed_count <- old_tx.unflushed_count - 1
@@ -514,17 +530,17 @@ let request_commit t ~tid ~on_ack =
                   retire t old_tx
               | Some _ | None -> ())
             | None -> ());
-            Ids.Oid.Table.replace t.unflushed oid (tid, s.s_version);
+            Ids.Oid.Table.replace t.unflushed oid (tid, version);
             El_metrics.Gauge.add t.memory bytes_per_object;
             tx.unflushed_count <- tx.unflushed_count + 1;
-            Flush_array.request t.flush oid ~version:s.s_version)
+            Flush_array.request t.flush oid ~version)
         (stubs tx);
       if tx.unflushed_count = 0 then retire t tx;
       (* only a commit that actually took effect is acknowledged *)
       on_ack at
     end
   in
-  append t t.queues.(0) ~size:t.tx_record_size ~anchor_tx:(Some tx)
+  append t t.queues.(0) ~rec_:commit_rec ~anchor_tx:(Some tx)
     ~hook:(Some hook)
 
 let request_abort t ~tid =
@@ -535,7 +551,11 @@ let request_abort t ~tid =
      as a kill victim after the generator already marked it aborted *)
   retire t tx;
   emit t (El_obs.Event.Abort { tid = Ids.Tid.to_int tid });
-  append t t.queues.(0) ~size:t.tx_record_size ~anchor_tx:None ~hook:None
+  append t t.queues.(0)
+    ~rec_:
+      (Log_record.abort ~tid ~size:t.tx_record_size
+         ~timestamp:(El_sim.Engine.now t.engine))
+    ~anchor_tx:None ~hook:None
 
 let drain t = Array.iter (fun q -> seal_current t q) t.queues
 
@@ -619,7 +639,7 @@ let check_invariants t =
         let pending =
           List.length
             (List.filter
-               (fun s -> s.s_oid <> None && not s.s_flushed)
+               (fun s -> stub_data s <> None && not s.s_flushed)
                (stubs tx))
         in
         assert (tx.unflushed_count = pending));
@@ -635,10 +655,10 @@ let check_invariants t =
         assert
           (List.exists
              (fun s ->
-               (match s.s_oid with
-               | Some o -> Ids.Oid.equal o oid
+               (match stub_data s with
+               | Some (o, v) -> Ids.Oid.equal o oid && v = version
                | None -> false)
-               && s.s_version = version && not s.s_flushed)
+               && not s.s_flushed)
              (stubs tx)))
     t.unflushed;
   assert

@@ -37,8 +37,13 @@ val create :
   ?tx_record_size:int ->
   ?obs:El_obs.Obs.t ->
   ?fault:El_fault.Injector.t ->
+  ?store:El_store.Log_store.t ->
   unit ->
   t
+(** With [store], every sealed block of every queue is appended to the
+    durable log before its completion hooks fire — regenerated records
+    are rewritten with their original record values, so a store scan
+    sees exactly what a post-crash read of the queues would. *)
 
 val set_on_kill : t -> (Ids.Tid.t -> unit) -> unit
 

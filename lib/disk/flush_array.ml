@@ -52,12 +52,13 @@ type t = {
   distances : El_metrics.Running_stat.t;
   obs : El_obs.Obs.t option;
   fault : El_fault.Injector.device_state option array;
+  store : El_store.Log_store.t option;
 }
 
 let empty_index () = { by_oid = Int_map.empty; by_seq = Int_map.empty }
 
 let create engine ~drives ~transfer_time ~num_objects
-    ?(scheduling = Nearest) ?(implementation = Indexed) ?obs ?fault () =
+    ?(scheduling = Nearest) ?(implementation = Indexed) ?obs ?fault ?store () =
   if drives <= 0 then invalid_arg "Flush_array.create: no drives";
   if num_objects <= 0 || num_objects mod drives <> 0 then
     invalid_arg "Flush_array.create: num_objects must be a positive multiple of drives";
@@ -97,6 +98,7 @@ let create engine ~drives ~transfer_time ~num_objects
     fault =
       Array.init drives (fun i ->
           Option.map (fun inj -> El_fault.Injector.flush_drive inj i) fault);
+    store;
   }
 
 let set_on_flush t f = t.on_flush <- Some f
@@ -298,6 +300,15 @@ let rec dispatch t d =
         t.pending_count <- t.pending_count - 1;
         t.completed <- t.completed + 1;
         if r.forced then t.forced_count <- t.forced_count + 1;
+        (* Persist the stable install before [on_flush] runs: the hook
+           applies the version to the stable DB and lets the log record
+           become garbage, which is only sound once the install itself
+           is durable on the backend. *)
+        (match t.store with
+        | Some store ->
+          El_store.Log_store.append_stable store ~oid:(Ids.Oid.of_int r.oid)
+            ~version:r.version
+        | None -> ());
         (match t.on_flush with
         | Some f -> f (Ids.Oid.of_int r.oid) ~version:r.version
         | None -> ());

@@ -42,6 +42,7 @@ val create :
   ?implementation:implementation ->
   ?obs:El_obs.Obs.t ->
   ?fault:El_fault.Injector.t ->
+  ?store:El_store.Log_store.t ->
   unit ->
   t
 (** Raises [Invalid_argument] unless [drives > 0],
@@ -55,7 +56,10 @@ val create :
     [Flush_drive i] schedule: retries and latency windows stretch the
     transfer, remaps burn spares.  Torn verdicts are inert here — the
     stable version only changes at transfer completion, so an
-    interrupted transfer leaves the old consistent image. *)
+    interrupted transfer leaves the old consistent image.  With
+    [store], each completed transfer appends a durable stable-install
+    fact ({!El_store.Log_store.append_stable}) {e before} the
+    {!set_on_flush} hook lets the log record become garbage. *)
 
 val set_on_flush : t -> (Ids.Oid.t -> version:int -> unit) -> unit
 (** Installs the completion callback (the log manager's "record is now

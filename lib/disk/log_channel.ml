@@ -1,10 +1,12 @@
 open El_model
 
+type payload = unit -> int * Log_record.t list
+
 type t = {
   engine : El_sim.Engine.t;
   write_time : Time.t;
   buffer_pool : int;
-  queue : (unit -> unit) Queue.t;
+  queue : (payload option * (unit -> unit)) Queue.t;
   mutable busy : bool;
   mutable started : int;
   mutable completed : int;
@@ -15,10 +17,14 @@ type t = {
   label : int;  (* generation index in trace events; -1 when unnamed *)
   fault : El_fault.Injector.device_state option;
   mutable current_torn : float option;
+  store : El_store.Log_store.t option;
+  mutable in_service : payload option;
 }
 
-let create engine ~write_time ~buffer_pool ?obs ?(label = -1) ?fault () =
+let create engine ~write_time ~buffer_pool ?obs ?(label = -1) ?fault ?store () =
   if buffer_pool <= 0 then invalid_arg "Log_channel.create: empty pool";
+  if store <> None && label < 0 then
+    invalid_arg "Log_channel.create: a store-backed channel needs a label";
   {
     engine;
     write_time;
@@ -34,6 +40,8 @@ let create engine ~write_time ~buffer_pool ?obs ?(label = -1) ?fault () =
     label;
     fault;
     current_torn = None;
+    store;
+    in_service = None;
   }
 
 let emit t kind =
@@ -78,26 +86,40 @@ let service_time t =
            (Time.to_sec_f t.write_time *. r.El_fault.Injector.r_latency))
         r.El_fault.Injector.r_penalty
 
+(* Persist a completed block write before anything observes the
+   completion: the store append (pwrite + barrier) must precede
+   [on_complete] so that a commit acknowledged by a completion hook is
+   already durable on the backend. *)
+let persist_completed t payload =
+  match (t.store, payload) with
+  | Some store, Some p ->
+    let slot, records = p () in
+    El_store.Log_store.append_block store ~gen:t.label ~slot records
+  | _ -> ()
+
 let rec start_next t =
   match Queue.take_opt t.queue with
   | None -> t.busy <- false
-  | Some on_complete ->
+  | Some (payload, on_complete) ->
     t.busy <- true;
+    t.in_service <- payload;
     let service = service_time t in
     t.busy_until <- Time.add (El_sim.Engine.now t.engine) service;
     emit t (El_obs.Event.Log_write_start { gen = t.label });
     El_sim.Engine.schedule_after t.engine service (fun () ->
         t.completed <- t.completed + 1;
         t.current_torn <- None;
+        t.in_service <- None;
+        persist_completed t payload;
         emit t (El_obs.Event.Log_write_done { gen = t.label });
         on_complete ();
         start_next t)
 
-let write t ~on_complete =
+let write ?payload t ~on_complete =
   if in_flight t >= t.buffer_pool then t.overflows <- t.overflows + 1;
   t.started <- t.started + 1;
   if in_flight t > t.peak then t.peak <- in_flight t;
-  Queue.add on_complete t.queue;
+  Queue.add (payload, on_complete) t.queue;
   if not t.busy then start_next t
 
 let writes_started t = t.started
@@ -106,6 +128,23 @@ let peak_in_flight t = t.peak
 let pool_overflows t = t.overflows
 
 let in_service_torn t = if t.busy then t.current_torn else None
+
+(* Persist the crash image of the write currently in service.  A torn
+   in-service write destroys the slot's old content and leaves a valid
+   prefix of the new block, so it appends a newer segment with the
+   destroyed tail written as corrupt entries.  A non-torn in-service
+   write persists nothing: it has not completed, so the slot's previous
+   segment stays newest.  Queued writes were never started and leave no
+   trace either — exactly the simulator's [durable_blocks] view. *)
+let crash_persist t =
+  match (t.store, t.in_service, if t.busy then t.current_torn else None) with
+  | Some store, Some p, Some f ->
+    let slot, records = p () in
+    let count = List.length records in
+    let keep = El_store.Log_store.torn_keep ~count f in
+    El_store.Log_store.append_block store ~gen:t.label ~slot
+      ~torn_suffix:(count - keep) records
+  | _ -> ()
 
 let quiesce_time t =
   if not t.busy then El_sim.Engine.now t.engine

@@ -25,6 +25,7 @@ val create :
   ?obs:El_obs.Obs.t ->
   ?label:int ->
   ?fault:El_fault.Injector.device_state ->
+  ?store:El_store.Log_store.t ->
   unit ->
   t
 (** Raises [Invalid_argument] if [buffer_pool] is non-positive.  With
@@ -36,11 +37,22 @@ val create :
     remaps burn spares (fatal when exhausted), and torn-write verdicts
     are held for {!in_service_torn}.  A nominal resolution reuses the
     exact [write_time], so an armed-but-inert plan is byte-identical
-    to none. *)
+    to none.  With [store], every completed write with a payload is
+    appended to the durable log (pwrite + barrier) {e before} its
+    completion callback runs, so acks fired from [on_complete] imply
+    on-device durability; store-backed channels must carry a
+    non-negative [label] (it becomes the segment's generation). *)
 
-val write : t -> on_complete:(unit -> unit) -> unit
+val write :
+  ?payload:(unit -> int * Log_record.t list) ->
+  t ->
+  on_complete:(unit -> unit) ->
+  unit
 (** Enqueues one block write.  [on_complete] fires τ after the write
-    reaches the head of the channel's queue. *)
+    reaches the head of the channel's queue.  [payload], forced at
+    completion (and at {!crash_persist}), yields the block's slot and
+    records for store persistence; payload-less writes (checkpoints)
+    model bandwidth only and persist nothing. *)
 
 val writes_started : t -> int
 val writes_completed : t -> int
@@ -64,3 +76,10 @@ val in_service_torn : t -> float option
 val quiesce_time : t -> Time.t
 (** The simulated time at which all currently queued writes will have
     completed (= now when idle).  Used at end of run to drain. *)
+
+val crash_persist : t -> unit
+(** Appends the crash image of the in-service write to the store, if
+    any: a torn in-service write persists its valid prefix (with the
+    destroyed tail as corrupt entries) under a fresh sequence number;
+    a non-torn or absent in-service write persists nothing, leaving
+    the slot's previous segment newest.  No-op without a store. *)

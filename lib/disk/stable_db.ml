@@ -13,6 +13,11 @@ let apply t oid ~version =
   | Some v when v >= version -> ()
   | Some _ | None -> Ids.Oid.Table.replace t.versions oid version
 
+let of_pairs ~num_objects pairs =
+  let t = create ~num_objects in
+  List.iter (fun (oid, version) -> apply t oid ~version) pairs;
+  t
+
 let version t oid = Ids.Oid.Table.find_opt t.versions oid
 let objects_written t = Ids.Oid.Table.length t.versions
 

@@ -14,6 +14,11 @@ type t
 
 val create : num_objects:int -> t
 
+val of_pairs : num_objects:int -> (Ids.Oid.t * int) list -> t
+(** A stable DB rebuilt from persisted install facts — the highest
+    version wins per oid, as in {!apply}.  Used when reconstructing a
+    crash image from a store scan. *)
+
 val apply : t -> Ids.Oid.t -> version:int -> unit
 (** Records that [version] of [oid] is now durable in the stable
     version.  Versions are monotone per object: applying an older

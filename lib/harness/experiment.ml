@@ -12,6 +12,8 @@ type manager_kind =
   | Firewall of int
   | Hybrid of int array
 
+type backend = Sim | Mem_store | File_store of string
+
 type config = {
   kind : manager_kind;
   mix : El_workload.Mix.t;
@@ -27,6 +29,7 @@ type config = {
   abort_fraction : float;
   observer : El_obs.Obs.config option;
   fault : El_fault.Fault_plan.t;
+  backend : backend;
 }
 
 let default_config ~kind ~mix =
@@ -45,6 +48,7 @@ let default_config ~kind ~mix =
     abort_fraction = 0.0;
     observer = None;
     fault = El_fault.Fault_plan.empty;
+    backend = Sim;
   }
 
 type result = {
@@ -71,6 +75,10 @@ type result = {
   el_stats : El_manager.stats option;
   fw_stats : Fw_manager.stats option;
   hybrid_stats : Hybrid_manager.stats option;
+  backend_name : string;
+  store_pwrites : int;
+  store_barriers : int;
+  store_bytes_written : int;
 }
 
 type live = {
@@ -83,8 +91,20 @@ type live = {
   hybrid : Hybrid_manager.t option;
   obs : El_obs.Obs.t option;
   fault : El_fault.Injector.t option;
+  store : El_store.Log_store.t option;
   finish : unit -> result;
 }
+
+let dispose live =
+  match live.store with
+  | None -> ()
+  | Some s ->
+    let b = El_store.Log_store.backend s in
+    let path = El_store.Backend.path b in
+    El_store.Backend.close b;
+    (match path with
+    | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+    | None -> ())
 
 let collect cfg live ~overloaded =
   let generator = live.generator in
@@ -145,6 +165,28 @@ let collect cfg live ~overloaded =
     el_stats;
     fw_stats;
     hybrid_stats;
+    backend_name =
+      (match live.store with
+      | None -> "sim"
+      | Some s -> El_store.Backend.name (El_store.Log_store.backend s));
+    store_pwrites =
+      (match live.store with
+      | None -> 0
+      | Some s ->
+        (El_store.Backend.counters (El_store.Log_store.backend s))
+          .El_store.Backend.pwrites);
+    store_barriers =
+      (match live.store with
+      | None -> 0
+      | Some s ->
+        (El_store.Backend.counters (El_store.Log_store.backend s))
+          .El_store.Backend.barriers);
+    store_bytes_written =
+      (match live.store with
+      | None -> 0
+      | Some s ->
+        (El_store.Backend.counters (El_store.Log_store.backend s))
+          .El_store.Backend.bytes_written);
   }
 
 let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
@@ -156,18 +198,46 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
      fault-free path, so a default config is byte-identical to a build
      without fault injection. *)
   let inj = El_fault.Injector.create cfg.fault in
+  (* The durable store, when one is configured.  [Log_store.create]
+     truncates, so every prepared run starts from a blank image; the
+     file variant gets a unique image inside the caller's directory so
+     parallel sweep slices never clobber one another. *)
+  let store =
+    match cfg.backend with
+    | Sim -> None
+    | Mem_store -> Some (El_store.Log_store.create (El_store.Backend.mem ()))
+    | File_store dir ->
+      let path = Filename.temp_file ~temp_dir:dir "el_store" ".img" in
+      Some (El_store.Log_store.create (El_store.Backend.file ~path))
+  in
+  (match (obs, store) with
+  | Some o, Some s ->
+    let pwrites = El_obs.Obs.counter o "store.pwrites" in
+    let bytes = El_obs.Obs.counter o "store.bytes" in
+    let barriers = El_obs.Obs.counter o "store.barriers" in
+    El_store.Backend.set_tap
+      (El_store.Log_store.backend s)
+      (Some
+         (function
+           | El_store.Backend.Pwrite n ->
+             El_metrics.Counter.add pwrites 1;
+             El_metrics.Counter.add bytes n
+           | El_store.Backend.Pread _ -> ()
+           | El_store.Backend.Barrier -> El_metrics.Counter.add barriers 1))
+  | _ -> ());
   let stable = Stable_db.create ~num_objects:cfg.num_objects in
   let flush =
     Flush_array.create engine ~drives:cfg.flush_drives
       ~transfer_time:cfg.flush_transfer ~num_objects:cfg.num_objects
       ~scheduling:cfg.flush_scheduling ~implementation:cfg.flush_impl ?obs
-      ?fault:inj ()
+      ?fault:inj ?store ()
   in
   let el, fw, hybrid, sink =
     match cfg.kind with
     | Ephemeral policy ->
       let m =
-        El_manager.create engine ~policy ~flush ~stable ?obs ?fault:inj ()
+        El_manager.create engine ~policy ~flush ~stable ?obs ?fault:inj ?store
+          ()
       in
       let sink =
         {
@@ -184,7 +254,9 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
       in
       (Some m, None, None, sink)
     | Firewall size_blocks ->
-      let m = Fw_manager.create engine ~size_blocks ?obs ?fault:inj () in
+      let m =
+        Fw_manager.create engine ~size_blocks ?obs ?fault:inj ?store ()
+      in
       let sink =
         {
           Generator.begin_tx =
@@ -202,7 +274,7 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
     | Hybrid queue_sizes ->
       let m =
         Hybrid_manager.create engine ~queue_sizes ~flush ~stable ?obs
-          ?fault:inj ()
+          ?fault:inj ?store ()
       in
       let sink =
         {
@@ -330,6 +402,7 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
       hybrid;
       obs;
       fault = inj;
+      store;
       finish = (fun () -> finish ());
     }
   and finish () =
@@ -346,9 +419,9 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
 
 let run cfg =
   let live = prepare cfg in
-  live.finish ()
+  Fun.protect ~finally:(fun () -> dispose live) live.finish
 
-let run_with_crash cfg ~crash_at =
+let run_with_crash_store cfg ~crash_at =
   (match cfg.kind with
   | Firewall _ | Hybrid _ ->
     invalid_arg "Experiment.run_with_crash: FW has no recovery model"
@@ -356,14 +429,35 @@ let run_with_crash cfg ~crash_at =
   if Time.(crash_at > cfg.runtime) then
     invalid_arg "Experiment.run_with_crash: crash after end of run";
   let live = prepare cfg in
-  let manager = Option.get live.el in
-  let holder = ref None in
-  Engine.schedule_at live.engine crash_at (fun () ->
-      holder := Some (El_recovery.Recovery.crash live.engine manager));
-  let result = live.finish () in
-  match !holder with
-  | None -> assert false
-  | Some image ->
-    let recovery = El_recovery.Recovery.recover ?obs:live.obs image in
-    let audit = El_recovery.Recovery.audit image recovery in
-    (result, recovery, audit)
+  Fun.protect
+    ~finally:(fun () -> dispose live)
+    (fun () ->
+      let manager = Option.get live.el in
+      let holder = ref None in
+      Engine.schedule_at live.engine crash_at (fun () ->
+          (* Capture the in-memory image first, then freeze the store:
+             both read the same channel state, so they describe the
+             same crash instant. *)
+          let image = El_recovery.Recovery.crash live.engine manager in
+          let mark = El_manager.persist_crash_mark manager in
+          holder := Some (image, mark));
+      let result = live.finish () in
+      match !holder with
+      | None -> assert false
+      | Some (image, mark) ->
+        let recovery = El_recovery.Recovery.recover ?obs:live.obs image in
+        let audit = El_recovery.Recovery.audit image recovery in
+        let store_recovery =
+          match (live.store, mark) with
+          | Some s, Some m ->
+            Some
+              (El_recovery.Recovery.recover_store ~upto:m
+                 ~num_objects:cfg.num_objects
+                 (El_store.Log_store.backend s))
+          | _ -> None
+        in
+        (result, recovery, audit, store_recovery))
+
+let run_with_crash cfg ~crash_at =
+  let result, recovery, audit, _ = run_with_crash_store cfg ~crash_at in
+  (result, recovery, audit)

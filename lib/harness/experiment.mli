@@ -14,6 +14,17 @@ type manager_kind =
   | Firewall of int  (** log size in blocks *)
   | Hybrid of int array  (** §6 EL–FW hybrid, queue sizes in blocks *)
 
+(** Where the log's durable bytes live. *)
+type backend =
+  | Sim  (** no store: durability is simulated, as in the original model *)
+  | Mem_store
+      (** an {!El_store.Backend.mem} image — real serialization and
+          scan, no syscalls; fsync barriers are counted no-ops *)
+  | File_store of string
+      (** a real [disk.img] under the given directory (a fresh
+          [Filename.temp_file] per prepared run), written with
+          pwrite + fsync *)
+
 type config = {
   kind : manager_kind;
   mix : El_workload.Mix.t;
@@ -51,6 +62,11 @@ type config = {
           [result.killed] and in {!El_fault.Injector.sheds}.  A run
           that exhausts a device's spare sectors raises
           {!El_fault.Injector.Io_fatal} out of {!live.finish}. *)
+  backend : backend;
+      (** [Sim] by default.  With [Mem_store] or [File_store], every
+          sealed log block and stable install is also serialized into
+          an {!El_store.Log_store} image before completion hooks fire,
+          so {!El_recovery.Recovery.recover_store} can replay it. *)
 }
 
 val default_config : kind:manager_kind -> mix:El_workload.Mix.t -> config
@@ -81,6 +97,10 @@ type result = {
   el_stats : El_core.El_manager.stats option;
   fw_stats : El_core.Fw_manager.stats option;
   hybrid_stats : El_core.Hybrid_manager.stats option;
+  backend_name : string;  (** ["sim"], ["mem"] or ["file"] *)
+  store_pwrites : int;  (** store write syscalls (0 under [Sim]) *)
+  store_barriers : int;  (** fsync barriers issued (counted no-ops on mem) *)
+  store_bytes_written : int;
 }
 
 val run : config -> result
@@ -101,10 +121,19 @@ type live = {
   fault : El_fault.Injector.t option;
       (** present iff the config's [fault] plan was non-empty; read
           its retry/remap/shed counters after {!live.finish} *)
+  store : El_store.Log_store.t option;
+      (** present iff the config's [backend] is not [Sim]; scan it
+          (before {!dispose}) to recover the durable image *)
   finish : unit -> result;
       (** runs the simulation to [runtime] (from wherever the engine
           is now) and collects the result *)
 }
+
+val dispose : live -> unit
+(** Closes the live run's store backend and deletes its image file, if
+    any.  Callers of {!prepare} with a non-[Sim] backend must call
+    this when done; {!run} and the crash runners do it themselves.
+    Idempotent for [Sim] runs (a no-op). *)
 
 val prepare :
   ?wrap_sink:(El_workload.Generator.sink -> El_workload.Generator.sink) ->
@@ -125,3 +154,18 @@ val run_with_crash :
     finish for the run statistics.  Raises [Invalid_argument] for a FW
     config (the paper's FW baseline has no recovery model) or if
     [crash_at] exceeds the runtime. *)
+
+val run_with_crash_store :
+  config ->
+  crash_at:Time.t ->
+  result
+  * El_recovery.Recovery.result
+  * El_recovery.Recovery.audit
+  * El_recovery.Recovery.result option
+(** Like {!run_with_crash}, but when the config has a store backend it
+    also freezes the durable image at the crash instant
+    ({!El_core.El_manager.persist_crash_mark}) and, after the run,
+    replays it with {!El_recovery.Recovery.recover_store} — the fourth
+    element, [None] under [Sim].  The store replay and the simulated
+    recovery describe the same crash, so their recovered states must
+    agree (pinned by the backend-equivalence tests). *)

@@ -221,6 +221,36 @@ let recover ?obs image =
     torn_records = !torn_records;
   }
 
+(* ---- recovery from a store image ---- *)
+
+(* A discarded store entry decoded to nothing — the scan already
+   established its checksum failed, so any corrupt seal stands in for
+   it; recovery only counts it as torn. *)
+let discarded_placeholder =
+  Log_record.abort ~tid:(Ids.Tid.of_int 0) ~size:1 ~timestamp:Time.zero
+
+let image_of_scan ~num_objects ?(reference = [])
+    (s : El_store.Log_store.scan) =
+  let blocks =
+    List.map
+      (fun (b : El_store.Log_store.block) ->
+        List.map seal b.El_store.Log_store.sb_records
+        @ List.init b.El_store.Log_store.sb_discarded (fun _ ->
+              corrupt_seal discarded_placeholder))
+      s.El_store.Log_store.s_blocks
+  in
+  {
+    blocks;
+    stable =
+      El_disk.Stable_db.of_pairs ~num_objects s.El_store.Log_store.s_stable;
+    reference;
+    crash_time = Time.zero;
+  }
+
+let recover_store ?obs ?upto ~num_objects backend =
+  let s = El_store.Log_store.scan ?upto backend in
+  recover ?obs (image_of_scan ~num_objects s)
+
 type audit = {
   ok : bool;
   missing : (Ids.Oid.t * int) list;

@@ -89,6 +89,31 @@ val recover : ?obs:El_obs.Obs.t -> image -> result
     [Torn_discard] event when any tail was dropped — stamped at the
     image's crash time. *)
 
+val image_of_scan :
+  num_objects:int ->
+  ?reference:(Ids.Oid.t * int) list ->
+  El_store.Log_store.scan ->
+  image
+(** Lifts a durable-store scan into a crash image: each surviving
+    block's valid records are sealed, its discarded (bad-checksum)
+    entries become corrupt seals so the torn counters match a
+    simulated crash of the same state, and the stable version is
+    rebuilt from the persisted install facts.  [reference] defaults to
+    empty — a real restart has no ground truth; pass one to {!audit}
+    against in-simulation expectations.  [crash_time] is {!Time.zero}:
+    a scanned image carries no clock. *)
+
+val recover_store :
+  ?obs:El_obs.Obs.t ->
+  ?upto:int ->
+  num_objects:int ->
+  El_store.Backend.t ->
+  result
+(** Scans the backend and runs {!recover} on the resulting image — the
+    real-restart path.  [upto] bounds the scan at a crash mark
+    ({!El_core.El_manager.persist_crash_mark}), replaying the image as
+    it stood at that instant. *)
+
 type audit = {
   ok : bool;
   missing : (Ids.Oid.t * int) list;

@@ -1,0 +1,305 @@
+open El_model
+module Engine = El_sim.Engine
+module Experiment = El_harness.Experiment
+
+type config = {
+  image : string;
+  fresh : bool;
+  kind : Experiment.manager_kind;
+  num_objects : int;
+}
+
+let default_config ~image =
+  {
+    image;
+    fresh = false;
+    kind =
+      Experiment.Ephemeral
+        (El_core.Policy.default ~generation_sizes:[| 32; 32 |]);
+    num_objects = 100_000;
+  }
+
+(* The same quad every manager exposes, erased to closures so the
+   protocol loop is manager-agnostic (mirrors Experiment's sink). *)
+type sink = {
+  s_begin : tid:Ids.Tid.t -> unit;
+  s_write : tid:Ids.Tid.t -> oid:Ids.Oid.t -> version:int -> size:int -> unit;
+  s_commit : tid:Ids.Tid.t -> on_ack:(Time.t -> unit) -> unit;
+  s_abort : tid:Ids.Tid.t -> unit;
+  s_drain : unit -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  store : El_store.Log_store.t;
+  sink : sink;
+  killed : (int, unit) Hashtbl.t;
+  acked : (int, unit) Hashtbl.t;
+  recovered : El_recovery.Recovery.result;
+  num_objects : int;
+}
+
+(* Interactive transactions have no meaningful a-priori duration;
+   a short guess steers EL's generation choice toward the young
+   generation, which is where short transactions belong. *)
+let expected_duration = Time.of_ms 50
+
+let start cfg =
+  let backend = El_store.Backend.file ~path:cfg.image in
+  let store =
+    if cfg.fresh then El_store.Log_store.create backend
+    else El_store.Log_store.attach backend
+  in
+  (* Attach already truncated any torn tail, so this scan replays
+     exactly the durable prefix a crashed predecessor left behind. *)
+  let recovered =
+    El_recovery.Recovery.recover_store ~num_objects:cfg.num_objects backend
+  in
+  let engine = Engine.create ~seed:0 () in
+  let killed = Hashtbl.create 64 in
+  let on_kill tid = Hashtbl.replace killed (Ids.Tid.to_int tid) () in
+  let sink =
+    match cfg.kind with
+    | Experiment.Ephemeral policy ->
+      let flush =
+        El_disk.Flush_array.create engine ~drives:10
+          ~transfer_time:(Time.of_ms 1) ~num_objects:cfg.num_objects ~store ()
+      in
+      let stable = El_disk.Stable_db.create ~num_objects:cfg.num_objects in
+      let m =
+        El_core.El_manager.create engine ~policy ~flush ~stable ~store ()
+      in
+      El_core.El_manager.set_on_kill m on_kill;
+      {
+        s_begin =
+          (fun ~tid ->
+            El_core.El_manager.begin_tx m ~tid ~expected_duration);
+        s_write =
+          (fun ~tid ~oid ~version ~size ->
+            El_core.El_manager.write_data m ~tid ~oid ~version ~size);
+        s_commit =
+          (fun ~tid ~on_ack ->
+            El_core.El_manager.request_commit m ~tid ~on_ack);
+        s_abort = (fun ~tid -> El_core.El_manager.request_abort m ~tid);
+        s_drain = (fun () -> El_core.El_manager.drain m);
+      }
+    | Experiment.Firewall size_blocks ->
+      let m = El_core.Fw_manager.create engine ~size_blocks ~store () in
+      El_core.Fw_manager.set_on_kill m on_kill;
+      {
+        s_begin =
+          (fun ~tid ->
+            El_core.Fw_manager.begin_tx m ~tid ~expected_duration);
+        s_write =
+          (fun ~tid ~oid ~version ~size ->
+            El_core.Fw_manager.write_data m ~tid ~oid ~version ~size);
+        s_commit =
+          (fun ~tid ~on_ack ->
+            El_core.Fw_manager.request_commit m ~tid ~on_ack);
+        s_abort = (fun ~tid -> El_core.Fw_manager.request_abort m ~tid);
+        s_drain = (fun () -> El_core.Fw_manager.drain m);
+      }
+    | Experiment.Hybrid queue_sizes ->
+      let flush =
+        El_disk.Flush_array.create engine ~drives:10
+          ~transfer_time:(Time.of_ms 1) ~num_objects:cfg.num_objects ~store ()
+      in
+      let stable = El_disk.Stable_db.create ~num_objects:cfg.num_objects in
+      let m =
+        El_core.Hybrid_manager.create engine ~queue_sizes ~flush ~stable
+          ~store ()
+      in
+      El_core.Hybrid_manager.set_on_kill m on_kill;
+      {
+        s_begin =
+          (fun ~tid ->
+            El_core.Hybrid_manager.begin_tx m ~tid ~expected_duration);
+        s_write =
+          (fun ~tid ~oid ~version ~size ->
+            El_core.Hybrid_manager.write_data m ~tid ~oid ~version ~size);
+        s_commit =
+          (fun ~tid ~on_ack ->
+            El_core.Hybrid_manager.request_commit m ~tid ~on_ack);
+        s_abort = (fun ~tid -> El_core.Hybrid_manager.request_abort m ~tid);
+        s_drain = (fun () -> El_core.Hybrid_manager.drain m);
+      }
+  in
+  {
+    engine;
+    store;
+    sink;
+    killed;
+    acked = Hashtbl.create 64;
+    recovered;
+    num_objects = cfg.num_objects;
+  }
+
+let recovered t = t.recovered
+let tid_of_ack t tid = Hashtbl.mem t.acked (Ids.Tid.to_int tid)
+let close t = El_store.Backend.close (El_store.Log_store.backend t.store)
+
+let ok fmt = Printf.ksprintf (fun s -> "ok " ^ s) fmt
+let err fmt = Printf.ksprintf (fun s -> "err " ^ s) fmt
+
+let exec t line =
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  in
+  let settle () = Engine.run_all t.engine in
+  let with_int s k =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> k n
+    | Some _ | None -> err "bad integer %S" s
+  in
+  (* A misused command (double begin, unknown tid, log overload…)
+     raises out of the manager; the session survives it and the
+     client learns why. *)
+  let guarded f = try f () with
+    | Invalid_argument m | Failure m -> err "%s" m
+    | El_core.El_manager.Log_overloaded m -> err "log overloaded: %s" m
+  in
+  match words with
+  | [] -> (None, true)
+  | verb :: args -> (
+    match (String.uppercase_ascii verb, args) with
+    | "BEGIN", [ tid ] ->
+      let r =
+        guarded (fun () ->
+            with_int tid (fun n ->
+                t.sink.s_begin ~tid:(Ids.Tid.of_int n);
+                settle ();
+                ok "begun %d" n))
+      in
+      (Some r, true)
+    | "WRITE", ([ _; _; _ ] | [ _; _; _; _ ]) ->
+      let tid, oid, version, size =
+        match args with
+        | [ a; b; c ] -> (a, b, c, "100")
+        | [ a; b; c; d ] -> (a, b, c, d)
+        | _ -> assert false
+      in
+      let r =
+        guarded (fun () ->
+            with_int tid (fun tn ->
+                with_int oid (fun on ->
+                    with_int version (fun vn ->
+                        with_int size (fun sn ->
+                            if on >= t.num_objects then
+                              err "oid %d out of range" on
+                            else begin
+                              t.sink.s_write ~tid:(Ids.Tid.of_int tn)
+                                ~oid:(Ids.Oid.of_int on) ~version:vn ~size:sn;
+                              settle ();
+                              ok "written %d %d %d" tn on vn
+                            end)))))
+      in
+      (Some r, true)
+    | "COMMIT", [ tid ] ->
+      let r =
+        guarded (fun () ->
+            with_int tid (fun n ->
+                let acked_at = ref None in
+                t.sink.s_commit ~tid:(Ids.Tid.of_int n)
+                  ~on_ack:(fun at -> acked_at := Some at);
+                (* Force partial buffers out and run every consequence:
+                   by the time drain+settle return, the COMMIT record's
+                   block has been appended and fsynced — the ack below
+                   is an ack of durable state. *)
+                t.sink.s_drain ();
+                settle ();
+                match !acked_at with
+                | Some _ ->
+                  Hashtbl.replace t.acked n ();
+                  ok "committed %d" n
+                | None ->
+                  if Hashtbl.mem t.killed n then err "killed %d" n
+                  else err "commit of %d did not ack" n))
+      in
+      (Some r, true)
+    | "ABORT", [ tid ] ->
+      let r =
+        guarded (fun () ->
+            with_int tid (fun n ->
+                t.sink.s_abort ~tid:(Ids.Tid.of_int n);
+                settle ();
+                ok "aborted %d" n))
+      in
+      (Some r, true)
+    | "READ", [ oid ] ->
+      (* The durable version of the object as of startup recovery: the
+         stable database plus surviving log redo.  A commit that was
+         acked, flushed and recirculated out of the log no longer
+         appears in RECOVERED's tid list, but its version must. *)
+      let r =
+        with_int oid (fun on ->
+            if on >= t.num_objects then err "oid %d out of range" on
+            else
+              let v =
+                match
+                  El_disk.Stable_db.version
+                    t.recovered.El_recovery.Recovery.recovered
+                    (Ids.Oid.of_int on)
+                with
+                | Some v -> v
+                | None -> 0
+              in
+              ok "read %d %d" on v)
+      in
+      (Some r, true)
+    | "RECOVERED", [] ->
+      let tids =
+        List.map Ids.Tid.to_int t.recovered.El_recovery.Recovery.committed_tids
+        |> List.sort compare
+      in
+      let b = Buffer.create 64 in
+      Buffer.add_string b (Printf.sprintf "recovered %d" (List.length tids));
+      List.iter (fun n -> Buffer.add_string b (Printf.sprintf " %d" n)) tids;
+      (Some (Buffer.contents b), true)
+    | "STAT", [] ->
+      let backend = El_store.Log_store.backend t.store in
+      let c = El_store.Backend.counters backend in
+      ( Some
+          (Printf.sprintf
+             "stat backend=%s pwrites=%d barriers=%d bytes=%d recovered=%d"
+             (El_store.Backend.name backend)
+             c.El_store.Backend.pwrites c.El_store.Backend.barriers
+             c.El_store.Backend.bytes_written
+             (List.length t.recovered.El_recovery.Recovery.committed_tids)),
+        true )
+    | "QUIT", [] -> (Some "bye", false)
+    | verb, _ -> (Some (err "unknown or malformed command %S" verb), true))
+
+let serve_channel t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+      let response, continue = exec t line in
+      (match response with
+      | None -> ()
+      | Some r ->
+        output_string oc r;
+        output_char oc '\n';
+        flush oc);
+      if continue then loop ()
+  in
+  loop ()
+
+let serve_socket t ~socket_path =
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX socket_path);
+  Unix.listen sock 8;
+  let rec accept_loop () =
+    let fd, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (try serve_channel t ic oc with Sys_error _ -> ());
+    (* One descriptor under both channels: closing the out channel
+       flushes and closes the fd; the in channel must not be closed
+       again. *)
+    (try close_out oc with Sys_error _ -> ());
+    accept_loop ()
+  in
+  accept_loop ()

@@ -1,0 +1,150 @@
+type op =
+  | Pwrite of int
+  | Pread of int
+  | Barrier
+
+type counters = {
+  mutable pwrites : int;
+  mutable preads : int;
+  mutable barriers : int;
+  mutable bytes_written : int;
+}
+
+type mem_state = { mutable buf : Bytes.t; mutable len : int; mutable freed : bool }
+type file_state = { fd : Unix.file_descr; fpath : string; mutable closed : bool }
+
+type impl =
+  | Mem of mem_state
+  | File of file_state
+
+type t = { impl : impl; counters : counters; mutable tap : (op -> unit) option }
+
+let fresh_counters () =
+  { pwrites = 0; preads = 0; barriers = 0; bytes_written = 0 }
+
+let mem () =
+  {
+    impl = Mem { buf = Bytes.create 4096; len = 0; freed = false };
+    counters = fresh_counters ();
+    tap = None;
+  }
+
+let file ~path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  {
+    impl = File { fd; fpath = path; closed = false };
+    counters = fresh_counters ();
+    tap = None;
+  }
+
+let name t = match t.impl with Mem _ -> "mem" | File _ -> "file"
+let path t = match t.impl with Mem _ -> None | File f -> Some f.fpath
+
+let counters t = t.counters
+let set_tap t tap = t.tap <- tap
+
+let record t op =
+  (match op with
+  | Pwrite n ->
+    t.counters.pwrites <- t.counters.pwrites + 1;
+    t.counters.bytes_written <- t.counters.bytes_written + n
+  | Pread _ -> t.counters.preads <- t.counters.preads + 1
+  | Barrier -> t.counters.barriers <- t.counters.barriers + 1);
+  match t.tap with Some f -> f op | None -> ()
+
+let check_open t =
+  match t.impl with
+  | Mem m -> if m.freed then invalid_arg "El_store.Backend: use after close"
+  | File f -> if f.closed then invalid_arg "El_store.Backend: use after close"
+
+let mem_ensure m capacity =
+  if Bytes.length m.buf < capacity then begin
+    let cap = ref (max 4096 (Bytes.length m.buf)) in
+    while !cap < capacity do
+      cap := !cap * 2
+    done;
+    let buf = Bytes.create !cap in
+    Bytes.blit m.buf 0 buf 0 m.len;
+    m.buf <- buf
+  end
+
+(* OCaml's Unix module has no pread/pwrite; seek-then-loop is fine here
+   because a backend is only ever driven from one thread. *)
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n = Unix.write fd b pos len in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let rec read_all fd b pos len =
+  if len = 0 then pos
+  else
+    let n = Unix.read fd b pos len in
+    if n = 0 then pos else read_all fd b (pos + n) (len - n)
+
+let pwrite t ~off b =
+  check_open t;
+  if off < 0 then invalid_arg "El_store.Backend.pwrite: negative offset";
+  let len = Bytes.length b in
+  (match t.impl with
+  | Mem m ->
+    mem_ensure m (off + len);
+    (* Zero-fill any gap between the current end and [off] so Mem and
+       File (which reads back sparse holes as zeros) stay byte-equal. *)
+    if off > m.len then Bytes.fill m.buf m.len (off - m.len) '\000';
+    Bytes.blit b 0 m.buf off len;
+    if off + len > m.len then m.len <- off + len
+  | File f ->
+    ignore (Unix.lseek f.fd off Unix.SEEK_SET);
+    write_all f.fd b 0 len);
+  record t (Pwrite len)
+
+let pread t ~off ~len =
+  check_open t;
+  if off < 0 || len < 0 then invalid_arg "El_store.Backend.pread";
+  let out =
+    match t.impl with
+    | Mem m ->
+      if off >= m.len then Bytes.create 0
+      else begin
+        let n = min len (m.len - off) in
+        Bytes.sub m.buf off n
+      end
+    | File f ->
+      ignore (Unix.lseek f.fd off Unix.SEEK_SET);
+      let b = Bytes.create len in
+      let got = read_all f.fd b 0 len in
+      if got = len then b else Bytes.sub b 0 got
+  in
+  record t (Pread (Bytes.length out));
+  out
+
+let barrier t =
+  check_open t;
+  (match t.impl with Mem _ -> () | File f -> Unix.fsync f.fd);
+  record t Barrier
+
+let size t =
+  check_open t;
+  match t.impl with
+  | Mem m -> m.len
+  | File f -> (Unix.fstat f.fd).Unix.st_size
+
+let truncate t ~len =
+  check_open t;
+  if len < 0 then invalid_arg "El_store.Backend.truncate";
+  match t.impl with
+  | Mem m -> if len < m.len then m.len <- len
+  | File f -> if len < (Unix.fstat f.fd).Unix.st_size then Unix.ftruncate f.fd len
+
+let close t =
+  match t.impl with
+  | Mem m ->
+    m.freed <- true;
+    m.buf <- Bytes.create 0;
+    m.len <- 0
+  | File f ->
+    if not f.closed then begin
+      f.closed <- true;
+      Unix.close f.fd
+    end

@@ -1,0 +1,76 @@
+(** A block-storage backend: the minimal device interface both the
+    simulated-memory store and a real disk image satisfy (the FSCQ
+    [read_disk]/[write_disk] shape).
+
+    Three operations — positional write, positional read, and a write
+    barrier — are enough for an append-only checksummed log.  The
+    {!mem} backend keeps the bytes in a growable in-process buffer and
+    its barrier is a no-op: process memory {e is} the platter of the
+    simulation, so a completed [pwrite] is already "durable" in the
+    sense the simulated clock assigns to a completed block write.  The
+    {!file} backend does positional I/O on a real file descriptor and
+    its barrier is [fsync], so a completed barrier survives a SIGKILL
+    (and, on a real disk with write caching disabled, a power cut).
+
+    Both backends count their operations identically, so a run's
+    pwrite/barrier totals identify the I/O the store performed no
+    matter which backend absorbed it. *)
+
+type t
+
+(** Operation tap, for observability counters. *)
+type op =
+  | Pwrite of int  (** bytes written *)
+  | Pread of int  (** bytes read *)
+  | Barrier
+
+type counters = {
+  mutable pwrites : int;
+  mutable preads : int;
+  mutable barriers : int;
+  mutable bytes_written : int;
+}
+
+val mem : unit -> t
+(** A fresh in-memory backend (name ["mem"]). *)
+
+val file : path:string -> t
+(** Opens (or creates) [path] read-write without truncating (name
+    ["file"]).  Raises [Unix.Unix_error] on failure. *)
+
+val name : t -> string
+(** ["mem"] or ["file"] — the backend identity recorded in results,
+    bench sections and the serve [stat] line. *)
+
+val path : t -> string option
+(** The image path, for {!file} backends. *)
+
+val pwrite : t -> off:int -> bytes -> unit
+(** Writes the whole buffer at byte offset [off], extending the store
+    as needed.  Raises [Invalid_argument] on a negative offset or a
+    closed backend. *)
+
+val pread : t -> off:int -> len:int -> bytes
+(** Reads up to [len] bytes at [off]; the result is short when the
+    store ends first. *)
+
+val barrier : t -> unit
+(** Write barrier: on {!file}, [fsync]; on {!mem}, a counted no-op
+    (see the module preamble for why that is the honest mapping). *)
+
+val size : t -> int
+
+val truncate : t -> len:int -> unit
+(** Shrinks the store to [len] bytes — [len:0] resets a fresh image;
+    an attach truncates away a torn tail before appending over it. *)
+
+val close : t -> unit
+(** Closes a {!file} backend's descriptor (idempotent); frees a
+    {!mem} backend's buffer. *)
+
+val counters : t -> counters
+
+val set_tap : t -> (op -> unit) option -> unit
+(** Installs (or clears) an observer called after every counted
+    operation — the hook the experiment harness uses to mirror the
+    counters into {!El_obs} metrics. *)

@@ -1,0 +1,118 @@
+open El_model
+
+type entry =
+  | Record of Log_record.t
+  | Stable of { oid : Ids.Oid.t; version : int }
+
+let entry_bytes = 49
+let header_bytes = 52
+
+type header = {
+  h_epoch : int;
+  h_gen : int;
+  h_slot : int;
+  h_seq : int;
+  h_count : int;
+}
+
+let magic = "ELSG"
+
+let fnv1a_64 b ~pos ~len =
+  let h = ref 0xcbf29ce484222325L in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.get b i)));
+    h := Int64.mul !h 0x100000001b3L
+  done;
+  !h
+
+let tag_of_entry = function
+  | Stable _ -> 5
+  | Record r -> (
+    match r.Log_record.kind with
+    | Log_record.Begin -> 1
+    | Log_record.Commit -> 2
+    | Log_record.Abort -> 3
+    | Log_record.Data _ -> 4)
+
+let encode_entry ?(corrupt = false) e =
+  let b = Bytes.make entry_bytes '\000' in
+  Bytes.set b 0 (Char.chr (tag_of_entry e));
+  let tid, oid, version, size, ts =
+    match e with
+    | Stable { oid; version } -> (0, Ids.Oid.to_int oid, version, 0, 0)
+    | Record r ->
+      let oid, version =
+        match r.Log_record.kind with
+        | Log_record.Data { oid; version } -> (Ids.Oid.to_int oid, version)
+        | _ -> (0, 0)
+      in
+      ( Ids.Tid.to_int r.Log_record.tid,
+        oid,
+        version,
+        r.Log_record.size,
+        Time.to_us r.Log_record.timestamp )
+  in
+  Bytes.set_int64_le b 1 (Int64.of_int tid);
+  Bytes.set_int64_le b 9 (Int64.of_int oid);
+  Bytes.set_int64_le b 17 (Int64.of_int version);
+  Bytes.set_int64_le b 25 (Int64.of_int size);
+  Bytes.set_int64_le b 33 (Int64.of_int ts);
+  let cksum = fnv1a_64 b ~pos:0 ~len:41 in
+  let cksum = if corrupt then Int64.logxor cksum 1L else cksum in
+  Bytes.set_int64_le b 41 cksum;
+  b
+
+let decode_entry b ~pos =
+  if Bytes.length b - pos < entry_bytes then
+    invalid_arg "El_store.Codec.decode_entry: short buffer";
+  let stored = Bytes.get_int64_le b (pos + 41) in
+  if not (Int64.equal stored (fnv1a_64 b ~pos ~len:41)) then None
+  else begin
+    let tag = Char.code (Bytes.get b pos) in
+    let i off = Int64.to_int (Bytes.get_int64_le b (pos + off)) in
+    let tid = Ids.Tid.of_int (i 1) in
+    let version = i 17 in
+    let size = i 25 in
+    let timestamp = Time.of_us (i 33) in
+    match tag with
+    | 1 -> Some (Record (Log_record.begin_ ~tid ~size ~timestamp))
+    | 2 -> Some (Record (Log_record.commit ~tid ~size ~timestamp))
+    | 3 -> Some (Record (Log_record.abort ~tid ~size ~timestamp))
+    | 4 ->
+      let oid = Ids.Oid.of_int (i 9) in
+      Some (Record (Log_record.data ~tid ~oid ~version ~size ~timestamp))
+    | 5 -> Some (Stable { oid = Ids.Oid.of_int (i 9); version })
+    | _ -> None
+  end
+
+let encode_header h =
+  let b = Bytes.make header_bytes '\000' in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_int64_le b 4 (Int64.of_int h.h_epoch);
+  Bytes.set_int64_le b 12 (Int64.of_int h.h_gen);
+  Bytes.set_int64_le b 20 (Int64.of_int h.h_slot);
+  Bytes.set_int64_le b 28 (Int64.of_int h.h_seq);
+  Bytes.set_int64_le b 36 (Int64.of_int h.h_count);
+  Bytes.set_int64_le b 44 (fnv1a_64 b ~pos:0 ~len:44);
+  b
+
+let decode_header b ~pos =
+  if Bytes.length b - pos < header_bytes then
+    invalid_arg "El_store.Codec.decode_header: short buffer";
+  if not (String.equal (Bytes.sub_string b pos 4) magic) then None
+  else if
+    not
+      (Int64.equal
+         (Bytes.get_int64_le b (pos + 44))
+         (fnv1a_64 b ~pos ~len:44))
+  then None
+  else
+    let i off = Int64.to_int (Bytes.get_int64_le b (pos + off)) in
+    Some
+      {
+        h_epoch = i 4;
+        h_gen = i 12;
+        h_slot = i 20;
+        h_seq = i 28;
+        h_count = i 36;
+      }

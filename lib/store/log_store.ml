@@ -1,0 +1,206 @@
+open El_model
+
+type t = {
+  backend : Backend.t;
+  mutable epoch : int;
+  mutable seq : int;
+  mutable write_off : int;
+}
+
+let backend t = t.backend
+let epoch t = t.epoch
+let position t = t.seq
+
+let torn_keep ~count f =
+  if count = 0 then 0 else min (count - 1) (int_of_float (f *. float_of_int count))
+
+let segment_bytes count = Codec.header_bytes + (count * Codec.entry_bytes)
+
+let append_segment t ~gen ~slot entries ~corrupt_from =
+  let count = List.length entries in
+  let b = Bytes.create (segment_bytes count) in
+  let header =
+    {
+      Codec.h_epoch = t.epoch;
+      h_gen = gen;
+      h_slot = slot;
+      h_seq = t.seq;
+      h_count = count;
+    }
+  in
+  Bytes.blit (Codec.encode_header header) 0 b 0 Codec.header_bytes;
+  List.iteri
+    (fun i e ->
+      let corrupt = i >= corrupt_from in
+      Bytes.blit (Codec.encode_entry ~corrupt e) 0 b
+        (Codec.header_bytes + (i * Codec.entry_bytes))
+        Codec.entry_bytes)
+    entries;
+  Backend.pwrite t.backend ~off:t.write_off b;
+  Backend.barrier t.backend;
+  t.seq <- t.seq + 1;
+  t.write_off <- t.write_off + Bytes.length b
+
+let append_block t ~gen ~slot ?torn_suffix records =
+  match records with
+  | [] -> ()
+  | _ ->
+    let entries = List.map (fun r -> Codec.Record r) records in
+    let count = List.length entries in
+    let corrupt_from =
+      match torn_suffix with None -> count | Some n -> max 0 (count - n)
+    in
+    append_segment t ~gen ~slot entries ~corrupt_from
+
+let append_stable t ~oid ~version =
+  append_segment t ~gen:(-1) ~slot:0
+    [ Codec.Stable { oid; version } ]
+    ~corrupt_from:1
+
+type block = {
+  sb_epoch : int;
+  sb_gen : int;
+  sb_slot : int;
+  sb_seq : int;
+  sb_records : Log_record.t list;
+  sb_discarded : int;
+}
+
+type scan = {
+  s_blocks : block list;
+  s_stable : (Ids.Oid.t * int) list;
+  s_segments : int;
+  s_stale_blocks : int;
+  s_torn_tail : bool;
+  s_end : int;
+  s_max_epoch : int;
+  s_max_seq : int;
+}
+
+let scan ?upto backend =
+  let len = Backend.size backend in
+  let img = Backend.pread backend ~off:0 ~len in
+  let len = Bytes.length img in
+  let included h = match upto with None -> true | Some n -> h.Codec.h_seq < n in
+  (* Decode up to [avail] entries, cutting at the first bad checksum —
+     the valid-prefix rule of the torn-write model. *)
+  let decode_entries pos avail =
+    let rec go i acc =
+      if i >= avail then (List.rev acc, avail - i)
+      else
+        match Codec.decode_entry img ~pos:(pos + (i * Codec.entry_bytes)) with
+        | None -> (List.rev acc, avail - i)
+        | Some e -> go (i + 1) (e :: acc)
+    in
+    go 0 []
+  in
+  let segments = ref 0 in
+  let log_segments = ref [] in
+  let stable = Hashtbl.create 64 in
+  let torn_tail = ref false in
+  let s_end = ref 0 in
+  let max_epoch = ref (-1) in
+  let max_seq = ref (-1) in
+  let off = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    if len - !off < Codec.header_bytes then begin
+      if len - !off > 0 then torn_tail := true;
+      stop := true
+    end
+    else
+      match Codec.decode_header img ~pos:!off with
+      | None ->
+        torn_tail := true;
+        stop := true
+      | Some h ->
+        let body = !off + Codec.header_bytes in
+        let full = len - body >= h.Codec.h_count * Codec.entry_bytes in
+        let avail =
+          if full then h.Codec.h_count else (len - body) / Codec.entry_bytes
+        in
+        if not full then torn_tail := true;
+        if included h then begin
+          incr segments;
+          if h.Codec.h_epoch > !max_epoch then max_epoch := h.Codec.h_epoch;
+          if h.Codec.h_seq > !max_seq then max_seq := h.Codec.h_seq;
+          let entries, discarded = decode_entries body avail in
+          let discarded = discarded + (h.Codec.h_count - avail) in
+          if h.Codec.h_gen < 0 then
+            List.iter
+              (function
+                | Codec.Stable { oid; version } ->
+                  let prev =
+                    match Hashtbl.find_opt stable oid with
+                    | Some v -> v
+                    | None -> -1
+                  in
+                  if version > prev then Hashtbl.replace stable oid version
+                | Codec.Record _ -> ())
+              entries
+          else begin
+            let records =
+              List.filter_map
+                (function Codec.Record r -> Some r | Codec.Stable _ -> None)
+                entries
+            in
+            log_segments :=
+              {
+                sb_epoch = h.Codec.h_epoch;
+                sb_gen = h.Codec.h_gen;
+                sb_slot = h.Codec.h_slot;
+                sb_seq = h.Codec.h_seq;
+                sb_records = records;
+                sb_discarded = discarded;
+              }
+              :: !log_segments
+          end
+        end;
+        if full then begin
+          off := body + (h.Codec.h_count * Codec.entry_bytes);
+          s_end := !off
+        end
+        else stop := true
+  done;
+  (* In-place slot semantics: only the newest segment per
+     (epoch, gen, slot) survives; everything older is stale garbage. *)
+  let newest = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      let key = (b.sb_epoch, b.sb_gen, b.sb_slot) in
+      match Hashtbl.find_opt newest key with
+      | Some prev when prev.sb_seq >= b.sb_seq -> ()
+      | _ -> Hashtbl.replace newest key b)
+    !log_segments;
+  let blocks =
+    Hashtbl.fold (fun _ b acc -> b :: acc) newest []
+    |> List.sort (fun a b -> compare a.sb_seq b.sb_seq)
+  in
+  let stable_pairs =
+    Hashtbl.fold (fun oid v acc -> (oid, v) :: acc) stable []
+    |> List.sort (fun (a, _) (b, _) -> Ids.Oid.compare a b)
+  in
+  {
+    s_blocks = blocks;
+    s_stable = stable_pairs;
+    s_segments = !segments;
+    s_stale_blocks = List.length !log_segments - List.length blocks;
+    s_torn_tail = !torn_tail;
+    s_end = !s_end;
+    s_max_epoch = !max_epoch;
+    s_max_seq = !max_seq;
+  }
+
+let create backend =
+  Backend.truncate backend ~len:0;
+  { backend; epoch = 0; seq = 0; write_off = 0 }
+
+let attach backend =
+  let s = scan backend in
+  if s.s_torn_tail then Backend.truncate backend ~len:s.s_end;
+  {
+    backend;
+    epoch = s.s_max_epoch + 1;
+    seq = s.s_max_seq + 1;
+    write_off = s.s_end;
+  }

@@ -1,0 +1,90 @@
+(** The durable log: an append-only sequence of checksummed segments
+    on a {!Backend}, reconstructing the simulator's in-place slot
+    semantics by sequence-number dedup at scan time.
+
+    {2 Mapping to the simulation}
+
+    Each completed block write in the simulator becomes one appended
+    segment keyed by [(epoch, gen, slot)]; a later write to the same
+    slot appends a new segment with a higher [seq] rather than
+    overwriting in place.  A {!scan} keeps only the newest segment per
+    key, which reproduces exactly the simulator's [durable_blocks]
+    view: overwritten content disappears, queued-but-unstarted writes
+    were never appended, and a torn in-service write (persisted with
+    [torn_suffix] corrupt entries) supersedes the slot's previous
+    content with its valid prefix.
+
+    {2 Durability contract}
+
+    {!append_block} and {!append_stable} issue one [pwrite] followed by
+    one {!Backend.barrier} and return only after both; callers may
+    therefore ack durability immediately after an append returns.  On
+    the [file] backend that is pwrite+fsync, so the ack survives
+    SIGKILL.
+
+    {2 Epochs}
+
+    Every {!attach} starts a new epoch above any found in the image, so
+    a restarted process writing to [(gen 0, slot 0)] can never shadow a
+    prior incarnation's durable blocks — recovery unions committed
+    state across epochs. *)
+
+open El_model
+
+type t
+
+val create : Backend.t -> t
+(** Truncates the backend and starts at epoch 0, seq 0. *)
+
+val attach : Backend.t -> t
+(** Adopts an existing image: scans it, truncates any torn tail, and
+    resumes appending at the next epoch and sequence number. *)
+
+val backend : t -> Backend.t
+val epoch : t -> int
+
+val position : t -> int
+(** The next sequence number to be assigned.  A scan bounded by
+    [~upto:(position t)] sees exactly the segments appended so far —
+    the crash-mark used for in-simulation store recovery. *)
+
+val torn_keep : count:int -> float -> int
+(** [torn_keep ~count f] is how many of [count] records survive a torn
+    write with torn factor [f] — the single definition of the PR-5
+    torn model shared by the simulator and the store. *)
+
+val append_block :
+  t -> gen:int -> slot:int -> ?torn_suffix:int -> Log_record.t list -> unit
+(** Appends one log segment and barriers.  Empty record lists append
+    nothing.  The last [torn_suffix] entries are written with corrupt
+    checksums, persisting a torn in-service write's destroyed tail. *)
+
+val append_stable : t -> oid:Ids.Oid.t -> version:int -> unit
+(** Appends a stable-DB install fact (a [gen = -1] segment) and
+    barriers. *)
+
+(** The newest segment for one [(epoch, gen, slot)] key. *)
+type block = {
+  sb_epoch : int;
+  sb_gen : int;
+  sb_slot : int;
+  sb_seq : int;
+  sb_records : Log_record.t list;  (** valid prefix, in append order *)
+  sb_discarded : int;  (** entries cut at the first bad checksum *)
+}
+
+type scan = {
+  s_blocks : block list;  (** newest per key, ascending [seq] *)
+  s_stable : (Ids.Oid.t * int) list;  (** max installed version per oid *)
+  s_segments : int;  (** segments examined (log + stable) *)
+  s_stale_blocks : int;  (** log segments superseded by a newer seq *)
+  s_torn_tail : bool;  (** image ended mid-segment or mid-entry *)
+  s_end : int;  (** byte offset after the last complete segment *)
+  s_max_epoch : int;  (** -1 when the image is empty *)
+  s_max_seq : int;  (** -1 when the image is empty *)
+}
+
+val scan : ?upto:int -> Backend.t -> scan
+(** Reads the whole image.  With [~upto:n], segments with [seq >= n]
+    are parsed past but excluded — replaying the image as it stood at
+    {!position} [= n]. *)

@@ -1,0 +1,19 @@
+(* Child process for the serve crash tests: speaks the el-sim serve
+   line protocol over stdin/stdout against the image given in argv.
+   A separate executable because the test runner spawns domains
+   (lib/par), after which Unix.fork is unavailable — the tests
+   create_process this instead. *)
+
+let () =
+  let image = Sys.argv.(1) in
+  let fresh = Array.length Sys.argv > 2 && Sys.argv.(2) = "--fresh" in
+  let t =
+    El_serve.Serve.start
+      {
+        (El_serve.Serve.default_config ~image) with
+        El_serve.Serve.fresh;
+        num_objects = 1_000;
+      }
+  in
+  El_serve.Serve.serve_channel t stdin stdout;
+  El_serve.Serve.close t

@@ -28,4 +28,6 @@ let () =
       ("hotpath", Test_hotpath.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
+      ("store", Test_store.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,409 @@
+(* The durable block store: backend units, the checksummed segment
+   codec, log-store scan semantics, and the headline equivalence the
+   subsystem exists for — the same seeded run recovers byte-identical
+   committed state whether its blocks went through the in-memory
+   backend, a real disk image, or (modulo store counters) no store at
+   all. *)
+
+open El_model
+module Backend = El_store.Backend
+module Codec = El_store.Codec
+module Log_store = El_store.Log_store
+module Experiment = El_harness.Experiment
+module Recovery = El_recovery.Recovery
+module Sweep = El_check.Sweep
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "el_store_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun x -> try Sys.remove (Filename.concat dir x) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let with_file_backend f =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "disk.img" in
+      let b = Backend.file ~path in
+      Fun.protect ~finally:(fun () -> Backend.close b) (fun () -> f b path))
+
+(* ---- backends ---- *)
+
+let test_mem_roundtrip () =
+  let b = Backend.mem () in
+  Backend.pwrite b ~off:0 (Bytes.of_string "hello");
+  Backend.pwrite b ~off:10_000 (Bytes.of_string "world");
+  Alcotest.(check string)
+    "read back" "hello"
+    (Bytes.to_string (Backend.pread b ~off:0 ~len:5));
+  Alcotest.(check string)
+    "read past growth" "world"
+    (Bytes.to_string (Backend.pread b ~off:10_000 ~len:5));
+  (* the gap is zero-filled, not garbage *)
+  Alcotest.(check string)
+    "gap zeroed"
+    (String.make 8 '\000')
+    (Bytes.to_string (Backend.pread b ~off:100 ~len:8));
+  Alcotest.(check int) "size" 10_005 (Backend.size b);
+  Backend.barrier b;
+  let c = Backend.counters b in
+  Alcotest.(check int) "pwrites" 2 c.Backend.pwrites;
+  Alcotest.(check int) "barriers" 1 c.Backend.barriers;
+  Alcotest.(check int) "bytes" 10 c.Backend.bytes_written
+
+let test_file_persists () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "disk.img" in
+      let b = Backend.file ~path in
+      Backend.pwrite b ~off:0 (Bytes.of_string "durable");
+      Backend.barrier b;
+      Backend.close b;
+      let b2 = Backend.file ~path in
+      Alcotest.(check string)
+        "reopened read" "durable"
+        (Bytes.to_string (Backend.pread b2 ~off:0 ~len:7));
+      Backend.close b2)
+
+let test_mem_file_byte_equal () =
+  with_file_backend (fun fb _path ->
+      let mb = Backend.mem () in
+      let writes = [ (0, "aaaa"); (100, "bb"); (37, "cccc"); (90, "dd") ] in
+      List.iter
+        (fun (off, s) ->
+          Backend.pwrite mb ~off (Bytes.of_string s);
+          Backend.pwrite fb ~off (Bytes.of_string s))
+        writes;
+      Alcotest.(check int) "sizes agree" (Backend.size mb) (Backend.size fb);
+      let len = Backend.size mb in
+      Alcotest.(check string)
+        "images byte-identical"
+        (Bytes.to_string (Backend.pread mb ~off:0 ~len))
+        (Bytes.to_string (Backend.pread fb ~off:0 ~len)))
+
+let test_use_after_close () =
+  let b = Backend.mem () in
+  Backend.close b;
+  Alcotest.check_raises "pwrite after close"
+    (Invalid_argument "El_store.Backend: use after close") (fun () ->
+      Backend.pwrite b ~off:0 (Bytes.of_string "x"))
+
+(* ---- codec ---- *)
+
+let sample_records =
+  [
+    Log_record.begin_ ~tid:(Ids.Tid.of_int 7) ~size:8
+      ~timestamp:(Time.of_us 123);
+    Log_record.data ~tid:(Ids.Tid.of_int 7) ~oid:(Ids.Oid.of_int 42)
+      ~version:3 ~size:100 ~timestamp:(Time.of_us 456);
+    Log_record.commit ~tid:(Ids.Tid.of_int 7) ~size:8
+      ~timestamp:(Time.of_us 789);
+    Log_record.abort ~tid:(Ids.Tid.of_int 9) ~size:8
+      ~timestamp:(Time.of_us 1000);
+  ]
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun r ->
+      let b = Codec.encode_entry (Codec.Record r) in
+      Alcotest.(check int) "entry size" Codec.entry_bytes (Bytes.length b);
+      match Codec.decode_entry b ~pos:0 with
+      | Some (Codec.Record r') ->
+        Alcotest.(check bool) "roundtrip" true (r = r')
+      | Some (Codec.Stable _) | None -> Alcotest.fail "decode failed")
+    sample_records;
+  let st = Codec.Stable { oid = Ids.Oid.of_int 99; version = 12 } in
+  match Codec.decode_entry (Codec.encode_entry st) ~pos:0 with
+  | Some (Codec.Stable { oid; version }) ->
+    Alcotest.(check int) "stable oid" 99 (Ids.Oid.to_int oid);
+    Alcotest.(check int) "stable version" 12 version
+  | Some (Codec.Record _) | None -> Alcotest.fail "stable decode failed"
+
+let test_codec_corruption () =
+  let r = List.hd sample_records in
+  let b = Codec.encode_entry ~corrupt:true (Codec.Record r) in
+  Alcotest.(check bool)
+    "corrupt entry rejected" true
+    (Codec.decode_entry b ~pos:0 = None);
+  let good = Codec.encode_entry (Codec.Record r) in
+  (* flipping any payload byte must invalidate the checksum *)
+  Bytes.set good 9 (Char.chr (Char.code (Bytes.get good 9) lxor 0x40));
+  Alcotest.(check bool)
+    "bit flip rejected" true
+    (Codec.decode_entry good ~pos:0 = None)
+
+let test_header_roundtrip () =
+  let h =
+    { Codec.h_epoch = 2; h_gen = 1; h_slot = 5; h_seq = 17; h_count = 3 }
+  in
+  let b = Codec.encode_header h in
+  Alcotest.(check int) "header size" Codec.header_bytes (Bytes.length b);
+  (match Codec.decode_header b ~pos:0 with
+  | Some h' -> Alcotest.(check bool) "roundtrip" true (h = h')
+  | None -> Alcotest.fail "header decode failed");
+  Bytes.set b 0 'X';
+  Alcotest.(check bool)
+    "bad magic rejected" true
+    (Codec.decode_header b ~pos:0 = None)
+
+(* ---- log store ---- *)
+
+let records_of n base =
+  List.init n (fun i ->
+      Log_record.data
+        ~tid:(Ids.Tid.of_int (base + i))
+        ~oid:(Ids.Oid.of_int (base + i))
+        ~version:(i + 1) ~size:10
+        ~timestamp:(Time.of_us (base + i)))
+
+let test_store_scan_dedup () =
+  let b = Backend.mem () in
+  let t = Log_store.create b in
+  Log_store.append_block t ~gen:0 ~slot:0 (records_of 3 100);
+  Log_store.append_block t ~gen:0 ~slot:1 (records_of 2 200);
+  (* slot 0 is reused: only the newer segment may survive the scan *)
+  Log_store.append_block t ~gen:0 ~slot:0 (records_of 4 300);
+  Log_store.append_stable t ~oid:(Ids.Oid.of_int 5) ~version:2;
+  Log_store.append_stable t ~oid:(Ids.Oid.of_int 5) ~version:7;
+  let s = Log_store.scan b in
+  Alcotest.(check int) "segments written" 5 s.Log_store.s_segments;
+  Alcotest.(check int) "stale blocks" 1 s.Log_store.s_stale_blocks;
+  Alcotest.(check bool) "no torn tail" false s.Log_store.s_torn_tail;
+  let live =
+    List.filter (fun bl -> bl.Log_store.sb_gen >= 0) s.Log_store.s_blocks
+  in
+  Alcotest.(check int) "live blocks" 2 (List.length live);
+  let slot0 =
+    List.find (fun bl -> bl.Log_store.sb_slot = 0) live
+  in
+  Alcotest.(check int)
+    "newest wins slot 0" 4
+    (List.length slot0.Log_store.sb_records);
+  Alcotest.(check bool)
+    "stable folds max version" true
+    (s.Log_store.s_stable = [ (Ids.Oid.of_int 5), 7 ])
+
+let test_store_torn_suffix () =
+  let b = Backend.mem () in
+  let t = Log_store.create b in
+  Log_store.append_block t ~gen:0 ~slot:0 ~torn_suffix:2 (records_of 5 0);
+  let s = Log_store.scan b in
+  let bl = List.hd s.Log_store.s_blocks in
+  Alcotest.(check int) "valid prefix" 3 (List.length bl.Log_store.sb_records);
+  Alcotest.(check int) "discarded" 2 bl.Log_store.sb_discarded
+
+let test_store_upto () =
+  let b = Backend.mem () in
+  let t = Log_store.create b in
+  Log_store.append_block t ~gen:0 ~slot:0 (records_of 2 0);
+  let mark = Log_store.position t in
+  Log_store.append_block t ~gen:0 ~slot:1 (records_of 3 50);
+  Log_store.append_stable t ~oid:(Ids.Oid.of_int 1) ~version:9;
+  let s = Log_store.scan ~upto:mark b in
+  Alcotest.(check int) "blocks before mark" 1 (List.length s.Log_store.s_blocks);
+  Alcotest.(check bool) "stable after mark excluded" true
+    (s.Log_store.s_stable = []);
+  let full = Log_store.scan b in
+  Alcotest.(check int) "full scan sees all" 2 (List.length full.Log_store.s_blocks)
+
+let test_attach_epochs () =
+  with_file_backend (fun b _path ->
+      let t0 = Log_store.create b in
+      Log_store.append_block t0 ~gen:0 ~slot:0 (records_of 2 0);
+      let t1 = Log_store.attach b in
+      (* the new epoch's reuse of slot 0 must NOT shadow epoch 0's block *)
+      Log_store.append_block t1 ~gen:0 ~slot:0 (records_of 3 10);
+      let s = Log_store.scan b in
+      Alcotest.(check int) "both epochs' blocks survive" 2
+        (List.length s.Log_store.s_blocks);
+      Alcotest.(check int) "epoch advanced" 1 s.Log_store.s_max_epoch)
+
+(* The torn-tail negative of the issue: truncate a real image
+   mid-record and recovery must discard exactly the torn suffix. *)
+let test_truncated_image () =
+  with_file_backend (fun b _path ->
+      let t = Log_store.create b in
+      Log_store.append_block t ~gen:0 ~slot:0 (records_of 5 0);
+      let whole = Backend.size b in
+      (* keep the header, 3 complete entries and half of the 4th *)
+      let keep =
+        Codec.header_bytes + (3 * Codec.entry_bytes) + (Codec.entry_bytes / 2)
+      in
+      Alcotest.(check bool) "truncation is proper" true (keep < whole);
+      Backend.truncate b ~len:keep;
+      let s = Log_store.scan b in
+      Alcotest.(check bool) "torn tail detected" true s.Log_store.s_torn_tail;
+      let bl = List.hd s.Log_store.s_blocks in
+      Alcotest.(check int)
+        "exactly the complete prefix survives" 3
+        (List.length bl.Log_store.sb_records);
+      Alcotest.(check int) "exactly the suffix discarded" 2
+        bl.Log_store.sb_discarded;
+      let r = Recovery.recover_store ~num_objects:100 b in
+      Alcotest.(check int) "torn records counted" 2
+        r.Recovery.torn_records;
+      (* attach truncates the torn tail away; a rescan is clean *)
+      let t2 = Log_store.attach b in
+      ignore t2;
+      let s2 = Log_store.scan b in
+      Alcotest.(check bool) "attach cleaned the tail" false
+        s2.Log_store.s_torn_tail)
+
+(* ---- backend equivalence ---- *)
+
+let recovered_state (cfg : Experiment.config) =
+  let live = Experiment.prepare cfg in
+  let result = live.Experiment.finish () in
+  let store = Option.get live.Experiment.store in
+  let r =
+    Recovery.recover_store ~num_objects:cfg.Experiment.num_objects
+      (Log_store.backend store)
+  in
+  let state =
+    ( List.sort compare (El_disk.Stable_db.snapshot r.Recovery.recovered),
+      List.sort compare r.Recovery.committed_tids,
+      r.Recovery.records_scanned,
+      r.Recovery.torn_blocks,
+      r.Recovery.torn_records )
+  in
+  Experiment.dispose live;
+  (result, state)
+
+let neutral_result (r : Experiment.result) =
+  {
+    r with
+    Experiment.backend_name = "";
+    store_pwrites = 0;
+    store_barriers = 0;
+    store_bytes_written = 0;
+  }
+
+let test_mem_file_equivalence () =
+  with_temp_dir (fun dir ->
+      List.iter
+        (fun (name, kind) ->
+          List.iter
+            (fun seed ->
+              let cfg backend =
+                {
+                  (Sweep.standard_config ~kind ~runtime:(Time.of_sec 6)
+                     ~rate:30.0 ~seed ())
+                  with
+                  Experiment.backend;
+                }
+              in
+              let rm, sm = recovered_state (cfg Experiment.Mem_store) in
+              let rf, sf =
+                recovered_state (cfg (Experiment.File_store dir))
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s seed %d: recovered state identical" name
+                   seed)
+                (Marshal.to_string sm [])
+                (Marshal.to_string sf []);
+              Alcotest.(check string)
+                (Printf.sprintf
+                   "%s seed %d: run results identical modulo backend name"
+                   name seed)
+                (Marshal.to_string
+                   { (neutral_result rm) with Experiment.backend_name = "" }
+                   [])
+                (Marshal.to_string
+                   { (neutral_result rf) with Experiment.backend_name = "" }
+                   []))
+            [ 1; 2; 3 ])
+        (Sweep.standard_kinds ()))
+
+let test_sim_mem_result_identity () =
+  List.iter
+    (fun (name, kind) ->
+      let cfg backend =
+        {
+          (Sweep.standard_config ~kind ~runtime:(Time.of_sec 6) ~rate:30.0
+             ~seed:5 ())
+          with
+          Experiment.backend;
+        }
+      in
+      let r_sim = Experiment.run (cfg Experiment.Sim) in
+      let r_mem = Experiment.run (cfg Experiment.Mem_store) in
+      Alcotest.(check string)
+        (name ^ ": store side effects never perturb the simulation")
+        (Marshal.to_string (neutral_result r_sim) [])
+        (Marshal.to_string (neutral_result r_mem) []))
+    (Sweep.standard_kinds ())
+
+(* ---- crash-mark fidelity ---- *)
+
+(* A mid-run crash with torn log writes: the simulated crash image and
+   the frozen store image must recover the same committed state and
+   the same torn damage.  (redo_applied/skipped are scan-order
+   dependent and deliberately not compared.) *)
+let test_crash_mark_fidelity () =
+  let module FP = El_fault.Fault_plan in
+  List.iter
+    (fun seed ->
+      let kind =
+        Experiment.Ephemeral
+          (El_core.Policy.default ~generation_sizes:[| 8; 8 |])
+      in
+      let cfg =
+        {
+          (Sweep.standard_config ~kind ~runtime:(Time.of_sec 8) ~rate:40.0
+             ~seed ())
+          with
+          Experiment.backend = Experiment.Mem_store;
+          fault =
+            FP.make ~seed
+              ~log_spec:{ FP.clean_spec with FP.torn_rate = 0.3 }
+              ~log_gens:2 ~flush_drives:2 ();
+        }
+      in
+      let _result, sim, audit, store =
+        Experiment.run_with_crash_store cfg ~crash_at:(Time.of_sec 6)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: simulated recovery audits clean" seed)
+        true audit.Recovery.ok;
+      match store with
+      | None -> Alcotest.fail "store recovery missing"
+      | Some st ->
+        let view (r : Recovery.result) =
+          ( List.sort compare (El_disk.Stable_db.snapshot r.Recovery.recovered),
+            List.sort compare r.Recovery.committed_tids,
+            r.Recovery.torn_blocks,
+            r.Recovery.torn_records,
+            r.Recovery.records_scanned )
+        in
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d: store replay matches simulated crash" seed)
+          (Marshal.to_string (view sim) [])
+          (Marshal.to_string (view st) []))
+    [ 1; 2; 3 ]
+
+let suite =
+  [
+    Alcotest.test_case "mem backend roundtrip" `Quick test_mem_roundtrip;
+    Alcotest.test_case "file backend persists" `Quick test_file_persists;
+    Alcotest.test_case "mem/file images byte-equal" `Quick
+      test_mem_file_byte_equal;
+    Alcotest.test_case "use after close raises" `Quick test_use_after_close;
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec rejects corruption" `Quick test_codec_corruption;
+    Alcotest.test_case "header roundtrip" `Quick test_header_roundtrip;
+    Alcotest.test_case "scan dedups reused slots" `Quick test_store_scan_dedup;
+    Alcotest.test_case "torn suffix discarded" `Quick test_store_torn_suffix;
+    Alcotest.test_case "scan honours crash mark" `Quick test_store_upto;
+    Alcotest.test_case "attach bumps the epoch" `Quick test_attach_epochs;
+    Alcotest.test_case "truncated image loses only the tail" `Quick
+      test_truncated_image;
+    Alcotest.test_case "mem = file recovered state (3 seeds x 3 kinds)" `Slow
+      test_mem_file_equivalence;
+    Alcotest.test_case "sim = mem run results" `Quick
+      test_sim_mem_result_identity;
+    Alcotest.test_case "crash mark freezes the sim image" `Quick
+      test_crash_mark_fidelity;
+  ]
