@@ -582,6 +582,71 @@ let store_bench speed =
               ])
             runs))
 
+(* One EL run per workload preset (beyond the paper: its evaluation
+   only drives the polite two-type mix).  The geometry is the standard
+   check EL chain scaled by each preset's space factor, so the rows
+   show what adversity costs — contention aborts and retries under
+   skew, kills and evictions under bursts and long tails — rather
+   than whether a fixed log survives it. *)
+let workloads_bench speed =
+  heading "Adversarial workload presets (EL, standard check geometry)";
+  let runtime =
+    match speed with `Full -> Time.of_sec 240 | `Quick -> Time.of_sec 60
+  in
+  let kind = List.assoc "el" (El_check.Sweep.standard_kinds ()) in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("scenario", Table.Left);
+          ("blocks", Table.Right);
+          ("committed", Table.Right);
+          ("killed", Table.Right);
+          ("c-aborts", Table.Right);
+          ("retries", Table.Right);
+          ("evictions", Table.Right);
+          ("log w/s", Table.Right);
+          ("lat ms", Table.Right);
+        ]
+  in
+  let rows =
+    List.map
+      (fun (p : El_workload.Workload_preset.t) ->
+        let cfg =
+          El_check.Sweep.standard_config ~kind ~runtime ~preset:p ()
+        in
+        let r = Experiment.run cfg in
+        Table.add_row t
+          [
+            p.El_workload.Workload_preset.name;
+            string_of_int r.Experiment.total_blocks;
+            string_of_int r.Experiment.committed;
+            string_of_int r.Experiment.killed;
+            string_of_int r.Experiment.contention_aborts;
+            string_of_int r.Experiment.contention_retries;
+            string_of_int r.Experiment.evictions;
+            fmt_f r.Experiment.log_write_rate;
+            Printf.sprintf "%.1f" (r.Experiment.commit_latency_mean *. 1e3);
+          ];
+        J.Obj
+          [
+            ("name", J.String p.El_workload.Workload_preset.name);
+            ("blocks", J.Int r.Experiment.total_blocks);
+            ("committed", J.Int r.Experiment.committed);
+            ("killed", J.Int r.Experiment.killed);
+            ("contention_aborts", J.Int r.Experiment.contention_aborts);
+            ("contention_retries", J.Int r.Experiment.contention_retries);
+            ("evictions", J.Int r.Experiment.evictions);
+            ("log_write_rate", J.Float r.Experiment.log_write_rate);
+            ( "commit_latency_ms",
+              J.Float (r.Experiment.commit_latency_mean *. 1e3) );
+            ("feasible", J.Bool r.Experiment.feasible);
+          ])
+      El_workload.Workload_preset.all
+  in
+  Table.print t;
+  add_section "workloads" (J.List rows)
+
 let ablation speed =
   heading "Ablations of EL design choices (5% mix, 18+12 blocks)";
   let base kind = Paper.base_config ~speed ~kind ~long_pct:5 () in
@@ -1279,6 +1344,7 @@ let () =
   if want "scarce" then ignore (scarce speed);
   if want "recovery" then recovery_bench speed;
   if want "store" then store_bench speed;
+  if want "workloads" then workloads_bench speed;
   if want "ablation" then ablation speed;
   if want "gens" then gens_sweep speed;
   if want "adaptive" then adaptive_bench speed;

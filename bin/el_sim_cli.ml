@@ -130,6 +130,41 @@ let resolve_backend = function
         with Sys_error _ | Unix.Unix_error _ -> ());
     Experiment.File_store dir
 
+(* --scenario NAME: a named adversarial workload preset.  Applied
+   after the rest of the config is assembled, it replaces the traffic
+   half (mix, arrival process, oid draw, lifetime, retry budget) while
+   leaving the plant options (--rate, --runtime, --drives, sizing,
+   --seed, --backend) in the caller's hands. *)
+let scenario_conv =
+  let parse s =
+    match El_workload.Workload_preset.find s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown scenario %S (want %s)" s
+              (String.concat "|" El_workload.Workload_preset.names)))
+  in
+  Arg.conv (parse, El_workload.Workload_preset.pp)
+
+let scenario_term =
+  let doc =
+    Printf.sprintf
+      "Workload scenario preset: %s.  Overrides the mix and arrival options \
+       with the preset's traffic (skewed drawing, bursts, long-tail \
+       lifetimes, contention retries) but keeps --rate, --runtime and the \
+       plant options."
+      (String.concat "|" El_workload.Workload_preset.names)
+  in
+  Arg.(
+    value
+    & opt (some scenario_conv) None
+    & info [ "scenario" ] ~doc ~docv:"NAME")
+
+let apply_scenario cfg = function
+  | None -> cfg
+  | Some p -> Experiment.apply_preset cfg p
+
 (* Shared by every sweeping subcommand (min-space, paper, check): the
    independent simulations fan out across $(docv) domains; outputs
    are identical to --jobs 1 (see lib/par). *)
@@ -210,6 +245,10 @@ let print_result (r : Experiment.result) =
   add "transactions started" (string_of_int r.started);
   add "committed (acked)" (string_of_int r.committed);
   add "aborted" (string_of_int r.aborted);
+  if r.contention_aborts > 0 || r.contention_retries > 0 then begin
+    add "contention aborts" (string_of_int r.contention_aborts);
+    add "contention retries" (string_of_int r.contention_retries)
+  end;
   add "killed" (string_of_int r.killed);
   add "evictions" (string_of_int r.evictions);
   add "updates/s" (Printf.sprintf "%.1f" r.updates_per_sec);
@@ -233,16 +272,17 @@ let print_result (r : Experiment.result) =
 (* ---- subcommands ---- *)
 
 let run_cmd =
-  let action cfg =
-    let r = Experiment.run cfg in
+  let action cfg scenario =
+    let r = Experiment.run (apply_scenario cfg scenario) in
     print_result r
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one simulation and print the report.")
-    Term.(const action $ config_term)
+    Term.(const action $ config_term $ scenario_term)
 
 let min_space_cmd =
-  let action cfg jobs =
+  let action cfg scenario jobs =
     with_pool jobs @@ fun pool ->
+    let cfg = apply_scenario cfg scenario in
     match cfg.Experiment.kind with
     | Experiment.Hybrid _ ->
       prerr_endline "min-space: hybrid search is not supported; use run"
@@ -292,14 +332,15 @@ let min_space_cmd =
           with two generations optimises both sizes; with more generations \
           fixes all but the last.  --jobs N probes several candidate sizes \
           per round on N domains (same minimum, fewer rounds).")
-    Term.(const action $ config_term $ jobs_term)
+    Term.(const action $ config_term $ scenario_term $ jobs_term)
 
 let recover_cmd =
   let crash_at =
     let doc = "Crash time in seconds (default: runtime * 3/4)." in
     Arg.(value & opt (some float) None & info [ "crash-at" ] ~doc)
   in
-  let action cfg crash_at =
+  let action cfg scenario crash_at =
+    let cfg = apply_scenario cfg scenario in
     let crash_at =
       match crash_at with
       | Some s -> Time.of_sec_f s
@@ -340,7 +381,7 @@ let recover_cmd =
          "Crash an EL run midway, run single-pass recovery and audit it.  \
           With --backend mem|file, also replay the durable image frozen at \
           the crash instant and compare the two recovered states.")
-    Term.(const action $ config_term $ crash_at)
+    Term.(const action $ config_term $ scenario_term $ crash_at)
 
 let paper_cmd =
   let what =
@@ -575,7 +616,7 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
-  let action seeds stride runtime rate spec quick backend jobs =
+  let action seeds stride runtime rate spec quick backend scenario jobs =
     with_pool jobs @@ fun pool ->
     let seeds, stride, runtime =
       if quick then (1, 40, 15.0) else (seeds, stride, runtime)
@@ -604,7 +645,8 @@ let check_cmd =
       (fun (name, kind) ->
         for seed = 1 to seeds do
           let cfg =
-            Sweep.standard_config ~kind ~runtime ~rate ~seed ~backend ()
+            Sweep.standard_config ~kind ~runtime ~rate ~seed ~backend
+              ?preset:scenario ()
           in
           let o = Sweep.run ~pool ~stride ~spec cfg in
           El_metrics.Table.add_row t
@@ -660,7 +702,7 @@ let check_cmd =
           (identical findings, shorter wall-clock).")
     Term.(
       const action $ seeds $ stride $ check_runtime $ check_rate $ spec
-      $ quick $ backend_term $ jobs_term)
+      $ quick $ backend_term $ scenario_term $ jobs_term)
 
 let fault_cmd =
   let module FP = El_fault.Fault_plan in
@@ -774,7 +816,7 @@ let fault_cmd =
     Arg.(value & flag & info [ "identity" ] ~doc)
   in
   let action seeds stride runtime rate transient burst sticky torn retry_budget
-      penalty_ms spares latency shed_backlog quick identity jobs =
+      penalty_ms spares latency shed_backlog quick identity scenario jobs =
     (* Fault_plan.make validates rates/windows with Invalid_argument;
        surface those as flag errors, not a backtrace. *)
     (fun body ->
@@ -825,7 +867,10 @@ let fault_cmd =
       List.iter
         (fun (name, kind) ->
           for seed = 1 to seeds do
-            let cfg = Sweep.standard_config ~kind ~runtime ~rate ~seed () in
+            let cfg =
+              Sweep.standard_config ~kind ~runtime ~rate ~seed
+                ?preset:scenario ()
+            in
             let inert =
               {
                 cfg with
@@ -877,7 +922,9 @@ let fault_cmd =
           for seed = 1 to seeds do
             let cfg =
               {
-                (Sweep.standard_config ~kind ~runtime ~rate ~seed ()) with
+                (Sweep.standard_config ~kind ~runtime ~rate ~seed
+                   ?preset:scenario ())
+                with
                 Experiment.fault = plan_for seed;
               }
             in
@@ -936,7 +983,125 @@ let fault_cmd =
     Term.(
       const action $ seeds $ stride $ fault_runtime $ fault_rate $ transient
       $ burst $ sticky $ torn $ retry_budget $ penalty_ms $ spares $ latency
-      $ shed_backlog $ quick $ identity $ jobs_term)
+      $ shed_backlog $ quick $ identity $ scenario_term $ jobs_term)
+
+let conform_cmd =
+  let module Conform = El_check.Conform in
+  let stride =
+    let doc = "Events between audit pauses of each sweep." in
+    Arg.(value & opt int 100 & info [ "stride" ] ~doc)
+  in
+  let conform_runtime =
+    let doc = "Simulated runtime of each swept cell, in seconds." in
+    Arg.(value & opt float 20.0 & info [ "runtime" ] ~doc)
+  in
+  let conform_rate =
+    let doc = "Transaction arrival rate of each swept cell, per second." in
+    Arg.(value & opt float 40.0 & info [ "rate" ] ~doc)
+  in
+  let conform_seed =
+    let doc = "Random seed shared by every cell." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+  in
+  let quick =
+    let doc =
+      "CI preset: 15 s runs, stride 40 capped at 80 audit points, 4 s \
+       store legs; requires at least 50 crash points per cell."
+    in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let action scenario stride runtime rate seed quick jobs =
+    with_pool jobs @@ fun pool ->
+    let runtime, stride, max_points, min_points, store_runtime =
+      if quick then (Time.of_sec 15, 40, 80, 50, Time.of_sec 4)
+      else (Time.of_sec_f runtime, stride, max_int, 0, Time.of_sec 6)
+    in
+    let presets =
+      match scenario with
+      | None -> El_workload.Workload_preset.all
+      | Some p -> [ p ]
+    in
+    (* Store images land in a private temp directory removed at exit,
+       so a conform run never litters the working tree. *)
+    let store_dir = Filename.temp_file "el-sim-conform" "" in
+    Sys.remove store_dir;
+    Unix.mkdir store_dir 0o700;
+    at_exit (fun () ->
+        try
+          Array.iter
+            (fun f -> Sys.remove (Filename.concat store_dir f))
+            (Sys.readdir store_dir);
+          Unix.rmdir store_dir
+        with Sys_error _ | Unix.Unix_error _ -> ());
+    let report =
+      Conform.run ~pool ~presets ~runtime ~rate ~seed ~stride ~max_points
+        ~min_points ~store_dir ~store_runtime ()
+    in
+    let t =
+      El_metrics.Table.create
+        ~columns:
+          [
+            ("scenario", El_metrics.Table.Left);
+            ("manager", El_metrics.Table.Left);
+            ("events", El_metrics.Table.Right);
+            ("points", El_metrics.Table.Right);
+            ("recoveries", El_metrics.Table.Right);
+            ("committed", El_metrics.Table.Right);
+            ("killed", El_metrics.Table.Right);
+            ("c-aborts", El_metrics.Table.Right);
+            ("retries", El_metrics.Table.Right);
+            ("spec checks", El_metrics.Table.Right);
+            ("torn rec", El_metrics.Table.Right);
+            ("failures", El_metrics.Table.Right);
+          ]
+    in
+    List.iter
+      (fun (c : Conform.cell) ->
+        El_metrics.Table.add_row t
+          [
+            c.Conform.preset;
+            c.Conform.kind;
+            string_of_int c.Conform.events;
+            string_of_int c.Conform.points;
+            string_of_int c.Conform.recoveries;
+            string_of_int c.Conform.committed;
+            string_of_int c.Conform.killed;
+            string_of_int c.Conform.contention_aborts;
+            string_of_int c.Conform.contention_retries;
+            string_of_int c.Conform.spec_checks;
+            string_of_int c.Conform.torn_records;
+            string_of_int (List.length c.Conform.failures);
+          ])
+      report.Conform.cells;
+    El_metrics.Table.print t;
+    if Conform.ok report then
+      Printf.printf "all %d cells conform\n" (List.length report.Conform.cells)
+    else begin
+      Printf.eprintf "%d conformance failure(s):\n" report.Conform.failure_count;
+      List.iter
+        (fun (c : Conform.cell) ->
+          List.iter
+            (fun msg ->
+              Printf.eprintf "%s/%s: %s\n" c.Conform.preset c.Conform.kind msg)
+            c.Conform.failures)
+        report.Conform.cells;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Run the workload-matrix conformance harness: every scenario preset \
+          x every log manager (EL, FW, hybrid), each cell swept under the \
+          full oracle battery — live audits, crash/recover/audit at every \
+          stride-th event, the differential reference model, the durable-log \
+          state-machine spec, a torn-write fault sweep, and mem-vs-file \
+          durable-store replay identity.  Exits non-zero on any divergence.  \
+          --scenario restricts the matrix to one preset; --jobs N fans each \
+          sweep's crash points out across N domains.")
+    Term.(
+      const action $ scenario_term $ stride $ conform_runtime $ conform_rate
+      $ conform_seed $ quick $ jobs_term)
 
 let serve_cmd =
   let image =
@@ -1009,7 +1174,7 @@ let serve_cmd =
 let () =
   let subcommands =
     [ run_cmd; min_space_cmd; recover_cmd; paper_cmd; adaptive_cmd; check_cmd;
-      fault_cmd; trace_cmd; serve_cmd ]
+      fault_cmd; conform_cmd; trace_cmd; serve_cmd ]
   in
   (* One list, one synopsis: the summary is generated from the
      commands themselves so it cannot drift as subcommands come and
@@ -1021,4 +1186,14 @@ let () =
       (String.concat ", " (List.map Cmd.name subcommands))
   in
   let info = Cmd.info "el-sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info subcommands))
+  let code =
+    try Cmd.eval ~catch:false (Cmd.group info subcommands)
+    with
+    | Failure msg | Sys_error msg ->
+      Printf.eprintf "el-sim: %s\n" msg;
+      2
+    | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "el-sim: %s: %s (%s)\n" fn (Unix.error_message e) arg;
+      2
+  in
+  exit code

@@ -9,6 +9,7 @@ module El_manager = El_core.El_manager
 module Fw_manager = El_core.Fw_manager
 module Hybrid_manager = El_core.Hybrid_manager
 module Recovery = El_recovery.Recovery
+module Preset = El_workload.Workload_preset
 
 type outcome = {
   kind : string;
@@ -21,6 +22,8 @@ type outcome = {
   faulted : bool;
   committed : int;
   killed : int;
+  contention_aborts : int;
+  contention_retries : int;
   max_records_scanned : int;
   torn_blocks : int;
   torn_records : int;
@@ -54,6 +57,8 @@ type slice_outcome = {
   s_faulted : bool;
   s_committed : int;
   s_killed : int;
+  s_contention_aborts : int;  (** generator totals — identical across slices *)
+  s_contention_retries : int;
   s_max_scanned : int;
   s_torn_blocks : int;  (** summed over this slice's recoveries *)
   s_torn_records : int;
@@ -210,6 +215,9 @@ let run_slice ~slice ~slices ~stride ~max_points ~recover ~oracle ~spec
     s_faulted = status = `Faulted;
     s_committed = Generator.committed live.Experiment.generator;
     s_killed = Generator.killed live.Experiment.generator;
+    s_contention_aborts =
+      Generator.contention_aborts live.Experiment.generator;
+    s_contention_retries = Generator.retries live.Experiment.generator;
     s_max_scanned = !max_scanned;
     s_torn_blocks = !torn_blocks;
     s_torn_records = !torn_records;
@@ -263,6 +271,8 @@ let run ?(pool = El_par.Pool.serial) ?(stride = 100) ?(max_points = max_int)
     faulted = p0.s_faulted;
     committed = p0.s_committed;
     killed = p0.s_killed;
+    contention_aborts = p0.s_contention_aborts;
+    contention_retries = p0.s_contention_retries;
     max_records_scanned =
       List.fold_left (fun a p -> max a p.s_max_scanned) 0 parts;
     (* pauses partition across slices, so summing reproduces the
@@ -285,22 +295,48 @@ let standard_mix () =
         ~num_records:4 ~record_size:100;
     ]
 
+(* Size a manager geometry for a preset's space appetite (the paper
+   sizes the log to the offered load; see
+   [Workload_preset.space_factor]). *)
+let scale_kind factor kind =
+  if factor <= 1.0 then kind
+  else
+    let scale n = int_of_float (ceil (float_of_int n *. factor)) in
+    match kind with
+    | Experiment.Ephemeral p ->
+      Experiment.Ephemeral
+        {
+          p with
+          Policy.generation_sizes =
+            Array.map scale p.Policy.generation_sizes;
+        }
+    | Experiment.Firewall n -> Experiment.Firewall (scale n)
+    | Experiment.Hybrid sizes -> Experiment.Hybrid (Array.map scale sizes)
+
 let standard_config ~kind ?(runtime = Time.of_sec 20) ?(rate = 40.0)
     ?(seed = 42) ?(abort_fraction = 0.0)
     ?(arrival_process = Generator.Deterministic)
-    ?(backend = Experiment.Sim) () =
-  {
-    (Experiment.default_config ~kind ~mix:(standard_mix ())) with
-    Experiment.runtime;
-    arrival_rate = rate;
-    arrival_process;
-    num_objects = 10_000;
-    flush_drives = 2;
-    flush_transfer = Time.of_ms 8;
-    seed;
-    abort_fraction;
-    backend;
-  }
+    ?(backend = Experiment.Sim) ?preset () =
+  let cfg =
+    {
+      (Experiment.default_config ~kind ~mix:(standard_mix ())) with
+      Experiment.runtime;
+      arrival_rate = rate;
+      arrival_process;
+      num_objects = 10_000;
+      flush_drives = 2;
+      flush_transfer = Time.of_ms 8;
+      seed;
+      abort_fraction;
+      backend;
+    }
+  in
+  match preset with
+  | None -> cfg
+  | Some p ->
+    Experiment.apply_preset
+      { cfg with Experiment.kind = scale_kind p.Preset.space_factor cfg.Experiment.kind }
+      p
 
 let standard_kinds () =
   [

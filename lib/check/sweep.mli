@@ -42,6 +42,10 @@ type outcome = {
           ran out of spare sectors (deterministic per plan + seed) *)
   committed : int;  (** transactions committed by the generator *)
   killed : int;  (** includes transactions shed by degraded mode *)
+  contention_aborts : int;
+      (** aborts from a skewed draw hitting an active writer (0 under
+          uniform drawing) *)
+  contention_retries : int;  (** backoff relaunches after those aborts *)
   max_records_scanned : int;  (** largest recovery scan seen *)
   torn_blocks : int;
       (** torn tails discarded, summed over every crash image audited *)
@@ -80,6 +84,13 @@ val run :
 
 val kind_name : El_harness.Experiment.manager_kind -> string
 
+val scale_kind :
+  float -> El_harness.Experiment.manager_kind -> El_harness.Experiment.manager_kind
+(** [scale_kind f kind] multiplies the manager's log budget (generation
+    sizes, FW blocks) by [f], rounding up; [f <= 1.0] returns the kind
+    unchanged.  Used to size the standard geometries for a preset's
+    {!El_workload.Workload_preset.space_factor}. *)
+
 val standard_config :
   kind:El_harness.Experiment.manager_kind ->
   ?runtime:Time.t ->
@@ -88,13 +99,18 @@ val standard_config :
   ?abort_fraction:float ->
   ?arrival_process:El_workload.Generator.arrival_process ->
   ?backend:El_harness.Experiment.backend ->
+  ?preset:El_workload.Workload_preset.t ->
   unit ->
   El_harness.Experiment.config
 (** A check-sized configuration (small log, short transactions, a
     modest flush array) shared by the test suite and the [check] CLI
     subcommand, so both sweep the same state space.  Defaults: 20 s
     runtime, 40 TPS, seed 42, no aborts, deterministic arrivals,
-    [Sim] backend. *)
+    [Sim] backend.  [preset], when given, replaces the traffic half
+    (mix, arrivals, draw, lifetime, retry budget) via
+    {!El_harness.Experiment.apply_preset} — note it overrides
+    [arrival_process] too — and scales [kind] by the preset's
+    [space_factor] (see {!scale_kind}). *)
 
 val standard_kinds : unit -> (string * El_harness.Experiment.manager_kind) list
 (** The three managers swept by default: an EL chain, the FW baseline

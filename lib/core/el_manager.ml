@@ -41,6 +41,16 @@ type gen = {
          in service.  Tracked here, not via [g_blocks], because a slot
          can be reassigned while an older write for it is still
          queued. *)
+  g_fwd_guard : int array;
+      (* per slot: in-flight forward writes in the next generation
+         that carried this slot's survivors away.  While non-zero the
+         slot's durable image is those records' only platter copy, so
+         an overwrite of the slot must not reach the platter. *)
+  g_parked : buffer Queue.t;
+      (* sealed writes held back because their slot is forward-guarded
+         (or queued behind one that is): releasing them in FIFO order
+         once the guard clears preserves the data-before-commit write
+         ordering on the channel. *)
 }
 
 type t = {
@@ -62,6 +72,7 @@ type t = {
   mutable evictions : int;
   mutable forced_head_flushes : int;
   mutable nondurable_head_reads : int;
+  mutable fwd_guard_parks : int;
   mutable acked : int;
   obs : El_obs.Obs.t option;
 }
@@ -99,6 +110,8 @@ let make_gen engine policy ~write_time ?obs ?fault ?store i =
     g_stage = Block.create ~capacity:policy.Policy.block_payload;
     g_stage_origins = [];
     g_inflight = Queue.create ();
+    g_fwd_guard = Array.make size 0;
+    g_parked = Queue.create ();
   }
 
 let create engine ~policy ~flush ~stable ?(write_time = Params.tau_disk_write)
@@ -134,6 +147,7 @@ let create engine ~policy ~flush ~stable ?(write_time = Params.tau_disk_write)
       evictions = 0;
       forced_head_flushes = 0;
       nondurable_head_reads = 0;
+      fwd_guard_parks = 0;
       acked = 0;
       obs;
     }
@@ -227,9 +241,8 @@ let free_slot g s =
 let block_records block =
   List.map (fun (tr : Cell.tracked) -> tr.Cell.record) (Block.items block)
 
-(* Issue a sealed buffer to the generation's channel. *)
-let issue_write t g (buf : buffer) =
-  g.g_state.(buf.b_slot) <- Sealed;
+(* Hand a sealed buffer to the generation's channel. *)
+let channel_issue t g (buf : buffer) =
   Queue.add (buf.b_slot, buf.b_block) g.g_inflight;
   Log_channel.write
     ~payload:(fun () -> (buf.b_slot, block_records buf.b_block))
@@ -244,6 +257,37 @@ let issue_write t g (buf : buffer) =
       let now = El_sim.Engine.now t.engine in
       List.iter (fun hook -> hook now) (List.rev buf.b_hooks);
       buf.b_hooks <- [])
+
+(* Release writes parked behind a forward guard, in seal order, up to
+   the first slot still guarded. *)
+let rec drain_parked t g =
+  match Queue.peek_opt g.g_parked with
+  | Some buf when g.g_fwd_guard.(buf.b_slot) = 0 ->
+    ignore (Queue.pop g.g_parked);
+    channel_issue t g buf;
+    drain_parked t g
+  | Some _ | None -> ()
+
+(* Issue a sealed buffer to the generation's channel.
+
+   Durability guard for forwarding (the cross-channel analogue of the
+   recirculation guard in [assign_slot]): while a forward write in the
+   next generation is still in flight, the origin slot's durable image
+   is its records' only platter copy, so a reissued write for that
+   slot must not start — on a backlogged next-generation channel the
+   overwrite would win the race and a crash would lose acked updates.
+   The write is parked, and every later seal queues behind it so the
+   channel still completes writes in seal order (group commit relies
+   on data records reaching the platter before their commit record). *)
+let issue_write t g (buf : buffer) =
+  g.g_state.(buf.b_slot) <- Sealed;
+  if
+    g.g_fwd_guard.(buf.b_slot) > 0 || not (Queue.is_empty g.g_parked)
+  then begin
+    t.fwd_guard_parks <- t.fwd_guard_parks + 1;
+    Queue.add buf g.g_parked
+  end
+  else channel_issue t g buf
 
 let rec assign_slot t g =
   (* Durability guard for recirculation: the slot about to be reused
@@ -397,6 +441,7 @@ and forward t g s survivors =
     let s' = assign_slot t next in
     let buf = Block.create ~capacity:t.policy.Policy.block_payload in
     let moved = ref 0 in
+    let origins = ref [] in
     (* Walk the generation's cell list from its head: the mandatory
        survivors of slot [s] come first, then backfill from younger
        blocks until the outgoing buffer is full. *)
@@ -441,6 +486,9 @@ and forward t g s survivors =
           match c.Cell.tracked.Cell.cell with
           | None -> ()  (* the eager ablation disposed it at request *)
           | Some _ ->
+            if
+              c.Cell.slot >= 0 && not (List.mem c.Cell.slot !origins)
+            then origins := c.Cell.slot :: !origins;
             Cell.Cell_list.remove g.g_cells c;
             c.Cell.gen <- next.g_index;
             c.Cell.slot <- s';
@@ -461,7 +509,22 @@ and forward t g s survivors =
         (El_obs.Event.Forward
            { from_gen = g.g_index; to_gen = next.g_index; records = !moved });
       next.g_blocks.(s') <- Some buf;
-      issue_write t next { b_slot = s'; b_block = buf; b_hooks = []; b_seq = -1 }
+      (* Arm the origin guard: until this write is on the platter, no
+         reissued write for an origin slot may start (see
+         [issue_write]); the completion hook releases any parked
+         writes in order. *)
+      let guarded = !origins in
+      List.iter
+        (fun o -> g.g_fwd_guard.(o) <- g.g_fwd_guard.(o) + 1)
+        guarded;
+      let release _now =
+        List.iter
+          (fun o -> g.g_fwd_guard.(o) <- g.g_fwd_guard.(o) - 1)
+          guarded;
+        drain_parked t g
+      in
+      issue_write t next
+        { b_slot = s'; b_block = buf; b_hooks = [ release ]; b_seq = -1 }
     end;
     free_slot g s
   end
@@ -765,6 +828,7 @@ type stats = {
   evictions : int;
   forced_head_flushes : int;
   nondurable_head_reads : int;
+  fwd_guard_parks : int;
   peak_occupancy_per_gen : int array;
   peak_memory_bytes : int;
   current_memory_bytes : int;
@@ -788,6 +852,7 @@ let stats t =
     evictions = t.evictions;
     forced_head_flushes = t.forced_head_flushes;
     nondurable_head_reads = t.nondurable_head_reads;
+    fwd_guard_parks = t.fwd_guard_parks;
     peak_occupancy_per_gen =
       Array.map (fun g -> El_metrics.Gauge.max_value g.g_occupancy) t.gens;
     peak_memory_bytes = Ledger.peak_memory_bytes t.ledger;

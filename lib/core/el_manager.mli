@@ -94,6 +94,12 @@ type stats = {
   nondurable_head_reads : int;
       (** head blocks processed before their write completed — only
           possible in pathologically small configurations *)
+  fwd_guard_parks : int;
+      (** log writes held back because their slot was the origin of a
+          forward write still in flight in the next generation: the
+          origin's durable image is those survivors' only platter
+          copy, so the overwrite must wait for the forward write to
+          complete (visible under deep next-generation backlog) *)
   peak_occupancy_per_gen : int array;  (** blocks, including the gap *)
   peak_memory_bytes : int;  (** LOT+LTT high-water mark, §4 accounting *)
   current_memory_bytes : int;

@@ -528,7 +528,22 @@ let request_commit t ~tid ~on_ack =
                   (stubs old_tx);
                 if old_tx.state = Committed && old_tx.unflushed_count = 0 then
                   retire t old_tx
-              | Some _ | None -> ())
+              | Some self ->
+                (* the transaction superseded its own earlier version
+                   (a re-update of a held object under skewed drawing):
+                   unhook the older stub, no retirement check — the
+                   newer version is re-added just below *)
+                List.iter
+                  (fun os ->
+                    match stub_data os with
+                    | Some (o, v)
+                      when Ids.Oid.equal o oid && v = old_version
+                           && not os.s_flushed ->
+                      os.s_flushed <- true;
+                      self.unflushed_count <- self.unflushed_count - 1
+                    | Some _ | None -> ())
+                  (stubs self)
+              | None -> ())
             | None -> ());
             Ids.Oid.Table.replace t.unflushed oid (tid, version);
             El_metrics.Gauge.add t.memory bytes_per_object;

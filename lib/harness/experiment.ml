@@ -19,6 +19,10 @@ type config = {
   mix : El_workload.Mix.t;
   arrival_rate : float;
   arrival_process : Generator.arrival_process;
+  draw : El_workload.Draw.t;
+  lifetime : El_workload.Lifetime.t;
+  max_retries : int;
+  retry_backoff : Time.t;
   runtime : Time.t;
   flush_drives : int;
   flush_transfer : Time.t;
@@ -38,6 +42,10 @@ let default_config ~kind ~mix =
     mix;
     arrival_rate = 100.0;
     arrival_process = Generator.Deterministic;
+    draw = El_workload.Draw.Uniform;
+    lifetime = El_workload.Lifetime.Fixed;
+    max_retries = 0;
+    retry_backoff = Time.of_ms 20;
     runtime = Time.of_sec 500;
     flush_drives = 10;
     flush_transfer = Time.of_ms 25;
@@ -51,6 +59,20 @@ let default_config ~kind ~mix =
     backend = Sim;
   }
 
+(* A preset replaces the whole traffic description but not the plant
+   (drives, log sizing, runtime, seed, backend) — the rate stays the
+   caller's so sweeps can push any scenario toward its own knee. *)
+let apply_preset cfg (p : El_workload.Workload_preset.t) =
+  {
+    cfg with
+    mix = p.El_workload.Workload_preset.mix;
+    arrival_process = p.El_workload.Workload_preset.arrival;
+    draw = p.El_workload.Workload_preset.draw;
+    lifetime = p.El_workload.Workload_preset.lifetime;
+    max_retries = p.El_workload.Workload_preset.max_retries;
+    retry_backoff = p.El_workload.Workload_preset.retry_backoff;
+  }
+
 type result = {
   total_blocks : int;
   log_writes_per_gen : int array;
@@ -61,6 +83,8 @@ type result = {
   committed : int;
   aborted : int;
   killed : int;
+  contention_aborts : int;
+  contention_retries : int;
   evictions : int;
   overloaded : bool;
   feasible : bool;
@@ -149,6 +173,8 @@ let collect cfg live ~overloaded =
     committed = Generator.committed generator;
     aborted = Generator.aborted generator;
     killed;
+    contention_aborts = Generator.contention_aborts generator;
+    contention_retries = Generator.retries generator;
     evictions;
     overloaded;
     feasible = (not overloaded) && killed = 0 && evictions = 0;
@@ -326,10 +352,29 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
     | None -> sink
   in
   let sink = wrap_sink sink in
+  (* Contention hooks feed the trace ring only — observability, never
+     control flow, so on/off observer identity holds under skew too. *)
+  let on_contention ~tid ~oid ~attempt =
+    match obs with
+    | None -> ()
+    | Some o ->
+      El_obs.Obs.emit o El_obs.Event.Harness
+        (El_obs.Event.Contention
+           { tid = Ids.Tid.to_int tid; oid = Ids.Oid.to_int oid; attempt })
+  in
+  let on_retry ~tid ~attempt =
+    match obs with
+    | None -> ()
+    | Some o ->
+      El_obs.Obs.emit o El_obs.Event.Harness
+        (El_obs.Event.Retry { tid = Ids.Tid.to_int tid; attempt })
+  in
   let generator =
     Generator.create engine ~sink ~mix:cfg.mix ~arrival_rate:cfg.arrival_rate
       ~runtime:cfg.runtime ~arrival_process:cfg.arrival_process
-      ~abort_fraction:cfg.abort_fraction ~num_objects:cfg.num_objects ()
+      ~abort_fraction:cfg.abort_fraction ~draw:cfg.draw ~lifetime:cfg.lifetime
+      ~max_retries:cfg.max_retries ~retry_backoff:cfg.retry_backoff
+      ~on_contention ~on_retry ~num_objects:cfg.num_objects ()
   in
   let kill tid =
     on_kill tid;
@@ -443,7 +488,17 @@ let run_with_crash_store cfg ~crash_at =
           holder := Some (image, mark));
       let result = live.finish () in
       match !holder with
-      | None -> assert false
+      | None ->
+        (* The engine stopped before the crash instant — only an
+           overload can end a run early, so the crash point was never
+           reached.  An adversarial scenario on an undersized log is
+           the usual way here. *)
+        failwith
+          (Printf.sprintf
+             "Experiment.run_with_crash: the run %s before the crash \
+              instant; crash earlier or enlarge the log"
+             (if result.overloaded then "overloaded and stopped"
+              else "ended"))
       | Some (image, mark) ->
         let recovery = El_recovery.Recovery.recover ?obs:live.obs image in
         let audit = El_recovery.Recovery.audit image recovery in

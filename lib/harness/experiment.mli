@@ -30,7 +30,21 @@ type config = {
   mix : El_workload.Mix.t;
   arrival_rate : float;  (** transactions per second (paper: 100) *)
   arrival_process : El_workload.Generator.arrival_process;
-      (** [Deterministic] (paper) or [Poisson] burstiness *)
+      (** [Deterministic] (paper), [Poisson], or ON/OFF [Burst] *)
+  draw : El_workload.Draw.t;
+      (** oid-drawing policy: [Uniform] (paper) or [Zipfian] hot-key
+          skew.  Zipfian draws can collide with an active writer, in
+          which case the drawing transaction aborts and retries under
+          the budget below. *)
+  lifetime : El_workload.Lifetime.t;
+      (** per-transaction duration scaling: [Fixed] (paper) or
+          [Pareto] long tails *)
+  max_retries : int;
+      (** contention retry budget per logical transaction (0: a
+          contended draw just aborts) *)
+  retry_backoff : Time.t;
+      (** base of the seeded exponential backoff between contention
+          retries *)
   runtime : Time.t;  (** simulated span (paper: 500 s) *)
   flush_drives : int;  (** paper: 10 *)
   flush_transfer : Time.t;  (** paper: 25 ms (45 ms in the scarce test) *)
@@ -71,7 +85,14 @@ type config = {
 
 val default_config : kind:manager_kind -> mix:El_workload.Mix.t -> config
 (** The paper's standard setup: 100 TPS, 500 s, 10 drives × 25 ms,
-    10^7 objects, seed 42, no aborts, no faults. *)
+    10^7 objects, seed 42, no aborts, no faults, uniform drawing,
+    fixed lifetimes, no contention retries. *)
+
+val apply_preset : config -> El_workload.Workload_preset.t -> config
+(** Overwrites the traffic half of the config — mix, arrival process,
+    draw, lifetime, retry budget and backoff — with the preset's,
+    leaving the plant (kind, rate, runtime, drives, sizing, seed,
+    observer, fault plan, backend) untouched. *)
 
 type result = {
   total_blocks : int;  (** configured log size, all generations *)
@@ -83,6 +104,12 @@ type result = {
   committed : int;
   aborted : int;
   killed : int;
+  contention_aborts : int;
+      (** aborts caused by a skewed draw hitting an active writer
+          (also counted in [aborted]) *)
+  contention_retries : int;
+      (** relaunches scheduled after contention aborts (each retry is
+          a fresh [started] transaction) *)
   evictions : int;
   overloaded : bool;  (** the run aborted with [Log_overloaded] *)
   feasible : bool;  (** no kills, no evictions, no overload *)
@@ -153,7 +180,9 @@ val run_with_crash :
     recovers from it and audits the outcome; then lets the simulation
     finish for the run statistics.  Raises [Invalid_argument] for a FW
     config (the paper's FW baseline has no recovery model) or if
-    [crash_at] exceeds the runtime. *)
+    [crash_at] exceeds the runtime; raises [Failure] when the run
+    overloads and stops before [crash_at] is reached (an adversarial
+    scenario on an undersized log), since no crash image exists. *)
 
 val run_with_crash_store :
   config ->

@@ -41,6 +41,8 @@ type kind =
   | Io_remap of { device : string }
   | Torn_discard of { blocks : int; records : int }
   | Shed of { tid : int; backlog : int }
+  | Contention of { tid : int; oid : int; attempt : int }
+  | Retry of { tid : int; attempt : int }
   | Mark of string
 
 type t = { at : Time.t; sub : subsystem; kind : kind }
@@ -68,6 +70,8 @@ let name = function
   | Io_remap _ -> "io-remap"
   | Torn_discard _ -> "torn-discard"
   | Shed _ -> "shed"
+  | Contention _ -> "contention"
+  | Retry _ -> "retry"
   | Mark _ -> "mark"
 
 let args kind : (string * Jsonx.t) list =
@@ -109,6 +113,9 @@ let args kind : (string * Jsonx.t) list =
   | Torn_discard { blocks; records } ->
     [ ("blocks", Int blocks); ("records", Int records) ]
   | Shed { tid; backlog } -> [ ("tid", Int tid); ("backlog", Int backlog) ]
+  | Contention { tid; oid; attempt } ->
+    [ ("tid", Int tid); ("oid", Int oid); ("attempt", Int attempt) ]
+  | Retry { tid; attempt } -> [ ("tid", Int tid); ("attempt", Int attempt) ]
   | Mark label -> [ ("label", String label) ]
 
 let pp ppf { at; sub; kind } =

@@ -59,6 +59,11 @@ type kind =
       (** recovery discarded torn tail blocks failing their checksum *)
   | Shed of { tid : int; backlog : int }
       (** degraded mode shed an arriving transaction under fault storm *)
+  | Contention of { tid : int; oid : int; attempt : int }
+      (** a skewed oid draw hit another active writer: the drawing
+          transaction aborted ([attempt] of its retry chain) *)
+  | Retry of { tid : int; attempt : int }
+      (** a contention-aborted transaction relaunched after backoff *)
   | Mark of string  (** free-form harness annotation *)
 
 type t = { at : Time.t; sub : subsystem; kind : kind }

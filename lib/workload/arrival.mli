@@ -1,0 +1,45 @@
+(** Transaction inter-arrival sampling.
+
+    The paper initiates transactions at regular intervals
+    ([Deterministic]) and names probabilistic arrival models as future
+    work; [Poisson] gives exponential gaps with mean [1/rate], and
+    [Burst] is an interrupted Poisson process — exponential ON windows
+    during which arrivals come [intensity] times faster than [rate],
+    separated by exponential OFF windows of silence.  Burst arrivals
+    are over-dispersed relative to Poisson (index of dispersion of
+    windowed counts well above 1), which is exactly what the
+    dispersion test in [test/test_workload.ml] pins down.
+
+    The sampler is deterministic given the process, the rate and the
+    RNG: each [next] consumes a fixed draw sequence, so seeded runs
+    reproduce bit for bit at any job count. *)
+
+open El_model
+
+type process =
+  | Deterministic  (** every 1/rate seconds exactly *)
+  | Poisson  (** exponential inter-arrival times with mean 1/rate *)
+  | Burst of { on_mean : Time.t; off_mean : Time.t; intensity : float }
+      (** ON/OFF-modulated Poisson: ON windows of mean [on_mean] with
+          arrivals at [rate * intensity], OFF windows of mean
+          [off_mean] with none.  Long-run mean rate is
+          [rate * intensity * on / (on + off)]. *)
+
+val process_name : process -> string
+
+type t
+
+val create : process -> rate:float -> t
+(** Raises [Invalid_argument] on a non-positive rate, burst phase or
+    intensity. *)
+
+val next : t -> Random.State.t -> Time.t
+(** The gap to the next arrival.  Always at least one microsecond. *)
+
+val mean_rate : t -> float
+(** Long-run arrivals per second implied by the process — [rate] for
+    deterministic/Poisson, duty-cycle-scaled for bursts. *)
+
+val exponential : Random.State.t -> mean:Time.t -> Time.t
+(** An exponential variate with the given mean, clamped to at least
+    one microsecond — shared by the backoff jitter in {!Generator}. *)

@@ -1,0 +1,21 @@
+open El_model
+
+type t =
+  | Uniform
+  | Zipfian of { theta : float }
+
+let name = function Uniform -> "uniform" | Zipfian _ -> "zipfian"
+
+type drawer =
+  | D_uniform
+  | D_zipf of Zipf.t
+
+let make t ~num_objects =
+  match t with
+  | Uniform -> D_uniform
+  | Zipfian { theta } -> D_zipf (Zipf.create ~n:num_objects ~theta)
+
+let candidate drawer rng =
+  match drawer with
+  | D_uniform -> None
+  | D_zipf z -> Some (Ids.Oid.of_int (Zipf.next z rng))

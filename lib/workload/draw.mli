@@ -1,0 +1,31 @@
+(** The oid-drawing policy of a workload.
+
+    [Uniform] is the paper's §3 model: an update picks any object not
+    already held by an active writer, uniformly — with 10⁷ objects and
+    a few hundred in use, collisions are a non-event and the pool's
+    rejection sampling hides them entirely.
+
+    [Zipfian] draws ranks from {!Zipf} (rank 0 = the hottest object),
+    which makes collisions with active writers a first-class outcome:
+    the generator turns a draw that lands on a held oid into an abort
+    of the drawing transaction plus a seeded-backoff retry, the
+    contention model the adversarial presets are built on. *)
+
+open El_model
+
+type t =
+  | Uniform
+  | Zipfian of { theta : float }  (** skew exponent, in (0, 1) *)
+
+val name : t -> string
+
+type drawer
+(** Per-run drawer state ({!Zipf} normaliser for the Zipfian case). *)
+
+val make : t -> num_objects:int -> drawer
+
+val candidate : drawer -> Random.State.t -> Ids.Oid.t option
+(** [None] for [Uniform] (the caller should fall back to
+    {!Oid_pool.acquire}'s collision-free rejection sampling); for
+    [Zipfian], the drawn oid — which may well be held by an active
+    writer, and that is the point. *)

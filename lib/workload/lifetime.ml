@@ -1,0 +1,23 @@
+type t =
+  | Fixed
+  | Pareto of { alpha : float; cap : float }
+
+let name = function Fixed -> "fixed" | Pareto _ -> "pareto"
+
+let validate = function
+  | Fixed -> ()
+  | Pareto { alpha; cap } ->
+    if alpha <= 0.0 then invalid_arg "Lifetime.Pareto: non-positive alpha";
+    if cap < 1.0 then invalid_arg "Lifetime.Pareto: cap below 1"
+
+(* Pareto with scale x_m = 1 by inversion: (1-u)^(-1/alpha), so the
+   multiplier is always >= 1 (lifetimes only stretch, never shrink —
+   the record schedule's epsilon < duration precondition is
+   preserved) and capped so a single straggler cannot outlive the
+   whole run. *)
+let scale t rng =
+  match t with
+  | Fixed -> 1.0
+  | Pareto { alpha; cap } ->
+    let u = Random.State.float rng 1.0 in
+    Float.min cap ((1.0 -. u) ** (-1.0 /. alpha))

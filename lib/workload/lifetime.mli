@@ -1,0 +1,26 @@
+(** Per-transaction lifetime stretching.
+
+    [Fixed] keeps every transaction at its type's nominal duration
+    (the paper's model).  [Pareto] multiplies each transaction's
+    nominal duration by an independent Pareto(alpha) variate capped at
+    [cap] — a long-tail lifetime distribution in which most
+    transactions run near their nominal length while a heavy tail
+    holds its write set (and its log records) far longer, the traffic
+    that stresses generation sizing and forced flushing. *)
+
+type t =
+  | Fixed
+  | Pareto of { alpha : float; cap : float }
+      (** tail exponent (smaller = heavier tail) and the maximum
+          multiplier *)
+
+val name : t -> string
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on a non-positive alpha or a cap below
+    1. *)
+
+val scale : t -> Random.State.t -> float
+(** The duration multiplier for one transaction: 1 for [Fixed],
+    otherwise in [1, cap].  Consumes exactly one uniform variate for
+    [Pareto] and none for [Fixed]. *)

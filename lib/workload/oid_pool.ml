@@ -46,6 +46,17 @@ let acquire t rng =
     Some oid
   end
 
+let is_held t oid = Ids.Oid.Table.mem t.held oid
+
+let claim t oid =
+  if Ids.Oid.to_int oid < 0 || Ids.Oid.to_int oid >= t.num_objects then
+    invalid_arg "Oid_pool.claim: oid outside the database";
+  if Ids.Oid.Table.mem t.held oid then false
+  else begin
+    Ids.Oid.Table.replace t.held oid ();
+    true
+  end
+
 let release t oid =
   if not (Ids.Oid.Table.mem t.held oid) then
     invalid_arg "Oid_pool.release: oid not held";

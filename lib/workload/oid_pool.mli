@@ -18,6 +18,17 @@ val acquire : t -> Random.State.t -> Ids.Oid.t option
     and marks it held.  [None] only if every object is held (possible
     in stress tests with tiny databases). *)
 
+val is_held : t -> Ids.Oid.t -> bool
+(** Whether an active transaction currently holds the oid. *)
+
+val claim : t -> Ids.Oid.t -> bool
+(** Attempts to mark a {e specific} oid held — the skewed-draw path,
+    where the drawing distribution (not the pool) picks the object.
+    Returns [false], changing nothing, if an active writer already
+    holds it; that collision is the contention signal the generator
+    turns into an abort + retry.  Raises [Invalid_argument] for an
+    oid outside the database. *)
+
 val release : t -> Ids.Oid.t -> unit
 (** Returns an oid to the free pool — when its transaction requests
     termination (commits) or is aborted/killed.  Raises

@@ -1,0 +1,62 @@
+(* Zipfian rank generator after Gray et al., "Quickly Generating
+   Billion-Record Synthetic Databases" (SIGMOD 1994) — the same
+   rejection-free construction YCSB uses.  The harmonic normaliser
+   zeta(n, theta) is computed once at creation; every draw is then a
+   single uniform variate and a handful of float operations, so the
+   drawer adds O(1) work to the generator's hot path. *)
+
+type t = {
+  n : int;
+  theta : float;
+  zetan : float;
+  alpha : float;
+  eta : float;
+  half_pow_theta : float;
+}
+
+let zeta ~n ~theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !sum
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: empty domain";
+  if theta <= 0.0 || theta >= 1.0 then
+    invalid_arg "Zipf.create: theta outside (0, 1)";
+  let zetan = zeta ~n ~theta in
+  let zeta2 = zeta ~n:2 ~theta in
+  let fn = float_of_int n in
+  {
+    n;
+    theta;
+    zetan;
+    alpha = 1.0 /. (1.0 -. theta);
+    eta =
+      (1.0 -. ((2.0 /. fn) ** (1.0 -. theta)))
+      /. (1.0 -. (zeta2 /. zetan));
+    half_pow_theta = 0.5 ** theta;
+  }
+
+let next t rng =
+  let u = Random.State.float rng 1.0 in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. t.half_pow_theta then 1
+  else
+    let rank =
+      int_of_float
+        (float_of_int t.n *. (((t.eta *. u) -. t.eta +. 1.0) ** t.alpha))
+    in
+    (* float rounding can graze the upper edge *)
+    if rank >= t.n then t.n - 1 else rank
+
+let n t = t.n
+let theta t = t.theta
+
+(* Exact rank-frequency law, for the goodness-of-fit tests: the
+   probability of rank [r] (0-based) is r+1 ^ -theta / zeta(n). *)
+let probability t rank =
+  if rank < 0 || rank >= t.n then invalid_arg "Zipf.probability: rank";
+  (float_of_int (rank + 1) ** -.t.theta) /. t.zetan

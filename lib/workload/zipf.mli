@@ -1,0 +1,26 @@
+(** Zipfian rank drawing (Gray et al., SIGMOD 1994; the YCSB
+    construction).  Rank 0 is the hottest; the probability of rank [r]
+    is proportional to [(r+1)^-theta].  Creation is O(n) (the harmonic
+    normaliser is precomputed); each draw is O(1) and consumes exactly
+    one uniform variate from the supplied RNG, so seeded runs are
+    reproducible bit for bit. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** Raises [Invalid_argument] unless [n > 0] and [theta] lies in the
+    open interval (0, 1) — the range the Gray approximation covers. *)
+
+val next : t -> Random.State.t -> int
+(** A rank in [0, n). *)
+
+val n : t -> int
+val theta : t -> float
+
+val probability : t -> int -> float
+(** Exact target probability of a rank under the pure power law.  The
+    Gray construction realises it exactly for ranks 0 and 1 and
+    through a continuous-inverse approximation beyond; the statistical
+    tests in [test/test_workload.ml] chi-square draws against the
+    realized law and pin the hottest ranks and the log-log tail slope
+    against this exact one. *)

@@ -24,6 +24,7 @@ let () =
       ("min-space", Test_min_space.suite);
       ("spec", Test_spec.suite);
       ("check", Test_check.suite);
+      ("scenario", Test_scenario.suite);
       ("fault", Test_fault.suite);
       ("hotpath", Test_hotpath.suite);
       ("obs", Test_obs.suite);
