@@ -1132,7 +1132,16 @@ let serve_cmd =
     Arg.(
       value & opt (some (list int)) None & info [ "hybrid" ] ~doc ~docv:"BLOCKS")
   in
-  let action image socket fresh objects generations firewall hybrid =
+  let group_fsync =
+    let doc =
+      "Batch fsyncs per commit: segments appended by one COMMIT share a \
+       single barrier issued before its ack, instead of one fsync per \
+       segment.  Acked commits keep the same crash guarantee."
+    in
+    Arg.(value & flag & info [ "group-fsync" ] ~doc)
+  in
+  let action image socket fresh objects generations firewall hybrid group_fsync
+      =
     let kind =
       match (firewall, hybrid) with
       | Some _, Some _ -> failwith "--fw and --hybrid are mutually exclusive"
@@ -1144,7 +1153,8 @@ let serve_cmd =
     in
     let t =
       El_serve.Serve.start
-        { El_serve.Serve.image; fresh; kind; num_objects = objects }
+        { El_serve.Serve.image; fresh; kind; num_objects = objects;
+          group_fsync }
     in
     let r = El_serve.Serve.recovered t in
     (* Status goes to stderr: in stdio mode stdout carries the
@@ -1169,7 +1179,7 @@ let serve_cmd =
           image.")
     Term.(
       const action $ image $ socket $ fresh $ serve_objects
-      $ serve_generations $ firewall $ hybrid)
+      $ serve_generations $ firewall $ hybrid $ group_fsync)
 
 let () =
   let subcommands =

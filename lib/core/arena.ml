@@ -1,0 +1,307 @@
+open El_model
+
+(* Packed record storage: each record is [stride] 64-bit words packed
+   into fixed-size [bytes] chunks, so a transaction's remembered
+   records (and the spans a sealed block references) live in flat
+   buffers the GC treats as opaque — where the boxed representation
+   paid ~26 words of list-and-record heap per append and made every
+   major collection walk the whole retained set.
+
+   Word layout per record:
+     w0  tag (2 bits) lor flags (bit 2: flushed)
+     w1  tid
+     w2  oid      (-1 for tx records)
+     w3  version
+     w4  size
+     w5  timestamp (µs)
+
+   The storage geometry is deliberate, three times over.  Fixed-size
+   chunks mean growth never copies: a segment that outgrows its last
+   chunk links a fresh one instead of doubling-and-blitting a
+   contiguous buffer, so a 20k-record transaction costs exactly its
+   own bytes — and a record's address never changes, which is what
+   lets sealed blocks hold (segment, index) spans instead of copies.
+   Chunks are carved from large slabs, because creating many small
+   major-heap blocks individually makes the pacing of each
+   [caml_alloc_shr] dominate the seal path (measured ~30× slower than
+   carving).  And [bytes] (never [int array]) keeps both slabs and
+   chunks opaque to the collector: nothing to scan, nothing to
+   zero-fill.
+
+   Retired chunks go on the arena's free list — one size class for
+   every segment — and are handed to the next push that needs one, so
+   a steady-state workload reaches a fixed point with no allocation
+   at all.  [pooled:false] disables reuse — every chunk is carved
+   fresh — which is exactly the seed's allocate-per-transaction
+   behaviour, kept as the identity-test baseline.
+
+   Lifetime: the owner (a transaction, or a block's local segment)
+   [release]s the segment; readers that outlive the owner — sealed
+   blocks waiting on their disk write — hold [pin]s.  Chunks return
+   to the pool only once the segment is released *and* unpinned, so a
+   block's payload thunk can materialize records after the writing
+   transaction retired.  After recycling, every access through a
+   stale handle raises [Invalid_argument]. *)
+
+external get64 : bytes -> int -> int64 = "%caml_bytes_get64u"
+external set64 : bytes -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+type t = {
+  pooled : bool;
+  mutable slab : bytes;
+  mutable slab_used : int;  (* bytes carved off [slab] *)
+  mutable free : (bytes * int) list;  (* recycled chunks: buffer, offset *)
+  mutable free_bufs : int;
+  mutable allocs : int;
+  mutable reuses : int;
+  mutable releases : int;
+  mutable outstanding : int;
+}
+
+type seg = {
+  owner : t;
+  mutable bufs : bytes array;  (* chunk k lives at [offs.(k)] in [bufs.(k)] *)
+  mutable offs : int array;
+  mutable nchunks : int;
+  mutable count : int;  (* records stored *)
+  mutable live : bool;  (* not yet released by its owner *)
+  mutable pins : int;  (* sealed blocks still reading the records *)
+  mutable freed : bool;  (* chunks recycled; every access now raises *)
+}
+
+let stride = 6
+let byte_stride = 8 * stride
+let chunk_shift = 6
+let chunk_records = 1 lsl chunk_shift
+let chunk_mask = chunk_records - 1
+let chunk_bytes = chunk_records * byte_stride
+let slab_bytes = 256 * chunk_bytes
+let tag_begin = 0
+let tag_commit = 1
+let tag_abort = 2
+let tag_data = 3
+let flag_flushed = 4
+
+let create ?(pooled = true) () =
+  {
+    pooled;
+    slab = Bytes.empty;
+    slab_used = 0;
+    free = [];
+    free_bufs = 0;
+    allocs = 0;
+    reuses = 0;
+    releases = 0;
+    outstanding = 0;
+  }
+
+let alloc t =
+  t.outstanding <- t.outstanding + 1;
+  {
+    owner = t;
+    bufs = [||];
+    offs = [||];
+    nchunks = 0;
+    count = 0;
+    live = true;
+    pins = 0;
+    freed = false;
+  }
+
+let free_chunks seg =
+  let t = seg.owner in
+  if t.pooled then
+    for k = 0 to seg.nchunks - 1 do
+      t.free <-
+        (Array.unsafe_get seg.bufs k, Array.unsafe_get seg.offs k) :: t.free;
+      t.free_bufs <- t.free_bufs + 1
+    done;
+  seg.nchunks <- 0;
+  seg.count <- 0;
+  (* sever the segment from the recycled chunks so a stale handle can
+     never alias the next owner's records *)
+  seg.bufs <- [||];
+  seg.offs <- [||];
+  seg.freed <- true
+
+let release seg =
+  if not seg.live then invalid_arg "Arena.release: segment already released";
+  seg.live <- false;
+  let t = seg.owner in
+  t.outstanding <- t.outstanding - 1;
+  t.releases <- t.releases + 1;
+  if seg.pins = 0 then free_chunks seg
+
+let pin seg =
+  if seg.freed then invalid_arg "Arena.pin: segment already recycled";
+  seg.pins <- seg.pins + 1
+
+let unpin seg =
+  if seg.pins <= 0 then invalid_arg "Arena.unpin: segment not pinned";
+  seg.pins <- seg.pins - 1;
+  if seg.pins = 0 && not seg.live then free_chunks seg
+
+let live seg = seg.live
+let pinned seg = seg.pins
+
+let check seg =
+  if seg.freed then invalid_arg "Arena: segment used after release"
+
+let length seg =
+  check seg;
+  seg.count
+
+let add_chunk seg =
+  let t = seg.owner in
+  let n = seg.nchunks in
+  if n = Array.length seg.bufs then begin
+    let cap = if n = 0 then 4 else n * 2 in
+    let bufs = Array.make cap Bytes.empty in
+    let offs = Array.make cap 0 in
+    Array.blit seg.bufs 0 bufs 0 n;
+    Array.blit seg.offs 0 offs 0 n;
+    seg.bufs <- bufs;
+    seg.offs <- offs
+  end;
+  (match t.free with
+  | (b, o) :: rest when t.pooled ->
+    t.free <- rest;
+    t.free_bufs <- t.free_bufs - 1;
+    t.reuses <- t.reuses + 1;
+    seg.bufs.(n) <- b;
+    seg.offs.(n) <- o
+  | _ ->
+    t.allocs <- t.allocs + 1;
+    if t.slab_used + chunk_bytes > Bytes.length t.slab then begin
+      t.slab <- Bytes.create slab_bytes;
+      t.slab_used <- 0
+    end;
+    seg.bufs.(n) <- t.slab;
+    seg.offs.(n) <- t.slab_used;
+    t.slab_used <- t.slab_used + chunk_bytes);
+  seg.nchunks <- n + 1
+
+let push seg ~tag ~tid ~oid ~version ~size ~ts =
+  if not seg.live then invalid_arg "Arena: segment used after release";
+  let i = seg.count in
+  if i lsr chunk_shift >= seg.nchunks then add_chunk seg;
+  let ci = i lsr chunk_shift in
+  let buf = Array.unsafe_get seg.bufs ci in
+  let off =
+    Array.unsafe_get seg.offs ci + ((i land chunk_mask) * byte_stride)
+  in
+  set64 buf off (Int64.of_int tag);
+  set64 buf (off + 8) (Int64.of_int tid);
+  set64 buf (off + 16) (Int64.of_int oid);
+  set64 buf (off + 24) (Int64.of_int version);
+  set64 buf (off + 32) (Int64.of_int size);
+  set64 buf (off + 40) (Int64.of_int ts);
+  seg.count <- i + 1
+
+let word seg i k =
+  let ci = i lsr chunk_shift in
+  Int64.to_int
+    (get64
+       (Array.unsafe_get seg.bufs ci)
+       (Array.unsafe_get seg.offs ci
+       + ((i land chunk_mask) * byte_stride)
+       + (k * 8)))
+
+let bounds seg i =
+  check seg;
+  if i < 0 || i >= seg.count then invalid_arg "Arena: index out of range"
+
+let tag seg i =
+  bounds seg i;
+  word seg i 0 land 3
+
+let tid seg i =
+  bounds seg i;
+  word seg i 1
+
+let oid seg i =
+  bounds seg i;
+  word seg i 2
+
+let version seg i =
+  bounds seg i;
+  word seg i 3
+
+let size seg i =
+  bounds seg i;
+  word seg i 4
+
+let timestamp seg i =
+  bounds seg i;
+  word seg i 5
+
+let is_data seg i = tag seg i = tag_data
+
+let flushed seg i =
+  bounds seg i;
+  word seg i 0 land flag_flushed <> 0
+
+let set_flushed seg i =
+  bounds seg i;
+  let ci = i lsr chunk_shift in
+  let off =
+    Array.unsafe_get seg.offs ci + ((i land chunk_mask) * byte_stride)
+  in
+  let buf = Array.unsafe_get seg.bufs ci in
+  set64 buf off (Int64.of_int (Int64.to_int (get64 buf off) lor flag_flushed))
+
+let clear seg =
+  if not seg.live then invalid_arg "Arena: segment used after release";
+  seg.count <- 0
+
+let record_at seg i =
+  let tid = Ids.Tid.of_int (tid seg i) in
+  let ts = Time.of_us (timestamp seg i) in
+  let size = size seg i in
+  match tag seg i with
+  | 0 -> Log_record.begin_ ~tid ~size ~timestamp:ts
+  | 1 -> Log_record.commit ~tid ~size ~timestamp:ts
+  | 2 -> Log_record.abort ~tid ~size ~timestamp:ts
+  | _ ->
+    Log_record.data ~tid
+      ~oid:(Ids.Oid.of_int (oid seg i))
+      ~version:(version seg i) ~size ~timestamp:ts
+
+let push_record seg (r : Log_record.t) =
+  let tag, roid, version =
+    match r.Log_record.kind with
+    | Log_record.Begin -> (tag_begin, -1, 0)
+    | Log_record.Commit -> (tag_commit, -1, 0)
+    | Log_record.Abort -> (tag_abort, -1, 0)
+    | Log_record.Data { oid; version } -> (tag_data, Ids.Oid.to_int oid, version)
+  in
+  push seg ~tag ~tid:(Ids.Tid.to_int r.Log_record.tid) ~oid:roid ~version
+    ~size:r.Log_record.size
+    ~ts:(Time.to_us r.Log_record.timestamp)
+
+let to_records seg =
+  check seg;
+  let n = seg.count in
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (record_at seg i :: acc)
+  in
+  build (n - 1) []
+
+type stats = {
+  allocs : int;  (** fresh chunks carved from slabs *)
+  reuses : int;  (** chunk acquisitions served from the free list *)
+  releases : int;
+  outstanding : int;  (** live segments *)
+  pooled_buffers : int;  (** chunks waiting on the free list *)
+}
+
+let stats (t : t) =
+  {
+    allocs = t.allocs;
+    reuses = t.reuses;
+    releases = t.releases;
+    outstanding = t.outstanding;
+    pooled_buffers = t.free_bufs;
+  }
+
+let pooled t = t.pooled

@@ -1,0 +1,89 @@
+(** Pooled, packed record storage for the append hot path.
+
+    A {!seg} holds a sequence of log records packed six unboxed
+    64-bit words per record into fixed-size [bytes] chunks — no
+    per-record heap blocks, nothing for the GC to scan or copy in the
+    retained set, and no reallocation on growth (a full segment links
+    a fresh chunk; records never move, so an index into a segment
+    stays valid for the segment's whole life).  Chunks are carved
+    from large slabs and, with [pooled:true] (the default), recycled
+    through a free list, so a steady-state workload stops allocating
+    entirely.  [pooled:false] reproduces the seed's
+    allocate-every-time behaviour and exists for the pooled-vs-seed
+    identity tests.
+
+    Ownership and aliasing are guarded.  The owner {!release}s the
+    segment; a reader that must outlive the owner — a sealed log
+    block holding (segment, index) spans until its disk write
+    completes — takes a {!pin}.  Chunks are recycled only once the
+    segment is both released and unpinned, and from that moment every
+    operation on a stale handle raises [Invalid_argument]. *)
+
+open El_model
+
+type t
+type seg
+
+val stride : int
+(** Words per packed record. *)
+
+val tag_begin : int
+val tag_commit : int
+val tag_abort : int
+val tag_data : int
+
+val create : ?pooled:bool -> unit -> t
+val pooled : t -> bool
+
+val alloc : t -> seg
+
+val release : seg -> unit
+(** The owner is done appending and reading; chunks recycle once the
+    last pin drops.  Raises [Invalid_argument] on double release. *)
+
+val pin : seg -> unit
+(** Keep the records readable past {!release} — a sealed block does
+    this for every span it references until its write completes. *)
+
+val unpin : seg -> unit
+(** Drop one pin; the last unpin of a released segment recycles its
+    chunks. *)
+
+val live : seg -> bool
+val pinned : seg -> int
+val length : seg -> int
+val clear : seg -> unit
+
+val push :
+  seg -> tag:int -> tid:int -> oid:int -> version:int -> size:int -> ts:int ->
+  unit
+
+val push_record : seg -> Log_record.t -> unit
+
+val tag : seg -> int -> int
+val tid : seg -> int -> int
+val oid : seg -> int -> int
+val version : seg -> int -> int
+val size : seg -> int -> int
+val timestamp : seg -> int -> int
+val is_data : seg -> int -> bool
+
+val flushed : seg -> int -> bool
+val set_flushed : seg -> int -> unit
+
+val record_at : seg -> int -> Log_record.t
+(** Materialize one packed record as a boxed {!Log_record.t} — the
+    store-serialization path only; the simulation hot paths never
+    box. *)
+
+val to_records : seg -> Log_record.t list
+
+type stats = {
+  allocs : int;  (** fresh chunks carved from slabs *)
+  reuses : int;  (** chunk acquisitions served from the free list *)
+  releases : int;
+  outstanding : int;  (** live segments *)
+  pooled_buffers : int;  (** chunks waiting on the free list *)
+}
+
+val stats : t -> stats

@@ -15,17 +15,21 @@ and t = {
 and owner = Tx_of of ltt_entry | Data_of of lot_entry * Ids.Tid.t
 
 and lot_entry = {
-  l_oid : Ids.Oid.t;
+  (* key fields are mutable so retired entries can be recycled through
+     the ledger's free list; [l_free] guards against touching an entry
+     after it went back to the pool *)
+  mutable l_oid : Ids.Oid.t;
   mutable committed : t option;
   mutable committed_version : int;
   mutable flush_forced : bool;
   mutable uncommitted : (Ids.Tid.t * t) list;
+  mutable l_free : bool;
 }
 
 and ltt_entry = {
-  e_tid : Ids.Tid.t;
-  expected_duration : Time.t;
-  begun_at : Time.t;
+  mutable e_tid : Ids.Tid.t;
+  mutable expected_duration : Time.t;
+  mutable begun_at : Time.t;
   mutable tx_cell : t option;
   mutable write_set : unit Ids.Oid.Table.t;
   mutable tx_state : [ `Active | `Commit_pending | `Committed ];
@@ -34,6 +38,7 @@ and ltt_entry = {
   mutable act_prev : ltt_entry option;
   mutable act_next : ltt_entry option;
   mutable act_linked : bool;
+  mutable e_free : bool;  (* on the ledger's free list *)
 }
 
 let staged_slot = -1

@@ -43,7 +43,9 @@ and owner =
       (** a data record for the entry's object, written by the tid *)
 
 and lot_entry = {
-  l_oid : Ids.Oid.t;
+  mutable l_oid : Ids.Oid.t;
+      (** mutable (like every key field below) so {!Ledger} can recycle
+          retired entries through a free list *)
   mutable committed : t option;
       (** cell for the most recently committed, still unflushed update *)
   mutable committed_version : int;
@@ -53,12 +55,14 @@ and lot_entry = {
           completes and the disposal cascade clears this flag *)
   mutable uncommitted : (Ids.Tid.t * t) list;
       (** cells for uncommitted updates, newest first *)
+  mutable l_free : bool;
+      (** the entry sits on the ledger's free list; guards double-free *)
 }
 
 and ltt_entry = {
-  e_tid : Ids.Tid.t;
-  expected_duration : Time.t;  (** lifetime hint from the scheduler *)
-  begun_at : Time.t;
+  mutable e_tid : Ids.Tid.t;
+  mutable expected_duration : Time.t;  (** lifetime hint from the scheduler *)
+  mutable begun_at : Time.t;
   mutable tx_cell : t option;  (** cell of the most recent tx record *)
   mutable write_set : unit Ids.Oid.Table.t;
       (** oids with a non-garbage data record written by this tx *)
@@ -67,6 +71,8 @@ and ltt_entry = {
       (** intrusive links of {!Ledger}'s begun_at-ordered active list *)
   mutable act_next : ltt_entry option;
   mutable act_linked : bool;
+  mutable e_free : bool;
+      (** the entry sits on the ledger's free list; guards double-free *)
 }
 
 val staged_slot : int

@@ -115,7 +115,7 @@ let make_gen engine policy ~write_time ?obs ?fault ?store i =
   }
 
 let create engine ~policy ~flush ~stable ?(write_time = Params.tau_disk_write)
-    ?(tx_record_size = Params.tx_record_size) ?obs ?fault ?store () =
+    ?(tx_record_size = Params.tx_record_size) ?pooled ?obs ?fault ?store () =
   Policy.validate policy;
   let gens =
     Array.init (Policy.num_generations policy)
@@ -131,7 +131,7 @@ let create engine ~policy ~flush ~stable ?(write_time = Params.tau_disk_write)
     {
       engine;
       policy;
-      ledger = Ledger.create ~remove_cell ();
+      ledger = Ledger.create ~remove_cell ?pooled ();
       flush;
       stable;
       tx_record_size;

@@ -36,6 +36,7 @@ val create :
   stable:El_disk.Stable_db.t ->
   ?write_time:Time.t ->
   ?tx_record_size:int ->
+  ?pooled:bool ->
   ?obs:El_obs.Obs.t ->
   ?fault:El_fault.Injector.t ->
   ?store:El_store.Log_store.t ->
@@ -43,7 +44,9 @@ val create :
   t
 (** Builds the generations and takes ownership of the flush array's
     completion callback.  [write_time] defaults to the paper's 15 ms
-    τ_Disk_Write; [tx_record_size] to 8 bytes.  With [obs], every
+    τ_Disk_Write; [tx_record_size] to 8 bytes.  [pooled] (default
+    [true]) recycles the ledger's retired LOT/LTT entries through free
+    lists — behaviour-identical, allocation-free in steady state.  With [obs], every
     append, seal, head advance, forward, recirculation, stage write,
     kill, eviction, commit ack and abort is traced, commit latencies
     feed the ["commit.latency_us"] histogram, and the per-generation

@@ -35,6 +35,7 @@ val create :
   ?buffers:int ->
   ?write_time:Time.t ->
   ?tx_record_size:int ->
+  ?pooled:bool ->
   ?obs:El_obs.Obs.t ->
   ?fault:El_fault.Injector.t ->
   ?store:El_store.Log_store.t ->
@@ -43,7 +44,12 @@ val create :
 (** With [store], every sealed block of every queue is appended to the
     durable log before its completion hooks fire — regenerated records
     are rewritten with their original record values, so a store scan
-    sees exactly what a post-crash read of the queues would. *)
+    sees exactly what a post-crash read of the queues would.
+
+    [pooled] (default [true]) controls whether retired record arenas
+    are recycled through the manager's {!Arena} free list; [false]
+    reproduces the seed's allocate-per-transaction behaviour (the
+    identity-test baseline) with bit-identical simulation results. *)
 
 val set_on_kill : t -> (Ids.Tid.t -> unit) -> unit
 
@@ -68,6 +74,11 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val arena_stats : t -> Arena.stats
+(** Allocation-discipline counters of the packed-record arena: fresh
+    buffer allocations vs free-list reuses and the live-segment
+    count. *)
 
 (** Read-only snapshot of one queue's ring for the external invariant
     auditor. *)

@@ -18,10 +18,18 @@ type t = {
      API use correct. *)
   mutable act_head : Cell.ltt_entry option;
   mutable act_tail : Cell.ltt_entry option;
+  (* Retired table entries are recycled through free lists so the
+     steady-state transaction churn allocates nothing: each LTT entry
+     keeps its write-set hash table (reset, not rebuilt) and each LOT
+     entry its record.  The [l_free]/[e_free] flags guard against an
+     entry being pushed twice or touched while pooled. *)
+  pooled : bool;
+  mutable lot_spare : Cell.lot_entry list;
+  mutable ltt_spare : Cell.ltt_entry list;
 }
 
 let create ~remove_cell ?(bytes_per_tx = Params.el_bytes_per_tx)
-    ?(bytes_per_object = Params.el_bytes_per_object) () =
+    ?(bytes_per_object = Params.el_bytes_per_object) ?(pooled = true) () =
   {
     lot = Ids.Oid.Table.create 1024;
     ltt = Ids.Tid.Table.create 1024;
@@ -33,6 +41,9 @@ let create ~remove_cell ?(bytes_per_tx = Params.el_bytes_per_tx)
     live = 0;
     act_head = None;
     act_tail = None;
+    pooled;
+    lot_spare = [];
+    ltt_spare = [];
   }
 
 (* ---- the active list ---- *)
@@ -110,7 +121,13 @@ let unflushed_objects t = t.unflushed
 let lot_entry_cleanup t (entry : Cell.lot_entry) =
   if entry.committed = None && entry.uncommitted = [] then begin
     Ids.Oid.Table.remove t.lot entry.l_oid;
-    mem_del_obj t
+    mem_del_obj t;
+    if t.pooled then begin
+      assert (not entry.l_free);
+      entry.l_free <- true;
+      entry.flush_forced <- false;
+      t.lot_spare <- entry :: t.lot_spare
+    end
   end
 
 let dispose_tx_cell t (e : Cell.ltt_entry) =
@@ -123,12 +140,22 @@ let dispose_tx_cell t (e : Cell.ltt_entry) =
   | None -> ());
   active_unlink t e;
   Ids.Tid.Table.remove t.ltt e.e_tid;
-  mem_del_tx t
+  mem_del_tx t;
+  if t.pooled then begin
+    assert (not e.e_free);
+    e.e_free <- true;
+    (* Keep the write-set table (reset preserves its bucket array), so
+       a recycled entry's first writes re-populate without resizing. *)
+    Ids.Oid.Table.reset e.write_set;
+    t.ltt_spare <- e :: t.ltt_spare
+  end
 
 (* Dispose a data cell: detach from list and LOT entry, remove the oid
    from the writer's write set, and — per §2.3 — retire a committed
    writer whose write set has drained. *)
 let rec dispose_data_cell t cell (entry : Cell.lot_entry) tid =
+  (* Capture before the cleanup below may recycle the entry. *)
+  let oid = entry.l_oid in
   t.remove_cell cell;
   cell.Cell.tracked.Cell.cell <- None;
   t.live <- t.live - 1;
@@ -144,7 +171,7 @@ let rec dispose_data_cell t cell (entry : Cell.lot_entry) tid =
   match find_tx t tid with
   | None -> ()  (* writer already fully retired *)
   | Some e ->
-    Ids.Oid.Table.remove e.write_set entry.l_oid;
+    Ids.Oid.Table.remove e.write_set oid;
     if e.tx_state = `Committed && Ids.Oid.Table.length e.write_set = 0 then
       dispose_tx_cell t e
 
@@ -167,17 +194,34 @@ let begin_tx t ~tid ~expected_duration ~timestamp ~size =
   let record = Log_record.begin_ ~tid ~size ~timestamp in
   let tracked = Cell.track record in
   let entry =
-    {
-      Cell.e_tid = tid;
-      expected_duration;
-      begun_at = timestamp;
-      tx_cell = None;
-      write_set = Ids.Oid.Table.create 8;
-      tx_state = `Active;
-      act_prev = None;
-      act_next = None;
-      act_linked = false;
-    }
+    match t.ltt_spare with
+    | e :: rest ->
+      t.ltt_spare <- rest;
+      assert (e.Cell.e_free);
+      e.Cell.e_tid <- tid;
+      e.expected_duration <- expected_duration;
+      e.begun_at <- timestamp;
+      e.tx_cell <- None;
+      (* write_set was reset at recycle time *)
+      e.tx_state <- `Active;
+      e.act_prev <- None;
+      e.act_next <- None;
+      e.act_linked <- false;
+      e.e_free <- false;
+      e
+    | [] ->
+      {
+        Cell.e_tid = tid;
+        expected_duration;
+        begun_at = timestamp;
+        tx_cell = None;
+        write_set = Ids.Oid.Table.create 8;
+        tx_state = `Active;
+        act_prev = None;
+        act_next = None;
+        act_linked = false;
+        e_free = false;
+      }
   in
   let cell =
     Cell.attach tracked ~gen:0 ~slot:Cell.unplaced_slot ~owner:(Cell.Tx_of entry)
@@ -194,13 +238,26 @@ let find_lot t oid =
   | Some e -> e
   | None ->
     let e =
-      {
-        Cell.l_oid = oid;
-        committed = None;
-        committed_version = 0;
-        flush_forced = false;
-        uncommitted = [];
-      }
+      match t.lot_spare with
+      | e :: rest ->
+        t.lot_spare <- rest;
+        assert (e.Cell.l_free);
+        e.Cell.l_oid <- oid;
+        e.committed <- None;
+        e.committed_version <- 0;
+        e.flush_forced <- false;
+        e.uncommitted <- [];
+        e.l_free <- false;
+        e
+      | [] ->
+        {
+          Cell.l_oid = oid;
+          committed = None;
+          committed_version = 0;
+          flush_forced = false;
+          uncommitted = [];
+          l_free = false;
+        }
     in
     Ids.Oid.Table.replace t.lot oid e;
     mem_add_obj t;
@@ -433,6 +490,7 @@ let check_invariants t =
   Ids.Oid.Table.iter
     (fun oid (entry : Cell.lot_entry) ->
       assert (Ids.Oid.equal oid entry.l_oid);
+      assert (not entry.l_free);
       assert (entry.committed <> None || entry.uncommitted <> []);
       (* a pin without a committed update would never be cleared *)
       assert ((not entry.flush_forced) || entry.committed <> None);
@@ -455,6 +513,7 @@ let check_invariants t =
   Ids.Tid.Table.iter
     (fun tid (e : Cell.ltt_entry) ->
       assert (Ids.Tid.equal tid e.e_tid);
+      assert (not e.e_free);
       (match e.tx_cell with
       | Some c -> assert (match c.Cell.tracked.Cell.cell with Some c' -> c' == c | None -> false)
       | None -> assert false (* live entries always anchor a tx record *));
@@ -504,6 +563,14 @@ let check_invariants t =
     | None, None -> true
     | Some tl, Some tl' -> tl == tl'
     | _ -> false);
+  (* Pooled entries really are retired: flagged, and (for LTT) with a
+     drained write set. *)
+  List.iter (fun (e : Cell.lot_entry) -> assert e.l_free) t.lot_spare;
+  List.iter
+    (fun (e : Cell.ltt_entry) ->
+      assert e.e_free;
+      assert (Ids.Oid.Table.length e.write_set = 0))
+    t.ltt_spare;
   match (t.act_head, refold_oldest_active t) with
   | None, None -> ()
   | Some h, Some o ->

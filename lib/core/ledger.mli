@@ -34,9 +34,14 @@ val create :
   remove_cell:(Cell.t -> unit) ->
   ?bytes_per_tx:int ->
   ?bytes_per_object:int ->
+  ?pooled:bool ->
   unit ->
   t
-(** Defaults: the paper's 40 bytes per transaction and per object. *)
+(** Defaults: the paper's 40 bytes per transaction and per object.
+    [pooled] (default [true]) recycles retired LOT/LTT entries through
+    free lists, so steady-state transaction churn allocates no new
+    table entries; [false] allocates fresh records, for A/B allocation
+    profiling.  Behaviour is identical either way. *)
 
 val begin_tx :
   t ->

@@ -1,21 +1,29 @@
 open El_model
 
 type request = {
-  oid : int;
+  mutable oid : int;
   mutable version : int;
   mutable forced : bool;
-  seq : int;  (* arrival order, for FIFO scheduling and tie-breaks *)
+  mutable seq : int;  (* arrival order, for FIFO scheduling and tie-breaks *)
 }
+(* Every field is mutable so retired request records can be recycled
+   through a free list: the completion path reads what it needs into
+   locals before the record goes back to the pool, so the steady-state
+   request flow allocates nothing. *)
 
 module Int_map = Map.Make (Int)
 
-(* One priority class (forced or unforced) of a drive's pending set,
-   indexed two ways: by oid for the elevator (C-SCAN style nearest
-   pick) and by seq for FIFO.  Both are balanced maps, so insert,
-   delete and pick are O(log B) in the class backlog B. *)
+(* One priority class (forced or unforced) of a drive's pending set.
+   The elevator index is a hierarchical bitset over the drive's oid
+   range — insert and delete are allocation-free word stores, which is
+   what keeps index maintenance cheaper than the linear scan even when
+   the backlog is deep and picks are rare (the scarce-flush regime
+   that used to invert the Indexed/Reference ranking).  The by-seq
+   balanced map is maintained only under [Fifo] scheduling, the one
+   discipline that picks by arrival order. *)
 type index = {
-  mutable by_oid : request Int_map.t;
-  mutable by_seq : request Int_map.t;
+  bits : Oid_bitset.t;  (* pending oids, drive-relative *)
+  mutable by_seq : request Int_map.t;  (* [Fifo] scheduling only *)
 }
 
 type drive = {
@@ -43,6 +51,7 @@ type t = {
   mutable on_flush : (Ids.Oid.t -> version:int -> unit) option;
   mutable observers : (Ids.Oid.t -> version:int -> unit) list;
   mutable next_seq : int;
+  mutable spare : request list;  (* retired request records, for reuse *)
   mutable pending_count : int;
   mutable peak_backlog : int;
   mutable completed : int;
@@ -55,7 +64,7 @@ type t = {
   store : El_store.Log_store.t option;
 }
 
-let empty_index () = { by_oid = Int_map.empty; by_seq = Int_map.empty }
+let empty_index span = { bits = Oid_bitset.create span; by_seq = Int_map.empty }
 
 let create engine ~drives ~transfer_time ~num_objects
     ?(scheduling = Nearest) ?(implementation = Indexed) ?obs ?fault ?store () =
@@ -72,8 +81,8 @@ let create engine ~drives ~transfer_time ~num_objects
       position = i * span;
       has_history = false;
       pending_tbl = Hashtbl.create 64;
-      normal = empty_index ();
-      urgent = empty_index ();
+      normal = empty_index span;
+      urgent = empty_index span;
       busy = false;
     }
   in
@@ -87,6 +96,7 @@ let create engine ~drives ~transfer_time ~num_objects
     on_flush = None;
     observers = [];
     next_seq = 0;
+    spare = [];
     pending_count = 0;
     peak_backlog = 0;
     completed = 0;
@@ -126,13 +136,17 @@ let drive_of t oid =
 
 let class_of d r = if r.forced then d.urgent else d.normal
 
-let index_add idx r =
-  idx.by_oid <- Int_map.add r.oid r idx.by_oid;
-  idx.by_seq <- Int_map.add r.seq r idx.by_seq
+let index_add t d idx r =
+  Oid_bitset.add idx.bits (r.oid - d.lo);
+  match t.scheduling with
+  | Fifo -> idx.by_seq <- Int_map.add r.seq r idx.by_seq
+  | Nearest -> ()
 
-let index_remove idx r =
-  idx.by_oid <- Int_map.remove r.oid idx.by_oid;
-  idx.by_seq <- Int_map.remove r.seq idx.by_seq
+let index_remove t d idx r =
+  Oid_bitset.remove idx.bits (r.oid - d.lo);
+  match t.scheduling with
+  | Fifo -> idx.by_seq <- Int_map.remove r.seq idx.by_seq
+  | Nearest -> ()
 
 (* ---- picking the next request ----
 
@@ -176,41 +190,42 @@ let pick_next_reference t d =
 
 (* The elevator pick: the nearest pending oid on a circle is either
    the circular successor or the circular predecessor of the drive
-   position, both O(log B) lookups in the by-oid map. *)
+   position, each one bitset walk (a word per summary level). *)
 let pick_nearest_indexed d idx =
-  let some = function
-    | Some (_, r) -> Some r
-    | None -> None
-  in
+  let pos = d.position - d.lo in
   let succ =
-    match Int_map.find_first_opt (fun k -> k >= d.position) idx.by_oid with
-    | Some _ as s -> some s
-    | None -> some (Int_map.min_binding_opt idx.by_oid)  (* wrap *)
+    match Oid_bitset.next_geq idx.bits pos with
+    | Some _ as s -> s
+    | None -> Oid_bitset.min_elt idx.bits  (* wrap *)
   in
   let pred =
-    match Int_map.find_last_opt (fun k -> k < d.position) idx.by_oid with
-    | Some _ as p -> some p
-    | None -> some (Int_map.max_binding_opt idx.by_oid)  (* wrap *)
+    match Oid_bitset.prev_lt idx.bits pos with
+    | Some _ as p -> p
+    | None -> Oid_bitset.max_elt idx.bits  (* wrap *)
   in
+  let req o = Hashtbl.find d.pending_tbl (o + d.lo) in
   match (succ, pred) with
   | None, None -> None
-  | Some r, None | None, Some r -> Some r
+  | Some o, None | None, Some o -> Some (req o)
   | Some s, Some p ->
-    if s == p then Some s
+    if s = p then Some (req s)
     else
-      let dist r =
-        Ids.Oid.distance ~wrap:d.span (Ids.Oid.of_int r.oid)
+      let dist o =
+        Ids.Oid.distance ~wrap:d.span
+          (Ids.Oid.of_int (o + d.lo))
           (Ids.Oid.of_int d.position)
       in
       let ds = dist s and dp = dist p in
-      if ds < dp then Some s
-      else if dp < ds then Some p
-      else if s.seq < p.seq then Some s
-      else Some p
+      if ds < dp then Some (req s)
+      else if dp < ds then Some (req p)
+      else
+        (* equidistant on opposite sides: earlier arrival wins *)
+        let rs = req s and rp = req p in
+        if rs.seq < rp.seq then Some rs else Some rp
 
 let pick_next_indexed t d =
   let idx =
-    if not (Int_map.is_empty d.urgent.by_oid) then d.urgent else d.normal
+    if not (Oid_bitset.is_empty d.urgent.bits) then d.urgent else d.normal
   in
   match t.scheduling with
   | Fifo -> (
@@ -270,15 +285,20 @@ let rec dispatch t d =
   | None -> d.busy <- false
   | Some r ->
     d.busy <- true;
-    Hashtbl.remove d.pending_tbl r.oid;
+    (* A dispatched request's fields are frozen — a later write to the
+       same oid enqueues a fresh record — so copy them out and recycle
+       the record now rather than holding it across the transfer. *)
+    let oid = r.oid and version = r.version and forced = r.forced in
+    Hashtbl.remove d.pending_tbl oid;
     (match t.implementation with
-    | Indexed -> index_remove (class_of d r) r
+    | Indexed -> index_remove t d (class_of d r) r
     | Reference -> ());
-    emit t (El_obs.Event.Flush_start { drive = drive_index t d; oid = r.oid });
+    t.spare <- r :: t.spare;
+    emit t (El_obs.Event.Flush_start { drive = drive_index t d; oid });
     El_sim.Engine.schedule_after t.engine (transfer_service t d) (fun () ->
         let distance =
           if d.has_history then
-            Ids.Oid.distance ~wrap:d.span (Ids.Oid.of_int r.oid)
+            Ids.Oid.distance ~wrap:d.span (Ids.Oid.of_int oid)
               (Ids.Oid.of_int d.position)
           else 0
         in
@@ -293,28 +313,27 @@ let rec dispatch t d =
               (float_of_int distance)
         end;
         emit t
-          (El_obs.Event.Flush_done
-             { drive = drive_index t d; oid = r.oid; distance });
-        d.position <- r.oid;
+          (El_obs.Event.Flush_done { drive = drive_index t d; oid; distance });
+        d.position <- oid;
         d.has_history <- true;
         t.pending_count <- t.pending_count - 1;
         t.completed <- t.completed + 1;
-        if r.forced then t.forced_count <- t.forced_count + 1;
+        if forced then t.forced_count <- t.forced_count + 1;
         (* Persist the stable install before [on_flush] runs: the hook
            applies the version to the stable DB and lets the log record
            become garbage, which is only sound once the install itself
            is durable on the backend. *)
         (match t.store with
         | Some store ->
-          El_store.Log_store.append_stable store ~oid:(Ids.Oid.of_int r.oid)
-            ~version:r.version
+          El_store.Log_store.append_stable store ~oid:(Ids.Oid.of_int oid)
+            ~version;
+          El_store.Log_store.request_group_sync store ~schedule:(fun k ->
+              El_sim.Engine.schedule_after t.engine Time.zero k)
         | None -> ());
         (match t.on_flush with
-        | Some f -> f (Ids.Oid.of_int r.oid) ~version:r.version
+        | Some f -> f (Ids.Oid.of_int oid) ~version
         | None -> ());
-        List.iter
-          (fun f -> f (Ids.Oid.of_int r.oid) ~version:r.version)
-          t.observers;
+        List.iter (fun f -> f (Ids.Oid.of_int oid) ~version) t.observers;
         dispatch t d)
 
 let enqueue t oid ~version ~forced =
@@ -329,19 +348,29 @@ let enqueue t oid ~version ~forced =
     if forced && not r.forced then begin
       (match t.implementation with
       | Indexed ->
-        index_remove d.normal r;
+        index_remove t d d.normal r;
         r.forced <- true;
-        index_add d.urgent r
+        index_add t d d.urgent r
       | Reference -> r.forced <- true)
     end;
     t.superseded <- t.superseded + 1
   | None ->
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
-    let r = { oid = o; version; forced; seq } in
+    let r =
+      match t.spare with
+      | r :: rest ->
+        t.spare <- rest;
+        r.oid <- o;
+        r.version <- version;
+        r.forced <- forced;
+        r.seq <- seq;
+        r
+      | [] -> { oid = o; version; forced; seq }
+    in
     Hashtbl.replace d.pending_tbl o r;
     (match t.implementation with
-    | Indexed -> index_add (class_of d r) r
+    | Indexed -> index_add t d (class_of d r) r
     | Reference -> ());
     t.pending_count <- t.pending_count + 1;
     if t.pending_count > t.peak_backlog then t.peak_backlog <- t.pending_count);
@@ -385,21 +414,24 @@ let check_invariants t =
       | Indexed ->
         let n = ref 0 in
         let audit idx ~forced =
-          Int_map.iter
-            (fun oid r ->
+          Oid_bitset.iter idx.bits (fun o ->
               incr n;
-              assert (r.oid = oid);
-              assert (r.forced = forced);
-              assert (
-                match Int_map.find_opt r.seq idx.by_seq with
-                | Some r' -> r' == r
-                | None -> false);
-              assert (
-                match Hashtbl.find_opt d.pending_tbl oid with
-                | Some r' -> r' == r
-                | None -> false))
-            idx.by_oid;
-          assert (Int_map.cardinal idx.by_oid = Int_map.cardinal idx.by_seq)
+              let oid = o + d.lo in
+              match Hashtbl.find_opt d.pending_tbl oid with
+              | Some r ->
+                assert (r.oid = oid);
+                assert (r.forced = forced);
+                (match t.scheduling with
+                | Fifo ->
+                  assert (
+                    match Int_map.find_opt r.seq idx.by_seq with
+                    | Some r' -> r' == r
+                    | None -> false)
+                | Nearest -> ())
+              | None -> assert false);
+          match t.scheduling with
+          | Fifo -> assert (Oid_bitset.cardinal idx.bits = Int_map.cardinal idx.by_seq)
+          | Nearest -> assert (Int_map.is_empty idx.by_seq)
         in
         audit d.normal ~forced:false;
         audit d.urgent ~forced:true;

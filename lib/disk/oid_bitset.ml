@@ -1,0 +1,212 @@
+(* Hierarchical bitset over a dense integer universe [0, n).
+
+   The flush elevator needs four operations on each drive's pending
+   set: insert, delete, circular successor and circular predecessor of
+   the head position.  Balanced maps give all four in O(log B) of the
+   backlog B — but the scarce-flush regime does millions of inserts
+   and deletes against a backlog it rarely picks from, and the
+   rebalancing allocation on *every* index update is what made the
+   indexed elevator slower than the linear scan it replaced.
+
+   A bitset makes insert and delete two or three array stores with no
+   allocation at all, ever.  Each level packs 63 members per word
+   (OCaml's native int); level k+1 holds one summary bit per level-k
+   word, so the whole structure for a million-oid drive is ~16 KB of
+   flat int arrays and successor/predecessor walk at most
+   [levels] ≤ 4 words up and down. *)
+
+let word_bits = 63
+
+type t = {
+  n : int;
+  levels : int array array;
+      (* [levels.(0)] is the member bit array; bit [i land 62..0] of
+         word [i / 63].  For k > 0, bit b of [levels.(k).(w)] is set
+         iff word [w * 63 + b] of level k-1 is non-zero. *)
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Oid_bitset.create: empty universe";
+  let rec build acc m =
+    let words = (m + word_bits - 1) / word_bits in
+    let acc = Array.make words 0 :: acc in
+    if words = 1 then acc else build acc words
+  in
+  { n; levels = Array.of_list (List.rev (build [] n)) }
+
+let universe t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Oid_bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Array.unsafe_get t.levels.(0) (i / word_bits) land (1 lsl (i mod word_bits))
+  <> 0
+
+let add t i =
+  check t i;
+  let nlevels = Array.length t.levels in
+  let rec go lvl i =
+    let w = i / word_bits and b = i mod word_bits in
+    let a = Array.unsafe_get t.levels lvl in
+    let old = Array.unsafe_get a w in
+    Array.unsafe_set a w (old lor (1 lsl b));
+    (* a word that was already non-empty is already summarized *)
+    if old = 0 && lvl + 1 < nlevels then go (lvl + 1) w
+  in
+  go 0 i
+
+let remove t i =
+  check t i;
+  let nlevels = Array.length t.levels in
+  let rec go lvl i =
+    let w = i / word_bits and b = i mod word_bits in
+    let a = Array.unsafe_get t.levels lvl in
+    let now = Array.unsafe_get a w land lnot (1 lsl b) in
+    Array.unsafe_set a w now;
+    if now = 0 && lvl + 1 < nlevels then go (lvl + 1) w
+  in
+  go 0 i
+
+let is_empty t =
+  let top = t.levels.(Array.length t.levels - 1) in
+  Array.unsafe_get top 0 = 0
+
+(* number of trailing zeros; [x] must be non-zero *)
+let ntz x =
+  let n = ref 0 and x = ref x in
+  if !x land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    x := !x lsr 32
+  end;
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
+(* position of the highest set bit; [x] must be non-zero *)
+let msb x =
+  let n = ref 0 and x = ref x in
+  if !x lsr 32 <> 0 then begin
+    n := !n + 32;
+    x := !x lsr 32
+  end;
+  if !x lsr 16 <> 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x lsr 8 <> 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x lsr 4 <> 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x lsr 2 <> 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x lsr 1 <> 0 then incr n;
+  !n
+
+(* lowest member reachable from the known-non-empty word [w] at
+   level [lvl] *)
+let rec descend_min t lvl w =
+  let i = (w * word_bits) + ntz (Array.unsafe_get t.levels.(lvl) w) in
+  if lvl = 0 then i else descend_min t (lvl - 1) i
+
+let rec descend_max t lvl w =
+  let i = (w * word_bits) + msb (Array.unsafe_get t.levels.(lvl) w) in
+  if lvl = 0 then i else descend_max t (lvl - 1) i
+
+let min_elt t =
+  if is_empty t then None else Some (descend_min t (Array.length t.levels - 1) 0)
+
+let max_elt t =
+  if is_empty t then None else Some (descend_max t (Array.length t.levels - 1) 0)
+
+(* smallest member >= i, scanning the level-[lvl] word containing [i]
+   rightward, then ascending to find the next non-empty subtree *)
+let next_geq t i =
+  if i >= t.n then None
+  else begin
+    let i = if i < 0 then 0 else i in
+    let nlevels = Array.length t.levels in
+    let rec up lvl i =
+      if lvl >= nlevels then None
+      else
+        let w = i / word_bits and b = i mod word_bits in
+        let a = t.levels.(lvl) in
+        if w >= Array.length a then None
+        else
+          let masked = Array.unsafe_get a w land (-1 lsl b) in
+          if masked <> 0 then begin
+            let j = (w * word_bits) + ntz masked in
+            Some (if lvl = 0 then j else descend_min t (lvl - 1) j)
+          end
+          else up (lvl + 1) (w + 1)
+    in
+    up 0 i
+  end
+
+(* largest member < i *)
+let prev_lt t i =
+  if i <= 0 then None
+  else begin
+    let i = if i > t.n then t.n - 1 else i - 1 in
+    let nlevels = Array.length t.levels in
+    let rec up lvl i =
+      if lvl >= nlevels || i < 0 then None
+      else
+        let w = i / word_bits and b = i mod word_bits in
+        let word = Array.unsafe_get t.levels.(lvl) w in
+        let masked =
+          if b = word_bits - 1 then word else word land ((1 lsl (b + 1)) - 1)
+        in
+        if masked <> 0 then begin
+          let j = (w * word_bits) + msb masked in
+          Some (if lvl = 0 then j else descend_max t (lvl - 1) j)
+        end
+        else up (lvl + 1) (w - 1)
+    in
+    up 0 i
+  end
+
+let cardinal t =
+  let count = ref 0 in
+  Array.iter
+    (fun w ->
+      let x = ref w in
+      while !x <> 0 do
+        x := !x land (!x - 1);
+        incr count
+      done)
+    t.levels.(0);
+  !count
+
+let iter t f =
+  let a = t.levels.(0) in
+  for w = 0 to Array.length a - 1 do
+    let x = ref (Array.unsafe_get a w) in
+    while !x <> 0 do
+      let b = ntz !x in
+      f ((w * word_bits) + b);
+      x := !x land (!x - 1)
+    done
+  done

@@ -1,0 +1,42 @@
+(** Hierarchical bitset over a dense integer universe [[0, n)].
+
+    The flush elevator's per-drive pending index: insert and delete
+    are a constant two or three word stores — no allocation, ever —
+    and circular successor/predecessor queries walk at most one word
+    per summary level (four levels cover sixteen million oids).  This
+    is what lets the indexed elevator stay cheaper than the linear
+    scan even in regimes that enqueue millions of requests but rarely
+    pick (the scarce-flush backlog). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [[0, n)].  Raises
+    [Invalid_argument] when [n <= 0]. *)
+
+val universe : t -> int
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+(** Idempotent. *)
+
+val remove : t -> int -> unit
+(** Idempotent. *)
+
+val is_empty : t -> bool
+
+val min_elt : t -> int option
+val max_elt : t -> int option
+
+val next_geq : t -> int -> int option
+(** [next_geq t i] is the smallest member [>= i], if any.  [i] may lie
+    outside the universe (clamped). *)
+
+val prev_lt : t -> int -> int option
+(** [prev_lt t i] is the largest member [< i], if any. *)
+
+val cardinal : t -> int
+(** O(words); audit/test use. *)
+
+val iter : t -> (int -> unit) -> unit
+(** Ascending order; audit/test use. *)

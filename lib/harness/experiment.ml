@@ -34,6 +34,10 @@ type config = {
   observer : El_obs.Obs.config option;
   fault : El_fault.Fault_plan.t;
   backend : backend;
+  pooling : bool;
+      (* recycle ledger entries / arena segments instead of
+         allocating; behaviour-identical, off for A/B profiling *)
+  group_fsync : bool;  (* batch store barriers per settle wave *)
 }
 
 let default_config ~kind ~mix =
@@ -57,6 +61,8 @@ let default_config ~kind ~mix =
     observer = None;
     fault = El_fault.Fault_plan.empty;
     backend = Sim;
+    pooling = true;
+    group_fsync = false;
   }
 
 (* A preset replaces the whole traffic description but not the plant
@@ -103,6 +109,7 @@ type result = {
   store_pwrites : int;
   store_barriers : int;
   store_bytes_written : int;
+  store_group_syncs : int;
 }
 
 type live = {
@@ -213,6 +220,10 @@ let collect cfg live ~overloaded =
       | Some s ->
         (El_store.Backend.counters (El_store.Log_store.backend s))
           .El_store.Backend.bytes_written);
+    store_group_syncs =
+      (match live.store with
+      | None -> 0
+      | Some s -> El_store.Log_store.group_syncs s);
   }
 
 let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
@@ -229,12 +240,17 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
      file variant gets a unique image inside the caller's directory so
      parallel sweep slices never clobber one another. *)
   let store =
+    let sync_mode =
+      if cfg.group_fsync then El_store.Log_store.Grouped
+      else El_store.Log_store.Immediate
+    in
     match cfg.backend with
     | Sim -> None
-    | Mem_store -> Some (El_store.Log_store.create (El_store.Backend.mem ()))
+    | Mem_store ->
+      Some (El_store.Log_store.create ~sync_mode (El_store.Backend.mem ()))
     | File_store dir ->
       let path = Filename.temp_file ~temp_dir:dir "el_store" ".img" in
-      Some (El_store.Log_store.create (El_store.Backend.file ~path))
+      Some (El_store.Log_store.create ~sync_mode (El_store.Backend.file ~path))
   in
   (match (obs, store) with
   | Some o, Some s ->
@@ -262,8 +278,8 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
     match cfg.kind with
     | Ephemeral policy ->
       let m =
-        El_manager.create engine ~policy ~flush ~stable ?obs ?fault:inj ?store
-          ()
+        El_manager.create engine ~policy ~flush ~stable ~pooled:cfg.pooling
+          ?obs ?fault:inj ?store ()
       in
       let sink =
         {
@@ -299,8 +315,8 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
       (None, Some m, None, sink)
     | Hybrid queue_sizes ->
       let m =
-        Hybrid_manager.create engine ~queue_sizes ~flush ~stable ?obs
-          ?fault:inj ?store ()
+        Hybrid_manager.create engine ~queue_sizes ~flush ~stable
+          ~pooled:cfg.pooling ?obs ?fault:inj ?store ()
       in
       let sink =
         {
@@ -457,6 +473,12 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
         false
       with El_manager.Log_overloaded _ -> true
     in
+    (* Under Grouped sync a tail of appended-but-unsynced segments can
+       remain; one final barrier makes the end-of-run image durable
+       (no-op when clean or Immediate). *)
+    (match live.store with
+    | Some s -> El_store.Log_store.sync s
+    | None -> ());
     (match obs with Some o -> El_obs.Obs.finish o | None -> ());
     collect cfg live ~overloaded
   in

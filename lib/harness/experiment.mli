@@ -81,6 +81,18 @@ type config = {
           sealed log block and stable install is also serialized into
           an {!El_store.Log_store} image before completion hooks fire,
           so {!El_recovery.Recovery.recover_store} can replay it. *)
+  pooling : bool;
+      (** [true] (default) recycles ledger LOT/LTT entries and hybrid
+          arena segments through free lists, so steady-state
+          transaction churn allocates nothing.  [false] allocates
+          fresh structures each time, for A/B allocation profiling.
+          Results are byte-identical either way (pinned by a
+          regression test). *)
+  group_fsync : bool;
+      (** [true] puts the store (when [backend] is not [Sim]) in
+          {!El_store.Log_store.Grouped} sync mode: segments appended
+          while the engine settles share one barrier instead of one
+          each.  [false] (default) fsyncs every segment. *)
 }
 
 val default_config : kind:manager_kind -> mix:El_workload.Mix.t -> config
@@ -128,6 +140,9 @@ type result = {
   store_pwrites : int;  (** store write syscalls (0 under [Sim]) *)
   store_barriers : int;  (** fsync barriers issued (counted no-ops on mem) *)
   store_bytes_written : int;
+  store_group_syncs : int;
+      (** grouped-barrier waves actually issued (0 under [Sim] or
+          [Immediate] sync) *)
 }
 
 val run : config -> result

@@ -5,7 +5,8 @@ module Oid = struct
     if n < 0 then invalid_arg "Oid.of_int: negative";
     n
 
-  let to_int t = t
+  external to_int : t -> int = "%identity"
+
   let equal = Int.equal
   let compare = Int.compare
   let hash t = t
@@ -31,7 +32,8 @@ module Tid = struct
     if n < 0 then invalid_arg "Tid.of_int: negative";
     n
 
-  let to_int t = t
+  external to_int : t -> int = "%identity"
+
   let equal = Int.equal
   let compare = Int.compare
   let hash t = t

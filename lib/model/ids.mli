@@ -12,7 +12,10 @@ module Oid : sig
   val of_int : int -> t
   (** Raises [Invalid_argument] on a negative argument. *)
 
-  val to_int : t -> int
+  external to_int : t -> int = "%identity"
+  (** Zero-cost on purpose: the simulation hot paths unwrap ids once
+      per record and a cross-module call would dominate them. *)
+
   val equal : t -> t -> bool
   val compare : t -> t -> int
   val hash : t -> int
@@ -31,7 +34,7 @@ module Tid : sig
   type t
 
   val of_int : int -> t
-  val to_int : t -> int
+  external to_int : t -> int = "%identity"
   val equal : t -> t -> bool
   val compare : t -> t -> int
   val hash : t -> int

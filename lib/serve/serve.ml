@@ -7,6 +7,9 @@ type config = {
   fresh : bool;
   kind : Experiment.manager_kind;
   num_objects : int;
+  group_fsync : bool;
+      (* one fsync per COMMIT (before its ack) instead of one per
+         appended segment; acked durability is unchanged *)
 }
 
 let default_config ~image =
@@ -17,6 +20,7 @@ let default_config ~image =
       Experiment.Ephemeral
         (El_core.Policy.default ~generation_sizes:[| 32; 32 |]);
     num_objects = 100_000;
+    group_fsync = false;
   }
 
 (* The same quad every manager exposes, erased to closures so the
@@ -37,6 +41,7 @@ type t = {
   acked : (int, unit) Hashtbl.t;
   recovered : El_recovery.Recovery.result;
   num_objects : int;
+  mutable commits : int;  (* COMMIT commands acked, for the stat line *)
 }
 
 (* Interactive transactions have no meaningful a-priori duration;
@@ -46,9 +51,17 @@ let expected_duration = Time.of_ms 50
 
 let start cfg =
   let backend = El_store.Backend.file ~path:cfg.image in
+  (* Manual, not Grouped: serve's explicit sync before each commit ack
+     is the only barrier needed; scheduled per-wave syncs would barrier
+     at every completion instant of the settle for no durability
+     benefit. *)
+  let sync_mode =
+    if cfg.group_fsync then El_store.Log_store.Manual
+    else El_store.Log_store.Immediate
+  in
   let store =
-    if cfg.fresh then El_store.Log_store.create backend
-    else El_store.Log_store.attach backend
+    if cfg.fresh then El_store.Log_store.create ~sync_mode backend
+    else El_store.Log_store.attach ~sync_mode backend
   in
   (* Attach already truncated any torn tail, so this scan replays
      exactly the durable prefix a crashed predecessor left behind. *)
@@ -132,6 +145,7 @@ let start cfg =
     acked = Hashtbl.create 64;
     recovered;
     num_objects = cfg.num_objects;
+    commits = 0;
   }
 
 let recovered t = t.recovered
@@ -204,12 +218,16 @@ let exec t line =
                   ~on_ack:(fun at -> acked_at := Some at);
                 (* Force partial buffers out and run every consequence:
                    by the time drain+settle return, the COMMIT record's
-                   block has been appended and fsynced — the ack below
-                   is an ack of durable state. *)
+                   block has been appended — and fsynced, either per
+                   segment (Immediate) or by the single group barrier
+                   below — so the ack below is an ack of durable
+                   state. *)
                 t.sink.s_drain ();
                 settle ();
+                El_store.Log_store.sync t.store;
                 match !acked_at with
                 | Some _ ->
+                  t.commits <- t.commits + 1;
                   Hashtbl.replace t.acked n ();
                   ok "committed %d" n
                 | None ->
@@ -259,13 +277,22 @@ let exec t line =
     | "STAT", [] ->
       let backend = El_store.Log_store.backend t.store in
       let c = El_store.Backend.counters backend in
+      let fsyncs_per_commit =
+        float_of_int c.El_store.Backend.barriers
+        /. float_of_int (max 1 t.commits)
+      in
       ( Some
           (Printf.sprintf
-             "stat backend=%s pwrites=%d barriers=%d bytes=%d recovered=%d"
+             "stat backend=%s pwrites=%d barriers=%d bytes=%d recovered=%d \
+              commits=%d fsyncs_per_commit=%.2f group_fsync=%s"
              (El_store.Backend.name backend)
              c.El_store.Backend.pwrites c.El_store.Backend.barriers
              c.El_store.Backend.bytes_written
-             (List.length t.recovered.El_recovery.Recovery.committed_tids)),
+             (List.length t.recovered.El_recovery.Recovery.committed_tids)
+             t.commits fsyncs_per_commit
+             (match El_store.Log_store.sync_mode t.store with
+             | El_store.Log_store.Grouped | El_store.Log_store.Manual -> "on"
+             | El_store.Log_store.Immediate -> "off")),
         true )
     | "QUIT", [] -> (Some "bye", false)
     | verb, _ -> (Some (err "unknown or malformed command %S" verb), true))

@@ -30,7 +30,8 @@
       transactions still in the log at startup, ascending (a flushed
       commit's effects live on in the stable state; see [READ])
     - [STAT] → [stat backend=<name> pwrites=<n> barriers=<n>
-      bytes=<n> recovered=<n>]
+      bytes=<n> recovered=<n> commits=<n> fsyncs_per_commit=<f>
+      group_fsync=<on|off>]
     - [QUIT] → [bye], then the connection (or the stdio server)
       closes
 
@@ -47,10 +48,17 @@ type config = {
           whatever committed state it holds and recovers it *)
   kind : El_harness.Experiment.manager_kind;
   num_objects : int;
+  group_fsync : bool;
+      (** [true] batches the store's barriers: segments appended while
+          a COMMIT settles share one fsync, issued before the commit
+          ack.  The ack-durability contract is unchanged — only
+          unacked work can be lost to a crash.  [false] (default)
+          fsyncs every appended segment. *)
 }
 
 val default_config : image:string -> config
-(** EL with two 32-block generations, 100_000 objects, attach. *)
+(** EL with two 32-block generations, 100_000 objects, attach,
+    per-segment fsync. *)
 
 type t
 

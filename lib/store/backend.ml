@@ -82,21 +82,23 @@ let rec read_all fd b pos len =
     let n = Unix.read fd b pos len in
     if n = 0 then pos else read_all fd b (pos + n) (len - n)
 
-let pwrite t ~off b =
+let pwrite t ~off ?(pos = 0) ?len b =
   check_open t;
   if off < 0 then invalid_arg "El_store.Backend.pwrite: negative offset";
-  let len = Bytes.length b in
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "El_store.Backend.pwrite: slice out of bounds";
   (match t.impl with
   | Mem m ->
     mem_ensure m (off + len);
     (* Zero-fill any gap between the current end and [off] so Mem and
        File (which reads back sparse holes as zeros) stay byte-equal. *)
     if off > m.len then Bytes.fill m.buf m.len (off - m.len) '\000';
-    Bytes.blit b 0 m.buf off len;
+    Bytes.blit b pos m.buf off len;
     if off + len > m.len then m.len <- off + len
   | File f ->
     ignore (Unix.lseek f.fd off Unix.SEEK_SET);
-    write_all f.fd b 0 len);
+    write_all f.fd b pos len);
   record t (Pwrite len)
 
 let pread t ~off ~len =

@@ -45,10 +45,13 @@ val name : t -> string
 val path : t -> string option
 (** The image path, for {!file} backends. *)
 
-val pwrite : t -> off:int -> bytes -> unit
-(** Writes the whole buffer at byte offset [off], extending the store
-    as needed.  Raises [Invalid_argument] on a negative offset or a
-    closed backend. *)
+val pwrite : t -> off:int -> ?pos:int -> ?len:int -> bytes -> unit
+(** Writes the buffer slice [[pos, pos + len)] (default: the whole
+    buffer) at byte offset [off], extending the store as needed — the
+    slice form lets the segment writer hand over a prefix of its
+    reused scratch buffer without copying.  Raises [Invalid_argument]
+    on a negative offset, an out-of-bounds slice, or a closed
+    backend. *)
 
 val pread : t -> off:int -> len:int -> bytes
 (** Reads up to [len] bytes at [off]; the result is short when the

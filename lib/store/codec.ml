@@ -34,9 +34,10 @@ let tag_of_entry = function
     | Log_record.Abort -> 3
     | Log_record.Data _ -> 4)
 
-let encode_entry ?(corrupt = false) e =
-  let b = Bytes.make entry_bytes '\000' in
-  Bytes.set b 0 (Char.chr (tag_of_entry e));
+let encode_entry_into ?(corrupt = false) b ~pos e =
+  if Bytes.length b - pos < entry_bytes then
+    invalid_arg "El_store.Codec.encode_entry_into: short buffer";
+  Bytes.set b pos (Char.chr (tag_of_entry e));
   let tid, oid, version, size, ts =
     match e with
     | Stable { oid; version } -> (0, Ids.Oid.to_int oid, version, 0, 0)
@@ -52,14 +53,18 @@ let encode_entry ?(corrupt = false) e =
         r.Log_record.size,
         Time.to_us r.Log_record.timestamp )
   in
-  Bytes.set_int64_le b 1 (Int64.of_int tid);
-  Bytes.set_int64_le b 9 (Int64.of_int oid);
-  Bytes.set_int64_le b 17 (Int64.of_int version);
-  Bytes.set_int64_le b 25 (Int64.of_int size);
-  Bytes.set_int64_le b 33 (Int64.of_int ts);
-  let cksum = fnv1a_64 b ~pos:0 ~len:41 in
+  Bytes.set_int64_le b (pos + 1) (Int64.of_int tid);
+  Bytes.set_int64_le b (pos + 9) (Int64.of_int oid);
+  Bytes.set_int64_le b (pos + 17) (Int64.of_int version);
+  Bytes.set_int64_le b (pos + 25) (Int64.of_int size);
+  Bytes.set_int64_le b (pos + 33) (Int64.of_int ts);
+  let cksum = fnv1a_64 b ~pos ~len:41 in
   let cksum = if corrupt then Int64.logxor cksum 1L else cksum in
-  Bytes.set_int64_le b 41 cksum;
+  Bytes.set_int64_le b (pos + 41) cksum
+
+let encode_entry ?corrupt e =
+  let b = Bytes.make entry_bytes '\000' in
+  encode_entry_into ?corrupt b ~pos:0 e;
   b
 
 let decode_entry b ~pos =
@@ -85,15 +90,20 @@ let decode_entry b ~pos =
     | _ -> None
   end
 
+let encode_header_into b ~pos h =
+  if Bytes.length b - pos < header_bytes then
+    invalid_arg "El_store.Codec.encode_header_into: short buffer";
+  Bytes.blit_string magic 0 b pos 4;
+  Bytes.set_int64_le b (pos + 4) (Int64.of_int h.h_epoch);
+  Bytes.set_int64_le b (pos + 12) (Int64.of_int h.h_gen);
+  Bytes.set_int64_le b (pos + 20) (Int64.of_int h.h_slot);
+  Bytes.set_int64_le b (pos + 28) (Int64.of_int h.h_seq);
+  Bytes.set_int64_le b (pos + 36) (Int64.of_int h.h_count);
+  Bytes.set_int64_le b (pos + 44) (fnv1a_64 b ~pos ~len:44)
+
 let encode_header h =
   let b = Bytes.make header_bytes '\000' in
-  Bytes.blit_string magic 0 b 0 4;
-  Bytes.set_int64_le b 4 (Int64.of_int h.h_epoch);
-  Bytes.set_int64_le b 12 (Int64.of_int h.h_gen);
-  Bytes.set_int64_le b 20 (Int64.of_int h.h_slot);
-  Bytes.set_int64_le b 28 (Int64.of_int h.h_seq);
-  Bytes.set_int64_le b 36 (Int64.of_int h.h_count);
-  Bytes.set_int64_le b 44 (fnv1a_64 b ~pos:0 ~len:44);
+  encode_header_into b ~pos:0 h;
   b
 
 let decode_header b ~pos =

@@ -36,13 +36,21 @@ type header = {
 
 val fnv1a_64 : Bytes.t -> pos:int -> len:int -> int64
 
+val encode_entry_into : ?corrupt:bool -> Bytes.t -> pos:int -> entry -> unit
+(** Encodes the entry in place at [pos] — the store's segment writer
+    packs a whole segment into one reused scratch buffer this way, so
+    steady-state appends allocate nothing.  [corrupt] flips a checksum
+    bit — used by tests and by torn-suffix persistence to write a
+    deliberately invalid entry. *)
+
 val encode_entry : ?corrupt:bool -> entry -> Bytes.t
-(** [corrupt] flips a checksum bit — used by tests and by torn-suffix
-    persistence to write a deliberately invalid entry. *)
+(** Fresh-buffer convenience over {!encode_entry_into}. *)
 
 val decode_entry : Bytes.t -> pos:int -> entry option
 (** [None] when the checksum fails or the tag is unknown; raises
     [Invalid_argument] if fewer than {!entry_bytes} bytes remain. *)
+
+val encode_header_into : Bytes.t -> pos:int -> header -> unit
 
 val encode_header : header -> Bytes.t
 

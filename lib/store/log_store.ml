@@ -1,10 +1,17 @@
 open El_model
 
+type sync_mode = Immediate | Grouped | Manual
+
 type t = {
   backend : Backend.t;
   mutable epoch : int;
   mutable seq : int;
   mutable write_off : int;
+  mutable scratch : Bytes.t;  (* reused segment-encoding buffer *)
+  mutable sync_mode : sync_mode;
+  mutable dirty : bool;  (* bytes written since the last barrier *)
+  mutable sync_scheduled : bool;  (* a group sync is already queued *)
+  mutable group_syncs : int;  (* barriers issued by {!sync} *)
 }
 
 let backend t = t.backend
@@ -16,9 +23,35 @@ let torn_keep ~count f =
 
 let segment_bytes count = Codec.header_bytes + (count * Codec.entry_bytes)
 
+let sync_mode t = t.sync_mode
+let dirty t = t.dirty
+let group_syncs t = t.group_syncs
+
+let sync t =
+  if t.dirty then begin
+    Backend.barrier t.backend;
+    t.dirty <- false;
+    t.group_syncs <- t.group_syncs + 1
+  end
+
+let set_sync_mode t mode =
+  (* entering Immediate must not strand written-but-unsynced bytes *)
+  if mode = Immediate then sync t;
+  t.sync_mode <- mode
+
+let request_group_sync t ~schedule =
+  if t.sync_mode = Grouped && t.dirty && not t.sync_scheduled then begin
+    t.sync_scheduled <- true;
+    schedule (fun () ->
+        t.sync_scheduled <- false;
+        sync t)
+  end
+
 let append_segment t ~gen ~slot entries ~corrupt_from =
   let count = List.length entries in
-  let b = Bytes.create (segment_bytes count) in
+  let len = segment_bytes count in
+  if Bytes.length t.scratch < len then
+    t.scratch <- Bytes.create (max len (2 * Bytes.length t.scratch));
   let header =
     {
       Codec.h_epoch = t.epoch;
@@ -28,18 +61,20 @@ let append_segment t ~gen ~slot entries ~corrupt_from =
       h_count = count;
     }
   in
-  Bytes.blit (Codec.encode_header header) 0 b 0 Codec.header_bytes;
+  Codec.encode_header_into t.scratch ~pos:0 header;
   List.iteri
     (fun i e ->
       let corrupt = i >= corrupt_from in
-      Bytes.blit (Codec.encode_entry ~corrupt e) 0 b
-        (Codec.header_bytes + (i * Codec.entry_bytes))
-        Codec.entry_bytes)
+      Codec.encode_entry_into ~corrupt t.scratch
+        ~pos:(Codec.header_bytes + (i * Codec.entry_bytes))
+        e)
     entries;
-  Backend.pwrite t.backend ~off:t.write_off b;
-  Backend.barrier t.backend;
+  Backend.pwrite t.backend ~off:t.write_off ~len t.scratch;
+  (match t.sync_mode with
+  | Immediate -> Backend.barrier t.backend
+  | Grouped | Manual -> t.dirty <- true);
   t.seq <- t.seq + 1;
-  t.write_off <- t.write_off + Bytes.length b
+  t.write_off <- t.write_off + len
 
 let append_block t ~gen ~slot ?torn_suffix records =
   match records with
@@ -191,16 +226,25 @@ let scan ?upto backend =
     s_max_seq = !max_seq;
   }
 
-let create backend =
-  Backend.truncate backend ~len:0;
-  { backend; epoch = 0; seq = 0; write_off = 0 }
-
-let attach backend =
-  let s = scan backend in
-  if s.s_torn_tail then Backend.truncate backend ~len:s.s_end;
+let make backend ~epoch ~seq ~write_off ~sync_mode =
   {
     backend;
-    epoch = s.s_max_epoch + 1;
-    seq = s.s_max_seq + 1;
-    write_off = s.s_end;
+    epoch;
+    seq;
+    write_off;
+    scratch = Bytes.create (segment_bytes 64);
+    sync_mode;
+    dirty = false;
+    sync_scheduled = false;
+    group_syncs = 0;
   }
+
+let create ?(sync_mode = Immediate) backend =
+  Backend.truncate backend ~len:0;
+  make backend ~epoch:0 ~seq:0 ~write_off:0 ~sync_mode
+
+let attach ?(sync_mode = Immediate) backend =
+  let s = scan backend in
+  if s.s_torn_tail then Backend.truncate backend ~len:s.s_end;
+  make backend ~epoch:(s.s_max_epoch + 1) ~seq:(s.s_max_seq + 1)
+    ~write_off:s.s_end ~sync_mode

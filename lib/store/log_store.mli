@@ -16,11 +16,27 @@
 
     {2 Durability contract}
 
-    {!append_block} and {!append_stable} issue one [pwrite] followed by
-    one {!Backend.barrier} and return only after both; callers may
+    Under the default {!Immediate} sync mode, {!append_block} and
+    {!append_stable} issue one [pwrite] followed by one
+    {!Backend.barrier} and return only after both; callers may
     therefore ack durability immediately after an append returns.  On
     the [file] backend that is pwrite+fsync, so the ack survives
     SIGKILL.
+
+    Under {!Grouped} and {!Manual} the barrier is decoupled from the
+    append: appends mark the store dirty and the barrier is issued by
+    {!sync}.  Under {!Grouped} the simulation's channels also call
+    {!request_group_sync}, which coalesces every append of a
+    same-instant completion wave under a single barrier, so simulated
+    acks and their barrier land at the same instant.  {!Manual} issues
+    nothing on its own — only an explicit {!sync} barriers; it is the
+    serve loop's mode, where drain-and-settle appends many segments
+    (the sealed block plus each stable install) and one {!sync} before
+    the commit ack covers them all.  The contract shifts accordingly:
+    an append alone is {e not} durable, and an ack may only follow a
+    completed {!sync}.  Callers that honour that rule keep exactly the
+    Immediate crash guarantees while paying one fsync per settle wave
+    (or per commit) instead of one per segment.
 
     {2 Epochs}
 
@@ -33,15 +49,50 @@ open El_model
 
 type t
 
-val create : Backend.t -> t
+(** When the backend barrier runs relative to appends. *)
+type sync_mode =
+  | Immediate  (** one barrier per appended segment (the default) *)
+  | Grouped
+      (** appends only mark the store dirty; {!sync} (or a scheduled
+          {!request_group_sync}) barriers once for every append since
+          the last barrier *)
+  | Manual
+      (** like [Grouped], but {!request_group_sync} is ignored too:
+          only an explicit {!sync} ever barriers *)
+
+val create : ?sync_mode:sync_mode -> Backend.t -> t
 (** Truncates the backend and starts at epoch 0, seq 0. *)
 
-val attach : Backend.t -> t
+val attach : ?sync_mode:sync_mode -> Backend.t -> t
 (** Adopts an existing image: scans it, truncates any torn tail, and
     resumes appending at the next epoch and sequence number. *)
 
 val backend : t -> Backend.t
 val epoch : t -> int
+
+val sync_mode : t -> sync_mode
+
+val set_sync_mode : t -> sync_mode -> unit
+(** Switching to [Immediate] first {!sync}s, so no written bytes are
+    left without a barrier. *)
+
+val dirty : t -> bool
+(** Bytes have been appended since the last barrier ([Grouped] or
+    [Manual]). *)
+
+val sync : t -> unit
+(** Barrier now, if dirty; a no-op otherwise. *)
+
+val request_group_sync : t -> schedule:((unit -> unit) -> unit) -> unit
+(** Asks for a {!sync} to run at a caller-chosen later point — the
+    channels pass an end-of-settle-wave scheduler, so however many
+    block writes complete at one simulated instant, the wave ends in
+    exactly one barrier.  Idempotent while a sync is already queued;
+    a no-op when the store is clean or the mode is not [Grouped]. *)
+
+val group_syncs : t -> int
+(** Barriers issued by {!sync} (the group-commit counter, reported by
+    the serve [stat] line and the store bench). *)
 
 val position : t -> int
 (** The next sequence number to be assigned.  A scan bounded by

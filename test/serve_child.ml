@@ -6,13 +6,19 @@
 
 let () =
   let image = Sys.argv.(1) in
-  let fresh = Array.length Sys.argv > 2 && Sys.argv.(2) = "--fresh" in
+  let flag name =
+    Array.exists (fun a -> a = name)
+      (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+  in
+  let fresh = flag "--fresh" in
+  let group_fsync = flag "--group-fsync" in
   let t =
     El_serve.Serve.start
       {
         (El_serve.Serve.default_config ~image) with
         El_serve.Serve.fresh;
         num_objects = 1_000;
+        group_fsync;
       }
   in
   El_serve.Serve.serve_channel t stdin stdout;

@@ -1,0 +1,257 @@
+(* Allocation-discipline gates for the zero-copy pass:
+
+   - arena segment laws: packed records roundtrip to boxed ones;
+     ownership (release) plus borrowing (pin) gate chunk recycling;
+     stale handles are poisoned; the pool actually recycles and the
+     unpooled arena never does; concurrent segments don't alias;
+   - the flush elevator's hierarchical bitset against a [Set] model,
+     every query at every universe point;
+   - pooling is invisible: the same seeded run is Marshal-identical
+     with entry/chunk recycling on and off, across all three managers
+     and the adversarial presets. *)
+
+open El_model
+module Arena = El_core.Arena
+module Bitset = El_disk.Oid_bitset
+module Experiment = El_harness.Experiment
+module Sweep = El_check.Sweep
+module Preset = El_workload.Workload_preset
+
+(* ---- arena segment laws ---- *)
+
+let record_arb =
+  let open QCheck in
+  let gen =
+    Gen.(
+      map
+        (fun (k, tidn, oidn, version, size, ts) ->
+          let tid = Ids.Tid.of_int (tidn + 1) in
+          let timestamp = Time.of_us ts in
+          match k with
+          | 0 -> Log_record.begin_ ~tid ~size ~timestamp
+          | 1 -> Log_record.commit ~tid ~size ~timestamp
+          | 2 -> Log_record.abort ~tid ~size ~timestamp
+          | _ ->
+            Log_record.data ~tid ~oid:(Ids.Oid.of_int oidn)
+              ~version:(version + 1) ~size ~timestamp)
+        (tup6 (int_bound 3) (int_bound 1000) (int_bound 999) (int_bound 50)
+           (int_range 1 64) (int_bound 100_000)))
+  in
+  QCheck.make ~print:(fun r -> Format.asprintf "%a" Log_record.pp r) gen
+
+let prop_arena_roundtrip =
+  (* Sizes up to 300 records span several chunks, so the law also
+     covers chunk linking. *)
+  QCheck.Test.make ~name:"arena packs and unpacks records faithfully"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 300) record_arb)
+    (fun records ->
+      let a = Arena.create () in
+      let seg = Arena.alloc a in
+      List.iter (Arena.push_record seg) records;
+      let ok =
+        Arena.length seg = List.length records
+        && Arena.to_records seg = records
+        && List.for_all
+             (fun (i, r) -> Arena.record_at seg i = r)
+             (List.mapi (fun i r -> (i, r)) records)
+      in
+      Arena.release seg;
+      ok)
+
+let test_arena_recycles () =
+  let a = Arena.create () in
+  Alcotest.(check bool) "pooled by default" true (Arena.pooled a);
+  let fill seg =
+    for i = 1 to 200 do
+      Arena.push seg ~tag:Arena.tag_data ~tid:i ~oid:(i mod 64) ~version:i
+        ~size:8 ~ts:i
+    done
+  in
+  let seg = Arena.alloc a in
+  fill seg;
+  Alcotest.(check int) "length" 200 (Arena.length seg);
+  let s1 = Arena.stats a in
+  Alcotest.(check bool) "fresh chunks carved" true (s1.Arena.allocs > 0);
+  Arena.release seg;
+  Alcotest.(check bool) "stale after release" true
+    (try
+       ignore (Arena.length seg);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "double release rejected" true
+    (try
+       Arena.release seg;
+       false
+     with Invalid_argument _ -> true);
+  let seg2 = Arena.alloc a in
+  fill seg2;
+  let s2 = Arena.stats a in
+  Alcotest.(check int) "same shape carves no new chunks" s1.Arena.allocs
+    s2.Arena.allocs;
+  Alcotest.(check bool) "served from the pool" true (s2.Arena.reuses > 0);
+  Arena.release seg2
+
+let test_arena_pin_outlives_release () =
+  let a = Arena.create () in
+  let seg = Arena.alloc a in
+  Arena.push seg ~tag:Arena.tag_commit ~tid:7 ~oid:0 ~version:0 ~size:8 ~ts:42;
+  Arena.pin seg;
+  Arena.release seg;
+  (* released but pinned: the sealed-block reader still sees it *)
+  Alcotest.(check int) "one pin" 1 (Arena.pinned seg);
+  Alcotest.(check int) "still readable past release" 7 (Arena.tid seg 0);
+  Alcotest.(check int) "tag intact" Arena.tag_commit (Arena.tag seg 0);
+  Arena.unpin seg;
+  Alcotest.(check bool) "stale after the last unpin" true
+    (try
+       ignore (Arena.tid seg 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_arena_unpooled_never_reuses () =
+  let a = Arena.create ~pooled:false () in
+  for round = 1 to 5 do
+    let seg = Arena.alloc a in
+    for i = 1 to 100 do
+      Arena.push seg ~tag:Arena.tag_data ~tid:i ~oid:i ~version:round ~size:8
+        ~ts:i
+    done;
+    Arena.release seg
+  done;
+  let s = Arena.stats a in
+  Alcotest.(check int) "unpooled never reuses" 0 s.Arena.reuses;
+  Alcotest.(check int) "no buffers retained" 0 s.Arena.pooled_buffers
+
+let test_arena_segments_isolated () =
+  (* Interleaved pushes into eight segments, each spanning multiple
+     chunks: no cross-talk, and releasing them all feeds a second
+     round entirely from the pool. *)
+  let a = Arena.create () in
+  let n = 8 and per = 150 in
+  let round () =
+    let segs = Array.init n (fun _ -> Arena.alloc a) in
+    for i = 0 to (n * per) - 1 do
+      let s = i mod n in
+      Arena.push segs.(s) ~tag:Arena.tag_data ~tid:s ~oid:(i / n) ~version:s
+        ~size:8 ~ts:i
+    done;
+    Array.iteri
+      (fun s seg ->
+        Alcotest.(check int) (Printf.sprintf "seg %d length" s) per
+          (Arena.length seg);
+        for j = 0 to per - 1 do
+          if Arena.oid seg j <> j || Arena.tid seg j <> s then
+            Alcotest.failf "seg %d slot %d cross-talk" s j
+        done)
+      segs;
+    segs
+  in
+  let segs = round () in
+  Alcotest.(check int) "outstanding" n (Arena.stats a).Arena.outstanding;
+  Array.iter Arena.release segs;
+  Alcotest.(check int) "all returned" 0 (Arena.stats a).Arena.outstanding;
+  let allocs_before = (Arena.stats a).Arena.allocs in
+  Array.iter Arena.release (round ());
+  Alcotest.(check int) "second round carves nothing" allocs_before
+    (Arena.stats a).Arena.allocs
+
+(* ---- hierarchical bitset vs a Set model ---- *)
+
+module ISet = Set.Make (Int)
+
+type bop = Add of int | Remove of int
+
+let bitset_ops_arb ~universe =
+  let open QCheck in
+  make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Add i -> Printf.sprintf "+%d" i
+             | Remove i -> Printf.sprintf "-%d" i)
+           ops))
+    Gen.(
+      list_size (int_range 0 200)
+        (map2
+           (fun add i -> if add then Add i else Remove i)
+           bool
+           (int_bound (universe - 1))))
+
+let prop_bitset_model =
+  let universe = 200 in
+  QCheck.Test.make ~name:"hierarchical bitset == Set model" ~count:300
+    (bitset_ops_arb ~universe)
+    (fun ops ->
+      let b = Bitset.create universe in
+      let model =
+        List.fold_left
+          (fun m op ->
+            match op with
+            | Add i ->
+              Bitset.add b i;
+              ISet.add i m
+            | Remove i ->
+              Bitset.remove b i;
+              ISet.remove i m)
+          ISet.empty ops
+      in
+      let elems = ref [] in
+      Bitset.iter b (fun i -> elems := i :: !elems);
+      List.rev !elems = ISet.elements model
+      && Bitset.cardinal b = ISet.cardinal model
+      && Bitset.is_empty b = ISet.is_empty model
+      && Bitset.min_elt b = ISet.min_elt_opt model
+      && Bitset.max_elt b = ISet.max_elt_opt model
+      && List.for_all
+           (fun i ->
+             Bitset.mem b i = ISet.mem i model
+             && Bitset.next_geq b i
+                = ISet.find_first_opt (fun x -> x >= i) model
+             && Bitset.prev_lt b i
+                = ISet.find_last_opt (fun x -> x < i) model)
+           (List.init universe Fun.id))
+
+(* ---- pooling is invisible ---- *)
+
+let test_pooling_identity () =
+  List.iter
+    (fun (preset_name, preset) ->
+      List.iter
+        (fun (kind_name, kind) ->
+          List.iter
+            (fun seed ->
+              let cfg =
+                Sweep.standard_config ~kind ~runtime:(Time.of_sec 10)
+                  ~rate:40.0 ~seed ~preset ()
+              in
+              let run pooling =
+                Marshal.to_string
+                  (Experiment.run { cfg with Experiment.pooling })
+                  []
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s seed %d: pooled == unpooled"
+                   preset_name kind_name seed)
+                true
+                (run true = run false))
+            [ 1; 2; 3 ])
+        (Sweep.standard_kinds ()))
+    [ ("contention", Preset.contention); ("longtail", Preset.longtail) ]
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_arena_roundtrip;
+    Alcotest.test_case "arena recycles through the pool" `Quick
+      test_arena_recycles;
+    Alcotest.test_case "pin keeps a released segment readable" `Quick
+      test_arena_pin_outlives_release;
+    Alcotest.test_case "unpooled arena never reuses" `Quick
+      test_arena_unpooled_never_reuses;
+    Alcotest.test_case "segments don't alias; pool feeds round two" `Quick
+      test_arena_segments_isolated;
+    QCheck_alcotest.to_alcotest prop_bitset_model;
+    Alcotest.test_case "pooled == unpooled (3 seeds x 3 kinds x 2 presets)"
+      `Slow test_pooling_identity;
+  ]

@@ -13,6 +13,7 @@ let dummy_entry tid =
     act_prev = None;
     act_next = None;
     act_linked = false;
+    e_free = false;
   }
 
 let make_cell ?(tid = 0) ?(gen = 0) ?(slot = 0) () =

@@ -29,6 +29,7 @@ let () =
       ("hotpath", Test_hotpath.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
+      ("alloc", Test_alloc.suite);
       ("store", Test_store.suite);
       ("serve", Test_serve.suite);
     ]

@@ -32,12 +32,16 @@ let config ~image ~fresh =
 let child_exe =
   Filename.concat (Filename.dirname Sys.executable_name) "serve_child.exe"
 
-let with_server ~image ~fresh f =
+let with_server ?(group_fsync = false) ~image ~fresh f =
   let c2s_r, c2s_w = Unix.pipe ~cloexec:false () in
   let s2c_r, s2c_w = Unix.pipe ~cloexec:false () in
   let args =
-    Array.append [| child_exe; image |]
-    (if fresh then [| "--fresh" |] else [||])
+    Array.concat
+      [
+        [| child_exe; image |];
+        (if fresh then [| "--fresh" |] else [||]);
+        (if group_fsync then [| "--group-fsync" |] else [||]);
+      ]
   in
   let pid = Unix.create_process child_exe args c2s_r s2c_w Unix.stderr in
   Unix.close c2s_r;
@@ -138,6 +142,70 @@ let test_sigkill_recovers_acked () =
             true (List.mem tid recovered))
         acked)
 
+let stat_field stat key =
+  let prefix = key ^ "=" in
+  match
+    List.find_opt
+      (String.starts_with ~prefix)
+      (String.split_on_char ' ' stat)
+  with
+  | Some tok ->
+    String.sub tok (String.length prefix)
+      (String.length tok - String.length prefix)
+  | None -> Alcotest.failf "STAT field %s missing in %S" key stat
+
+(* Same traffic against one server; returns its final STAT line after
+   SIGKILLing it (so the on-disk image is exactly what was durable). *)
+let run_traffic ~group_fsync ~image ~txs ~writes_per_tx =
+  with_server ~group_fsync ~image ~fresh:true (fun pid ic oc ->
+      for tid = 1 to txs do
+        ignore (command oc ic (Printf.sprintf "BEGIN %d" tid));
+        for w = 1 to writes_per_tx do
+          let oid = ((tid * writes_per_tx) + w) mod num_objects in
+          ignore (command oc ic (Printf.sprintf "WRITE %d %d %d" tid oid tid))
+        done;
+        Alcotest.(check string) "ack"
+          (Printf.sprintf "ok committed %d" tid)
+          (command oc ic (Printf.sprintf "COMMIT %d" tid))
+      done;
+      let stat = command oc ic "STAT" in
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      stat)
+
+(* Group fsync batches barriers but must not weaken the ack contract:
+   an [ok committed] line still survives SIGKILL, and STAT reports the
+   batching so callers (and the CI leg) can see the reduction. *)
+let test_group_fsync_batches_and_survives () =
+  with_temp_dir (fun dir ->
+      let txs = 12 and writes_per_tx = 4 in
+      let image_g = Filename.concat dir "grouped.img" in
+      let image_i = Filename.concat dir "immediate.img" in
+      let stat_g =
+        run_traffic ~group_fsync:true ~image:image_g ~txs ~writes_per_tx
+      in
+      let stat_i =
+        run_traffic ~group_fsync:false ~image:image_i ~txs ~writes_per_tx
+      in
+      Alcotest.(check string) "grouped STAT flags it" "on"
+        (stat_field stat_g "group_fsync");
+      Alcotest.(check string) "immediate STAT flags it" "off"
+        (stat_field stat_i "group_fsync");
+      let barriers s = int_of_string (stat_field s "barriers") in
+      Alcotest.(check bool)
+        (Printf.sprintf "grouped barriers (%d) < immediate (%d)"
+           (barriers stat_g) (barriers stat_i))
+        true
+        (barriers stat_g < barriers stat_i);
+      let fpc = float_of_string (stat_field stat_g "fsyncs_per_commit") in
+      Alcotest.(check bool) "fsyncs_per_commit parses and is sane" true
+        (fpc >= 0. && fpc < 100.);
+      let expected = List.init txs (fun i -> i + 1) in
+      Alcotest.(check (list int)) "grouped: every acked commit recovered"
+        expected (recovered_tids image_g);
+      Alcotest.(check (list int)) "immediate: every acked commit recovered"
+        expected (recovered_tids image_i))
+
 (* Restarting on the same image must see earlier epochs' commits and
    add its own without shadowing them. *)
 let test_restart_accumulates () =
@@ -200,6 +268,8 @@ let suite =
     Alcotest.test_case "clean session, scan agrees" `Quick test_clean_session;
     Alcotest.test_case "SIGKILL loses no acked commit" `Quick
       test_sigkill_recovers_acked;
+    Alcotest.test_case "group fsync batches, SIGKILL-safe" `Quick
+      test_group_fsync_batches_and_survives;
     Alcotest.test_case "restart accumulates epochs" `Quick
       test_restart_accumulates;
     Alcotest.test_case "protocol errors are survivable" `Quick

@@ -384,6 +384,58 @@ let test_crash_mark_fidelity () =
           (Marshal.to_string (view st) []))
     [ 1; 2; 3 ]
 
+(* Grouped sync must change barrier counts only: the same appends end
+   in a byte-identical image once the final [sync] lands, with one
+   barrier for the batch instead of one per segment. *)
+let test_grouped_sync_bytes_identical () =
+  let run sync_mode =
+    let b = Backend.mem () in
+    let t = Log_store.create ~sync_mode b in
+    Log_store.append_block t ~gen:0 ~slot:0 (records_of 3 0);
+    Log_store.append_block t ~gen:1 ~slot:0 (records_of 2 50);
+    Log_store.append_stable t ~oid:(Ids.Oid.of_int 7) ~version:3;
+    Log_store.sync t;
+    let size = Backend.size b in
+    ( Bytes.to_string (Backend.pread b ~off:0 ~len:size),
+      (Backend.counters b).Backend.barriers,
+      Log_store.group_syncs t )
+  in
+  let bytes_i, barriers_i, gs_i = run Log_store.Immediate in
+  let bytes_g, barriers_g, gs_g = run Log_store.Grouped in
+  Alcotest.(check string) "images byte-identical" bytes_i bytes_g;
+  Alcotest.(check int) "immediate: a barrier per segment" 3 barriers_i;
+  Alcotest.(check int) "grouped: one barrier for the batch" 1 barriers_g;
+  Alcotest.(check int) "immediate: sync finds nothing dirty" 0 gs_i;
+  Alcotest.(check int) "grouped: one sync wave" 1 gs_g
+
+(* request_group_sync coalesces: many requests in one settle wave
+   schedule one callback, and a clean store schedules nothing. *)
+let test_group_sync_coalesces () =
+  let b = Backend.mem () in
+  let t = Log_store.create ~sync_mode:Log_store.Grouped b in
+  let pending = ref [] in
+  let schedule k = pending := k :: !pending in
+  Log_store.append_block t ~gen:0 ~slot:0 (records_of 1 0);
+  Log_store.request_group_sync t ~schedule;
+  Log_store.append_block t ~gen:0 ~slot:1 (records_of 1 10);
+  Log_store.request_group_sync t ~schedule;
+  Alcotest.(check int) "second request coalesced" 1 (List.length !pending);
+  List.iter (fun k -> k ()) !pending;
+  Alcotest.(check int) "one barrier covers both segments" 1
+    (Backend.counters b).Backend.barriers;
+  Alcotest.(check bool) "store clean after the wave" false (Log_store.dirty t);
+  pending := [];
+  Log_store.request_group_sync t ~schedule;
+  Alcotest.(check int) "clean store schedules nothing" 0
+    (List.length !pending);
+  (* leaving Grouped mode flushes rather than stranding dirty bytes *)
+  Log_store.append_block t ~gen:0 ~slot:2 (records_of 1 20);
+  Log_store.set_sync_mode t Log_store.Immediate;
+  Alcotest.(check bool) "mode switch drains dirtiness" false
+    (Log_store.dirty t);
+  Alcotest.(check int) "mode switch issued the barrier" 2
+    (Backend.counters b).Backend.barriers
+
 let suite =
   [
     Alcotest.test_case "mem backend roundtrip" `Quick test_mem_roundtrip;
@@ -406,4 +458,8 @@ let suite =
       test_sim_mem_result_identity;
     Alcotest.test_case "crash mark freezes the sim image" `Quick
       test_crash_mark_fidelity;
+    Alcotest.test_case "grouped sync: same bytes, fewer barriers" `Quick
+      test_grouped_sync_bytes_identical;
+    Alcotest.test_case "group sync requests coalesce" `Quick
+      test_group_sync_coalesces;
   ]
