@@ -7,7 +7,7 @@
                     [fig4] [fig5] [fig6] [fig7]
                     [headline] [scarce] [rates] [recovery] [ablation]
                     [gens] [adaptive] [checkpoint] [poisson] [hotpath]
-                    [store] [micro]
+                    [store] [shards] [micro]
 
    With no selector, everything runs.  --quick shortens the simulated
    runs (120 s instead of the paper's 500 s) and coarsens sweeps; the
@@ -1313,6 +1313,180 @@ let hotpath speed =
              ] );
        ])
 
+(* ---- multi-shard scale-out: oid-range partitions + cross-shard 2PC
+   (lib/shard) ---- *)
+
+module Shard_group = El_shard.Shard_group
+
+let shard_cfg ~runtime ~rate ~objects ~drives ~gens ~shards ~seed =
+  let mix = El_workload.Mix.short_long ~long_fraction:0.05 in
+  let policy = Policy.default ~generation_sizes:gens in
+  {
+    (Experiment.default_config ~kind:(Experiment.Ephemeral policy) ~mix) with
+    Experiment.arrival_rate = rate;
+    runtime = Time.of_sec_f runtime;
+    flush_drives = drives;
+    num_objects = objects;
+    seed;
+    shards;
+  }
+
+let shard_row cfg =
+  let t0 = Unix.gettimeofday () in
+  let rr = Shard_group.run cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  let shard_committed =
+    Array.map (fun (s : Shard_group.shard_stat) -> s.Shard_group.ss_committed)
+      rr.Shard_group.r_shards
+  in
+  let sum = Array.fold_left ( + ) 0 shard_committed in
+  (* Commit conservation is the sharding correctness anchor CI pins on
+     the emitted JSON: every acknowledged transaction commits on
+     exactly one shard (its own, or its 2PC coordinator). *)
+  if sum <> rr.Shard_group.r_global.Experiment.committed then
+    failwith
+      (Printf.sprintf
+         "shard bench: per-shard commits (%d) do not sum to global (%d)" sum
+         rr.Shard_group.r_global.Experiment.committed);
+  (rr, shard_committed, wall)
+
+let shards_bench speed =
+  heading "Multi-shard scale-out: oid-range partitions with cross-shard 2PC";
+  let runtime = match speed with `Full -> 300.0 | `Quick -> 60.0 in
+  let counts = [ 1; 2; 4 ] in
+  let sweep_row n =
+    shard_row
+      (shard_cfg ~runtime ~rate:150.0 ~objects:100_000 ~drives:16
+         ~gens:[| 64; 48 |] ~shards:n ~seed:42)
+  in
+  let (rows, alloc) =
+    with_alloc (fun () -> List.map (fun n -> (n, sweep_row n)) counts)
+  in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("shards", Table.Right);
+          ("committed", Table.Right);
+          ("singles", Table.Right);
+          ("2pc commits", Table.Right);
+          ("prepares", Table.Right);
+          ("blocked", Table.Right);
+          ("per-shard commits", Table.Left);
+          ("log w/s", Table.Right);
+          ("wall s", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (n, ((rr : Shard_group.run_result), shard_committed, wall)) ->
+      Table.add_row t
+        [
+          string_of_int n;
+          string_of_int rr.Shard_group.r_global.Experiment.committed;
+          string_of_int rr.Shard_group.r_single_committed;
+          string_of_int rr.Shard_group.r_cross_committed;
+          string_of_int rr.Shard_group.r_prepares;
+          string_of_int rr.Shard_group.r_blocked;
+          String.concat "+"
+            (Array.to_list (Array.map string_of_int shard_committed));
+          fmt_f rr.Shard_group.r_global.Experiment.log_write_rate;
+          fmt_f wall;
+        ])
+    rows;
+  Table.print t;
+  print_newline ();
+  print_endline
+    "Fixed load split across N plants: every acknowledged transaction\n\
+     commits on exactly one shard, cross-shard transactions pay one\n\
+     PREPARE marker per branch plus a decision record on their\n\
+     coordinator.";
+  (* The scale headline: a million-object database on four plants.
+     The measured run commits what the simulated runtime admits; the
+     10^7-transaction figure is a labelled extrapolation from the
+     measured wall-clock per committed transaction, not a measured
+     run. *)
+  let h_rate, h_runtime =
+    match speed with `Full -> (2000.0, 300.0) | `Quick -> (1000.0, 60.0)
+  in
+  let h_cfg =
+    shard_cfg ~runtime:h_runtime ~rate:h_rate ~objects:1_000_000 ~drives:128
+      ~gens:[| 320; 256 |] ~shards:4 ~seed:42
+  in
+  let (hr, h_shard_committed, h_wall), h_alloc =
+    with_alloc (fun () -> shard_row h_cfg)
+  in
+  let h_committed = hr.Shard_group.r_global.Experiment.committed in
+  let target_tx = 10_000_000 in
+  let extrapolated_wall =
+    h_wall *. (float_of_int target_tx /. float_of_int (max 1 h_committed))
+  in
+  let ht =
+    Table.create ~columns:[ ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_row ht [ "objects"; "1,000,000" ];
+  Table.add_row ht [ "shards"; "4" ];
+  Table.add_row ht [ "committed (measured)"; string_of_int h_committed ];
+  Table.add_row ht
+    [
+      "cross-shard commits";
+      string_of_int hr.Shard_group.r_cross_committed;
+    ];
+  Table.add_row ht
+    [
+      "updates/s";
+      fmt_f hr.Shard_group.r_global.Experiment.updates_per_sec;
+    ];
+  Table.add_row ht [ "wall s (measured)"; fmt_f h_wall ];
+  Table.add_row ht
+    [
+      "wall s to 10^7 tx (extrapolated)";
+      fmt_f extrapolated_wall;
+    ];
+  Table.print ht;
+  add_section "shards"
+    (J.Obj
+       [
+         ( "sweep",
+           J.List
+             (List.map
+                (fun (n, ((rr : Shard_group.run_result), sc, wall)) ->
+                  J.Obj
+                    [
+                      ("shards", J.Int n);
+                      ( "committed",
+                        J.Int rr.Shard_group.r_global.Experiment.committed );
+                      ( "single_committed",
+                        J.Int rr.Shard_group.r_single_committed );
+                      ( "cross_committed",
+                        J.Int rr.Shard_group.r_cross_committed );
+                      ("prepares", J.Int rr.Shard_group.r_prepares);
+                      ("blocked", J.Int rr.Shard_group.r_blocked);
+                      ("shard_committed", j_ints sc);
+                      ( "log_write_rate",
+                        J.Float rr.Shard_group.r_global.Experiment.log_write_rate
+                      );
+                      ("wall_s", J.Float wall);
+                    ])
+                rows) );
+         ( "headline",
+           J.Obj
+             [
+               ("objects", J.Int 1_000_000);
+               ("shards", J.Int 4);
+               ("committed", J.Int h_committed);
+               ("cross_committed", J.Int hr.Shard_group.r_cross_committed);
+               ("shard_committed", j_ints h_shard_committed);
+               ( "updates_per_sec",
+                 J.Float hr.Shard_group.r_global.Experiment.updates_per_sec );
+               ("wall_s", J.Float h_wall);
+               ("target_tx", J.Int target_tx);
+               ("extrapolated_wall_s_to_target", J.Float extrapolated_wall);
+               ("extrapolated", J.Bool true);
+               ("alloc", h_alloc);
+             ] );
+         ("alloc", alloc);
+       ])
+
 (* ---- Bechamel micro-benchmarks: one Test.make per figure/table plus
    the core data structures ---- *)
 
@@ -1483,6 +1657,7 @@ let () =
   if want "checkpoint" then checkpoint_bench speed;
   if want "poisson" then poisson_bench speed;
   if want "hotpath" then hotpath speed;
+  if want "shards" then shards_bench speed;
   if want "micro" then micro ();
   match json_path with
   | None -> ()

@@ -83,6 +83,22 @@ let poisson =
   let doc = "Use Poisson arrivals instead of the paper's regular spacing." in
   Arg.(value & flag & info [ "poisson" ] ~doc)
 
+let shards_term =
+  let doc =
+    "Partition the object space into $(docv) contiguous oid ranges, each \
+     owned by its own log-manager plant; transactions spanning shards commit \
+     by two-phase commit (PREPARE markers plus a coordinator decision \
+     record).  $(docv)=1 (default) is the solo path, byte-identical to a \
+     world without sharding."
+  in
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (`Msg ("bad shard count: " ^ s))
+  in
+  let shards_conv = Arg.conv (parse, Format.pp_print_int) in
+  Arg.(value & opt shards_conv 1 & info [ "shards" ] ~doc ~docv:"N")
+
 (* --backend sim|mem|file[:DIR].  [file] without a directory puts the
    image in a fresh temp directory removed at exit; with one, images
    land (and stay) there. *)
@@ -192,7 +208,7 @@ let mix_of opts long_pct =
     failwith "--tx-type and --long-pct are mutually exclusive"
 
 let config_of types long_pct rate runtime drives transfer_ms objects seed
-    generations no_recirc firewall abort_fraction poisson backend =
+    generations no_recirc firewall abort_fraction poisson backend shards =
   let mix = mix_of types long_pct in
   let kind =
     match firewall with
@@ -219,13 +235,14 @@ let config_of types long_pct rate runtime drives transfer_ms objects seed
     seed;
     abort_fraction;
     backend = resolve_backend backend;
+    shards;
   }
 
 let config_term =
   Term.(
     const config_of $ mix_term $ long_pct $ rate $ runtime $ drives
     $ transfer_ms $ objects $ seed $ generations $ recirculate $ firewall
-    $ abort_fraction $ poisson $ backend_term)
+    $ abort_fraction $ poisson $ backend_term $ shards_term)
 
 (* ---- report rendering ---- *)
 
@@ -271,10 +288,51 @@ let print_result (r : Experiment.result) =
 
 (* ---- subcommands ---- *)
 
+let print_shard_table (rr : El_shard.Shard_group.run_result) =
+  let t =
+    El_metrics.Table.create
+      ~columns:
+        [
+          ("shard", El_metrics.Table.Left);
+          ("oid range", El_metrics.Table.Left);
+          ("committed", El_metrics.Table.Right);
+          ("branch acks", El_metrics.Table.Right);
+          ("decisions", El_metrics.Table.Right);
+          ("mailbox ops", El_metrics.Table.Right);
+          ("log writes", El_metrics.Table.Right);
+        ]
+  in
+  Array.iter
+    (fun (s : El_shard.Shard_group.shard_stat) ->
+      El_metrics.Table.add_row t
+        [
+          string_of_int s.ss_shard;
+          Printf.sprintf "[%d,%d)" s.ss_lo s.ss_hi;
+          string_of_int s.ss_committed;
+          string_of_int s.ss_branch_acks;
+          string_of_int s.ss_decisions;
+          string_of_int s.ss_mailbox_ops;
+          string_of_int s.ss_result.Experiment.log_writes_total;
+        ])
+    rr.El_shard.Shard_group.r_shards;
+  El_metrics.Table.print t;
+  Printf.printf
+    "single-shard commits: %d  cross-shard (2PC) commits: %d  prepares: %d  \
+     blocked: %d\n"
+    rr.El_shard.Shard_group.r_single_committed
+    rr.El_shard.Shard_group.r_cross_committed rr.El_shard.Shard_group.r_prepares
+    rr.El_shard.Shard_group.r_blocked
+
 let run_cmd =
   let action cfg scenario =
-    let r = Experiment.run (apply_scenario cfg scenario) in
-    print_result r
+    let cfg = apply_scenario cfg scenario in
+    if cfg.Experiment.shards > 1 then begin
+      let rr = El_shard.Shard_group.run cfg in
+      print_result rr.El_shard.Shard_group.r_global;
+      print_newline ();
+      print_shard_table rr
+    end
+    else print_result (Experiment.run cfg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one simulation and print the report.")
     Term.(const action $ config_term $ scenario_term)
@@ -283,11 +341,17 @@ let min_space_cmd =
   let action cfg scenario jobs =
     with_pool jobs @@ fun pool ->
     let cfg = apply_scenario cfg scenario in
+    (* The min-space library can't depend on the shard layer (it lives
+       below it), so the sharded probe runner is injected here. *)
+    let run =
+      if cfg.Experiment.shards > 1 then El_shard.Shard_group.run_global
+      else Experiment.run
+    in
     match cfg.Experiment.kind with
     | Experiment.Hybrid _ ->
       prerr_endline "min-space: hybrid search is not supported; use run"
     | Experiment.Firewall _ ->
-      let blocks, result = El_harness.Min_space.min_fw ~pool cfg in
+      let blocks, result = El_harness.Min_space.min_fw ~pool ~run cfg in
       Printf.printf "minimum FW log: %d blocks\n\n" blocks;
       print_result result
     | Experiment.Ephemeral policy ->
@@ -299,7 +363,7 @@ let min_space_cmd =
       | 2 ->
         let candidates = List.init 14 (fun i -> 4 + (2 * i)) in
         (match
-           El_harness.Min_space.min_el_two_gen ~pool cfg ~make_policy
+           El_harness.Min_space.min_el_two_gen ~pool ~run cfg ~make_policy
              ~g0_candidates:candidates ~hi:256
          with
         | Some (sizes, result) ->
@@ -312,7 +376,7 @@ let min_space_cmd =
       | _ ->
         let leading = Array.sub sizes0 0 (Array.length sizes0 - 1) in
         (match
-           El_harness.Min_space.min_el_last_gen ~pool cfg ~make_policy
+           El_harness.Min_space.min_el_last_gen ~pool ~run cfg ~make_policy
              ~leading ~hi:256
          with
         | Some (last, result) ->
@@ -616,13 +680,18 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
-  let action seeds stride runtime rate spec quick backend scenario jobs =
+  let action seeds stride runtime rate spec quick backend scenario shards jobs
+      =
     with_pool jobs @@ fun pool ->
     let seeds, stride, runtime =
       if quick then (1, 40, 15.0) else (seeds, stride, runtime)
     in
     let runtime = Time.of_sec_f runtime in
     let backend = resolve_backend backend in
+    if shards > 1 && backend <> Experiment.Sim then begin
+      prerr_endline "el-sim check: --shards needs --backend sim";
+      exit 2
+    end;
     let module Sweep = El_check.Sweep in
     let t =
       El_metrics.Table.create
@@ -648,6 +717,7 @@ let check_cmd =
             Sweep.standard_config ~kind ~runtime ~rate ~seed ~backend
               ?preset:scenario ()
           in
+          let cfg = { cfg with Experiment.shards } in
           let o = Sweep.run ~pool ~stride ~spec cfg in
           El_metrics.Table.add_row t
             ([
@@ -699,10 +769,12 @@ let check_cmd =
           --backend mem|file, every swept run also serializes its blocks \
           through the durable store.  Exits non-zero on any divergence.  \
           --jobs N fans each sweep's crash points out across N domains \
-          (identical findings, shorter wall-clock).")
+          (identical findings, shorter wall-clock).  --shards N sweeps the \
+          multi-shard plant instead: per-shard differential models plus the \
+          global atomic-commit invariant over every crash point.")
     Term.(
       const action $ seeds $ stride $ check_runtime $ check_rate $ spec
-      $ quick $ backend_term $ scenario_term $ jobs_term)
+      $ quick $ backend_term $ scenario_term $ shards_term $ jobs_term)
 
 let fault_cmd =
   let module FP = El_fault.Fault_plan in
@@ -1010,7 +1082,7 @@ let conform_cmd =
     in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
-  let action scenario stride runtime rate seed quick jobs =
+  let action scenario stride runtime rate seed quick shards jobs =
     with_pool jobs @@ fun pool ->
     let runtime, stride, max_points, min_points, store_runtime =
       if quick then (Time.of_sec 15, 40, 80, 50, Time.of_sec 4)
@@ -1034,8 +1106,8 @@ let conform_cmd =
           Unix.rmdir store_dir
         with Sys_error _ | Unix.Unix_error _ -> ());
     let report =
-      Conform.run ~pool ~presets ~runtime ~rate ~seed ~stride ~max_points
-        ~min_points ~store_dir ~store_runtime ()
+      Conform.run ~pool ~shards ~presets ~runtime ~rate ~seed ~stride
+        ~max_points ~min_points ~store_dir ~store_runtime ()
     in
     let t =
       El_metrics.Table.create
@@ -1098,10 +1170,12 @@ let conform_cmd =
           state-machine spec, a torn-write fault sweep, and mem-vs-file \
           durable-store replay identity.  Exits non-zero on any divergence.  \
           --scenario restricts the matrix to one preset; --jobs N fans each \
-          sweep's crash points out across N domains.")
+          sweep's crash points out across N domains; --shards N runs every \
+          cell through the sharded composite oracle (the store battery is \
+          solo-only and is skipped).")
     Term.(
       const action $ scenario_term $ stride $ conform_runtime $ conform_rate
-      $ conform_seed $ quick $ jobs_term)
+      $ conform_seed $ quick $ shards_term $ jobs_term)
 
 let serve_cmd =
   let image =

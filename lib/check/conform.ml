@@ -118,7 +118,7 @@ let sweep_failures ~fail ~min_points (o : Sweep.outcome) =
     (fun (at, msg) -> fail (Printf.sprintf "[event %d] %s" at msg))
     o.Sweep.failures
 
-let run_cell ?pool ~runtime ~rate ~seed ~stride ~max_points ~min_points
+let run_cell ?pool ~shards ~runtime ~rate ~seed ~stride ~max_points ~min_points
     ~store_dir ~store_runtime (p : Preset.t) (kind_name, kind) =
   let failures = ref [] in
   let fail ~battery msg =
@@ -127,8 +127,11 @@ let run_cell ?pool ~runtime ~rate ~seed ~stride ~max_points ~min_points
   (* Battery 1: the audited crash-point sweep — Auditor at every
      pause, crash/recover/audit at every EL pause, the Reference
      differential model and the machine-checked durable-log spec over
-     the whole run. *)
+     the whole run.  With [shards > 1] the sweep runs the sharded
+     composite oracle instead (per-shard models plus the global
+     atomic-commit invariant over every crash point). *)
   let cfg = Sweep.standard_config ~kind ~runtime ~rate ~seed ~preset:p () in
+  let cfg = { cfg with Experiment.shards } in
   let base =
     Sweep.run ?pool ~stride ~max_points ~recover:true ~oracle:true ~spec:true
       cfg
@@ -142,9 +145,12 @@ let run_cell ?pool ~runtime ~rate ~seed ~stride ~max_points ~min_points
       { cfg with Experiment.fault = torn_plan ~seed }
   in
   sweep_failures ~fail:(fail ~battery:"torn") ~min_points torn;
-  store_battery
-    ~fail:(fail ~battery:"store")
-    ~store_dir ~store_runtime cfg;
+  (* The store battery replays through the solo harness, which has no
+     sharded path — skipped (and flagged) when shards > 1. *)
+  if shards = 1 then
+    store_battery
+      ~fail:(fail ~battery:"store")
+      ~store_dir ~store_runtime cfg;
   {
     preset = p.Preset.name;
     kind = kind_name;
@@ -158,20 +164,20 @@ let run_cell ?pool ~runtime ~rate ~seed ~stride ~max_points ~min_points
     spec_checks = base.Sweep.spec_checks;
     torn_blocks = torn.Sweep.torn_blocks;
     torn_records = torn.Sweep.torn_records;
-    store_checked = true;
+    store_checked = shards = 1;
     failures = List.rev !failures;
   }
 
-let run ?pool ?(presets = Preset.all) ?(kinds = Sweep.standard_kinds ())
-    ?(runtime = Time.of_sec 20) ?(rate = 40.0) ?(seed = 42) ?(stride = 100)
-    ?(max_points = max_int) ?(min_points = 0) ?(store_dir = ".")
-    ?(store_runtime = Time.of_sec 6) () =
+let run ?pool ?(shards = 1) ?(presets = Preset.all)
+    ?(kinds = Sweep.standard_kinds ()) ?(runtime = Time.of_sec 20)
+    ?(rate = 40.0) ?(seed = 42) ?(stride = 100) ?(max_points = max_int)
+    ?(min_points = 0) ?(store_dir = ".") ?(store_runtime = Time.of_sec 6) () =
   let cells =
     List.concat_map
       (fun p ->
         List.map
-          (run_cell ?pool ~runtime ~rate ~seed ~stride ~max_points ~min_points
-             ~store_dir ~store_runtime p)
+          (run_cell ?pool ~shards ~runtime ~rate ~seed ~stride ~max_points
+             ~min_points ~store_dir ~store_runtime p)
           kinds)
       presets
   in

@@ -48,6 +48,7 @@ val ok : report -> bool
 
 val run :
   ?pool:El_par.Pool.t ->
+  ?shards:int ->
   ?presets:El_workload.Workload_preset.t list ->
   ?kinds:(string * El_harness.Experiment.manager_kind) list ->
   ?runtime:Time.t ->
@@ -67,4 +68,7 @@ val run :
     a cell whose base or torn sweep paused fewer than that many times
     a failure — the CI quick leg requires 50.  The store legs truncate
     the runtime to [store_runtime] (file-backend fsyncs are real) and
-    run with the observer off. *)
+    run with the observer off.  [shards] (default 1) runs every cell
+    through the sharded composite oracle instead; the store battery is
+    solo-only and is skipped (with [store_checked = false]) when
+    [shards > 1]. *)

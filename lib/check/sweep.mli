@@ -31,6 +31,7 @@ open El_model
 type outcome = {
   kind : string;  (** ["el"], ["fw"] or ["hybrid"] *)
   seed : int;
+  shards : int;  (** 1: the solo path; > 1: the sharded composite *)
   events : int;  (** events dispatched over the whole run *)
   points : int;  (** audit pauses taken *)
   recoveries : int;  (** crash/recover/audit cycles (EL only) *)
@@ -57,6 +58,15 @@ type outcome = {
       (** explicit {!Spec_tracker} checks performed (invariant at each
           pause, recovered-image check at each crash point, settled
           check); 0 unless [spec] was set *)
+  cross_committed : int;
+      (** cross-shard (2PC) transactions acknowledged; 0 when
+          [shards = 1] *)
+  blocked_cross : int;
+      (** cross-shard transactions whose protocol died mid-flight and
+          blocked (never acknowledged, presumed abort at recovery) *)
+  atomic_checks : int;
+      (** cross-shard transactions checked against the global
+          atomic-commit invariant, summed over every crash point *)
 }
 
 val run :
@@ -80,7 +90,20 @@ val run :
     the spec's durable promises, and the settled state must have
     flushed every ack; [pool] (default serial) fans the audit pauses
     out across its workers with an outcome identical to the serial
-    sweep's.  Raises [Invalid_argument] if [stride <= 0]. *)
+    sweep's.  Raises [Invalid_argument] if [stride <= 0].
+
+    With [shards > 1] in the config, the run goes through
+    [El_shard.Shard_group] and the oracle becomes composite: one
+    {!Reference} model and one {!Spec_tracker} per shard (each shard's
+    sink traffic — branches, 2PC markers, decision transactions — is
+    shadowed independently), per-shard crash/recover/audit at every
+    owned pause, plus the global atomic-commit invariant over the
+    jointly recovered committed sets: no crash point may recover a
+    cross-shard transaction with a durable decision and a missing
+    branch, and no acknowledged transaction may lack its durable
+    decision record.  The settled checks add router conservation
+    (generator acks = singles + cross) and per-shard ack
+    accounting. *)
 
 val kind_name : El_harness.Experiment.manager_kind -> string
 

@@ -38,6 +38,10 @@ type config = {
       (* recycle ledger entries / arena segments instead of
          allocating; behaviour-identical, off for A/B profiling *)
   group_fsync : bool;  (* batch store barriers per settle wave *)
+  shards : int;
+      (* oid-range partitions, one manager plant each; 1 = the solo
+         path.  [prepare] itself only accepts 1 — sharded runs go
+         through El_shard.Shard_group, which carries this config *)
 }
 
 let default_config ~kind ~mix =
@@ -63,6 +67,7 @@ let default_config ~kind ~mix =
     backend = Sim;
     pooling = true;
     group_fsync = false;
+    shards = 1;
   }
 
 (* A preset replaces the whole traffic description but not the plant
@@ -126,8 +131,24 @@ type live = {
   finish : unit -> result;
 }
 
-let dispose live =
-  match live.store with
+(* One log-manager plant — everything downstream of the workload sink.
+   The solo path builds exactly one; the sharded path
+   ({!El_shard.Shard_group}) builds one per shard on a shared engine,
+   which is why the construction lives in its own function: both paths
+   must create the same components in the same order for the
+   shards = 1 byte-identity contract to hold by construction. *)
+type instance = {
+  i_stable : Stable_db.t;
+  i_flush : Flush_array.t;
+  i_el : El_manager.t option;
+  i_fw : Fw_manager.t option;
+  i_hybrid : Hybrid_manager.t option;
+  i_store : El_store.Log_store.t option;
+  i_sink : Generator.sink;
+  i_set_on_kill : (Ids.Tid.t -> unit) -> unit;
+}
+
+let dispose_store = function
   | None -> ()
   | Some s ->
     let b = El_store.Log_store.backend s in
@@ -137,11 +158,13 @@ let dispose live =
     | Some p -> ( try Sys.remove p with Sys_error _ -> ())
     | None -> ())
 
-let collect cfg live ~overloaded =
-  let generator = live.generator in
-  let el_stats = Option.map El_manager.stats live.el in
-  let fw_stats = Option.map Fw_manager.stats live.fw in
-  let hybrid_stats = Option.map Hybrid_manager.stats live.hybrid in
+let dispose_instance i = dispose_store i.i_store
+let dispose live = dispose_store live.store
+
+let collect_instance cfg ~generator ~overloaded (inst : instance) =
+  let el_stats = Option.map El_manager.stats inst.i_el in
+  let fw_stats = Option.map Fw_manager.stats inst.i_fw in
+  let hybrid_stats = Option.map Hybrid_manager.stats inst.i_hybrid in
   let total_blocks, per_gen, mem_peak, evictions, forwarded, recirculated =
     match (el_stats, fw_stats, hybrid_stats) with
     | Some s, None, None ->
@@ -187,10 +210,10 @@ let collect cfg live ~overloaded =
     feasible = (not overloaded) && killed = 0 && evictions = 0;
     updates_per_sec =
       float_of_int (Generator.data_records_written generator) /. seconds;
-    flushes_completed = Flush_array.flushes_completed live.flush;
-    forced_flushes = Flush_array.forced_flushes live.flush;
-    flush_mean_distance = Flush_array.mean_distance live.flush;
-    flush_backlog_peak = Flush_array.peak_backlog live.flush;
+    flushes_completed = Flush_array.flushes_completed inst.i_flush;
+    forced_flushes = Flush_array.forced_flushes inst.i_flush;
+    flush_mean_distance = Flush_array.mean_distance inst.i_flush;
+    flush_backlog_peak = Flush_array.peak_backlog inst.i_flush;
     commit_latency_mean =
       El_metrics.Running_stat.mean (Generator.commit_latency generator);
     forwarded_records = forwarded;
@@ -199,42 +222,34 @@ let collect cfg live ~overloaded =
     fw_stats;
     hybrid_stats;
     backend_name =
-      (match live.store with
+      (match inst.i_store with
       | None -> "sim"
       | Some s -> El_store.Backend.name (El_store.Log_store.backend s));
     store_pwrites =
-      (match live.store with
+      (match inst.i_store with
       | None -> 0
       | Some s ->
         (El_store.Backend.counters (El_store.Log_store.backend s))
           .El_store.Backend.pwrites);
     store_barriers =
-      (match live.store with
+      (match inst.i_store with
       | None -> 0
       | Some s ->
         (El_store.Backend.counters (El_store.Log_store.backend s))
           .El_store.Backend.barriers);
     store_bytes_written =
-      (match live.store with
+      (match inst.i_store with
       | None -> 0
       | Some s ->
         (El_store.Backend.counters (El_store.Log_store.backend s))
           .El_store.Backend.bytes_written);
     store_group_syncs =
-      (match live.store with
+      (match inst.i_store with
       | None -> 0
       | Some s -> El_store.Log_store.group_syncs s);
   }
 
-let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
-  let engine = Engine.create ~seed:cfg.seed () in
-  let obs =
-    Option.map (fun c -> El_obs.Obs.create ~config:c engine) cfg.observer
-  in
-  (* [None] for the empty plan: every component then takes its
-     fault-free path, so a default config is byte-identical to a build
-     without fault injection. *)
-  let inj = El_fault.Injector.create cfg.fault in
+let build_instance engine (cfg : config) ?obs ?inj ~num_objects () =
   (* The durable store, when one is configured.  [Log_store.create]
      truncates, so every prepared run starts from a blank image; the
      file variant gets a unique image inside the caller's directory so
@@ -267,10 +282,10 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
            | El_store.Backend.Pread _ -> ()
            | El_store.Backend.Barrier -> El_metrics.Counter.add barriers 1))
   | _ -> ());
-  let stable = Stable_db.create ~num_objects:cfg.num_objects in
+  let stable = Stable_db.create ~num_objects in
   let flush =
     Flush_array.create engine ~drives:cfg.flush_drives
-      ~transfer_time:cfg.flush_transfer ~num_objects:cfg.num_objects
+      ~transfer_time:cfg.flush_transfer ~num_objects
       ~scheduling:cfg.flush_scheduling ~implementation:cfg.flush_impl ?obs
       ?fault:inj ?store ()
   in
@@ -367,7 +382,45 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
         })
     | None -> sink
   in
-  let sink = wrap_sink sink in
+  let set_on_kill f =
+    shed_kill := f;
+    (match el with Some m -> El_manager.set_on_kill m f | None -> ());
+    (match fw with Some m -> Fw_manager.set_on_kill m f | None -> ());
+    match hybrid with Some m -> Hybrid_manager.set_on_kill m f | None -> ()
+  in
+  {
+    i_stable = stable;
+    i_flush = flush;
+    i_el = el;
+    i_fw = fw;
+    i_hybrid = hybrid;
+    i_store = store;
+    i_sink = sink;
+    i_set_on_kill = set_on_kill;
+  }
+
+let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
+  if cfg.shards <> 1 then
+    invalid_arg
+      "Experiment.prepare: shards > 1 runs go through El_shard.Shard_group";
+  let engine = Engine.create ~seed:cfg.seed () in
+  let obs =
+    Option.map (fun c -> El_obs.Obs.create ~config:c engine) cfg.observer
+  in
+  (* [None] for the empty plan: every component then takes its
+     fault-free path, so a default config is byte-identical to a build
+     without fault injection. *)
+  let inj = El_fault.Injector.create cfg.fault in
+  let inst =
+    build_instance engine cfg ?obs ?inj ~num_objects:cfg.num_objects ()
+  in
+  let stable = inst.i_stable in
+  let flush = inst.i_flush in
+  let el = inst.i_el in
+  let fw = inst.i_fw in
+  let hybrid = inst.i_hybrid in
+  let store = inst.i_store in
+  let sink = wrap_sink inst.i_sink in
   (* Contention hooks feed the trace ring only — observability, never
      control flow, so on/off observer identity holds under skew too. *)
   let on_contention ~tid ~oid ~attempt =
@@ -396,16 +449,7 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
     on_kill tid;
     Generator.kill generator tid
   in
-  shed_kill := kill;
-  (match el with
-  | Some m -> El_manager.set_on_kill m kill
-  | None -> ());
-  (match fw with
-  | Some m -> Fw_manager.set_on_kill m kill
-  | None -> ());
-  (match hybrid with
-  | Some m -> Hybrid_manager.set_on_kill m kill
-  | None -> ());
+  inst.i_set_on_kill kill;
   (* Time-series probes: the backlog/occupancy/memory curves of §4.
      All read-only, sampled at dispatch boundaries by the installed
      observer, so the simulation itself is untouched. *)
@@ -480,7 +524,7 @@ let prepare ?(wrap_sink = fun sink -> sink) ?(on_kill = fun _ -> ()) cfg =
     | Some s -> El_store.Log_store.sync s
     | None -> ());
     (match obs with Some o -> El_obs.Obs.finish o | None -> ());
-    collect cfg live ~overloaded
+    collect_instance cfg ~generator ~overloaded inst
   in
   live
 

@@ -93,6 +93,12 @@ type config = {
           {!El_store.Log_store.Grouped} sync mode: segments appended
           while the engine settles share one barrier instead of one
           each.  [false] (default) fsyncs every segment. *)
+  shards : int;
+      (** number of oid-range partitions, each with its own manager
+          plant (1 — the default — is the solo path).  {!prepare}
+          itself only accepts 1; configs with [shards > 1] run through
+          [El_shard.Shard_group], which shares this record so every
+          sweep and CLI surface carries one config type. *)
 }
 
 val default_config : kind:manager_kind -> mix:El_workload.Mix.t -> config
@@ -213,3 +219,53 @@ val run_with_crash_store :
     element, [None] under [Sim].  The store replay and the simulated
     recovery describe the same crash, so their recovered states must
     agree (pinned by the backend-equivalence tests). *)
+
+(** {2 Plant instances — the sharding seam}
+
+    One log-manager plant: store, stable database, flush array,
+    manager and workload-facing sink.  {!prepare} builds exactly one;
+    [El_shard.Shard_group] builds one per shard on a shared engine.
+    Both go through {!build_instance}, so a 1-shard group is the solo
+    plant by construction. *)
+type instance = {
+  i_stable : El_disk.Stable_db.t;
+  i_flush : El_disk.Flush_array.t;
+  i_el : El_core.El_manager.t option;
+  i_fw : El_core.Fw_manager.t option;
+  i_hybrid : El_core.Hybrid_manager.t option;
+  i_store : El_store.Log_store.t option;
+  i_sink : El_workload.Generator.sink;
+      (** the plant's workload face, already wrapped in the degraded
+          load-shedding layer when the fault plan arms one *)
+  i_set_on_kill : (El_model.Ids.Tid.t -> unit) -> unit;
+      (** installs the kill callback on the plant's manager and its
+          shedding wrapper *)
+}
+
+val build_instance :
+  El_sim.Engine.t ->
+  config ->
+  ?obs:El_obs.Obs.t ->
+  ?inj:El_fault.Injector.t ->
+  num_objects:int ->
+  unit ->
+  instance
+(** Builds one plant on [engine].  [num_objects] sizes the stable
+    database and flush array — the sharded path passes the global oid
+    range plus its 2PC control region, the solo path passes
+    [cfg.num_objects].  Creates its own store image per the config's
+    [backend] (one per instance, so shards never share a disk). *)
+
+val dispose_instance : instance -> unit
+(** Closes the instance's store backend and removes its image file,
+    if any. *)
+
+val collect_instance :
+  config ->
+  generator:El_workload.Generator.t ->
+  overloaded:bool ->
+  instance ->
+  result
+(** Collects a {!result} from one plant plus the (possibly shared)
+    generator — the workload counters are the generator's globals, the
+    plant counters are this instance's own. *)

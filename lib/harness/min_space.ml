@@ -56,10 +56,11 @@ let min_feasible ?(pool = Pool.serial) ~lo ~hi probe =
     end
   end
 
-let probe_fw cfg n =
-  Experiment.run { cfg with Experiment.kind = Experiment.Firewall n }
+let probe_fw ~run cfg n =
+  run { cfg with Experiment.kind = Experiment.Firewall n }
 
-let min_fw ?pool cfg =
+let min_fw ?pool ?(run = Experiment.run) cfg =
+  let probe_fw = probe_fw ~run in
   (* A generous run's peak occupancy brackets the answer: the log can
      never need fewer blocks than it ever simultaneously occupied. *)
   let rec bracket size =
@@ -82,16 +83,17 @@ let min_fw ?pool cfg =
   | Some best -> best
   | None -> failwith "Min_space.min_fw: bracketing failed"
 
-let probe_el cfg ~make_policy sizes =
-  Experiment.run
-    { cfg with Experiment.kind = Experiment.Ephemeral (make_policy sizes) }
+let probe_el ~run cfg ~make_policy sizes =
+  run { cfg with Experiment.kind = Experiment.Ephemeral (make_policy sizes) }
 
-let min_el_last_gen ?pool cfg ~make_policy ~leading ~hi =
-  let probe n = probe_el cfg ~make_policy (Array.append leading [| n |]) in
+let min_el_last_gen ?pool ?(run = Experiment.run) cfg ~make_policy ~leading ~hi
+    =
+  let probe n = probe_el ~run cfg ~make_policy (Array.append leading [| n |]) in
   let lo = Params.head_tail_gap + 1 in
   min_feasible ?pool ~lo ~hi probe
 
-let min_el_two_gen ?(pool = Pool.serial) cfg ~make_policy ~g0_candidates ~hi =
+let min_el_two_gen ?(pool = Pool.serial) ?(run = Experiment.run) cfg
+    ~make_policy ~g0_candidates ~hi =
   let best = ref None in
   let consider sizes result =
     let total = Array.fold_left ( + ) 0 sizes in
@@ -115,7 +117,8 @@ let min_el_two_gen ?(pool = Pool.serial) cfg ~make_policy ~g0_candidates ~hi =
      therefore the winner — is identical at any job count. *)
   let searched =
     Pool.map pool
-      (fun g0 -> (g0, min_el_last_gen cfg ~make_policy ~leading:[| g0 |] ~hi))
+      (fun g0 ->
+        (g0, min_el_last_gen ~run cfg ~make_policy ~leading:[| g0 |] ~hi))
       g0_candidates
   in
   List.iter

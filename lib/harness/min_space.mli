@@ -38,15 +38,23 @@ val min_feasible :
     [?pool] of more than one job, probes several candidates per round
     (speculative bracket mode) — same answer, fewer rounds. *)
 
-val min_fw : ?pool:El_par.Pool.t -> Experiment.config -> int * Experiment.result
+val min_fw :
+  ?pool:El_par.Pool.t ->
+  ?run:(Experiment.config -> Experiment.result) ->
+  Experiment.config ->
+  int * Experiment.result
 (** Minimum single-log size for the firewall scheme under the given
     workload (the [kind] field of the config is ignored).  Uses a
     generous sizing run to bracket the search, then {!min_feasible}
-    (bracket mode when [pool] has jobs).  Raises [Failure] if no
-    size up to 16384 blocks suffices. *)
+    (bracket mode when [pool] has jobs).  [run] (default
+    {!Experiment.run}) executes each probe — the sharded CLI injects
+    [El_shard.Shard_group.run_global] here, since this library cannot
+    depend on the shard layer.  Raises [Failure] if no size up to
+    16384 blocks suffices. *)
 
 val min_el_last_gen :
   ?pool:El_par.Pool.t ->
+  ?run:(Experiment.config -> Experiment.result) ->
   Experiment.config ->
   make_policy:(int array -> El_core.Policy.t) ->
   leading:int array ->
@@ -59,6 +67,7 @@ val min_el_last_gen :
 
 val min_el_two_gen :
   ?pool:El_par.Pool.t ->
+  ?run:(Experiment.config -> Experiment.result) ->
   Experiment.config ->
   make_policy:(int array -> El_core.Policy.t) ->
   g0_candidates:int list ->

@@ -1,0 +1,61 @@
+(* Lamport's bounded SPSC queue on Atomic counters.  [head] is only
+   written by the consumer, [tail] only by the producer; each side
+   reads the other's counter through the Atomic, which on OCaml 5
+   gives the acquire/release ordering the published-slot protocol
+   needs.  Slots hold ['a option] so a popped cell can be released
+   for the GC immediately. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (* next slot to pop; consumer-owned *)
+  tail : int Atomic.t;  (* next slot to push; producer-owned *)
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  let cap = next_pow2 capacity in
+  {
+    buf = Array.make cap None;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let length t =
+  let n = Atomic.get t.tail - Atomic.get t.head in
+  if n < 0 then 0 else n
+
+let is_empty t = length t = 0
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    t.buf.(tail land t.mask) <- Some x;
+    (* publish: the slot write above must be visible before the new
+       tail — Atomic.set is a release store *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail - head <= 0 then None
+  else begin
+    let i = head land t.mask in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end
+
+let pushed t = Atomic.get t.tail

@@ -1,0 +1,46 @@
+(** Bounded single-producer / single-consumer ring buffer.
+
+    The shard mailboxes of {!El_shard.Shard_group}: the workload
+    router (the single producer) pushes routed sink operations into a
+    shard's ring and the shard (the single consumer) drains them.  In
+    the deterministic simulation producer and consumer run on the same
+    domain — the ring is drained to empty inside the producing call —
+    so the structure is exercised on the hot path while the event
+    order stays exactly that of a direct call.  Under wall-clock
+    multi-domain driving the same ring carries the hand-off between
+    domains: one writer, one reader, no locks.
+
+    The implementation uses [Atomic] head/tail counters with
+    monotonically published slots, the classic Lamport queue.  Safety
+    holds only for a single producer domain and a single consumer
+    domain; neither side ever blocks — both operations are total and
+    return immediately. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** A ring holding at most [capacity] elements.  The capacity is
+    rounded up to the next power of two.  Raises [Invalid_argument]
+    if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+(** The rounded-up capacity actually allocated. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side: enqueue, or return [false] when the ring is full.
+    Must only ever be called from one domain at a time. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side: dequeue the oldest element, or [None] when the
+    ring is empty.  Must only ever be called from one domain at a
+    time. *)
+
+val length : 'a t -> int
+(** Elements currently queued.  Exact when called from either
+    endpoint's domain; a snapshot otherwise. *)
+
+val is_empty : 'a t -> bool
+
+val pushed : 'a t -> int
+(** Total elements ever enqueued — the traffic counter the shard
+    statistics report. *)

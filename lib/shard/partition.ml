@@ -1,0 +1,63 @@
+open El_model
+
+type t = {
+  shards : int;
+  num_objects : int;
+  ctl_slots : int;
+  wide : int;  (* shards [0, rem) own width+1 oids, the rest width *)
+  width : int;
+}
+
+let create ?(ctl_slots = 4096) ~shards ~num_objects () =
+  if shards < 1 then invalid_arg "Partition.create: shards must be >= 1";
+  if num_objects < shards then
+    invalid_arg "Partition.create: fewer objects than shards";
+  if ctl_slots < 0 then invalid_arg "Partition.create: negative ctl_slots";
+  let ctl_slots = if shards = 1 then 0 else ctl_slots in
+  {
+    shards;
+    num_objects;
+    ctl_slots;
+    wide = num_objects mod shards;
+    width = num_objects / shards;
+  }
+
+let shards t = t.shards
+let num_objects t = t.num_objects
+let ctl_slots t = t.ctl_slots
+let total_objects t = t.num_objects + (t.shards * t.ctl_slots)
+
+let range t s =
+  if s < 0 || s >= t.shards then invalid_arg "Partition.range: no such shard";
+  let lo =
+    if s <= t.wide then s * (t.width + 1)
+    else (t.wide * (t.width + 1)) + ((s - t.wide) * t.width)
+  in
+  let hi = lo + t.width + if s < t.wide then 1 else 0 in
+  (lo, hi)
+
+let owner t oid =
+  let o = Ids.Oid.to_int oid in
+  if o < t.num_objects then begin
+    let first = t.wide * (t.width + 1) in
+    if o < first then o / (t.width + 1) else t.wide + ((o - first) / t.width)
+  end
+  else begin
+    let c = o - t.num_objects in
+    if t.ctl_slots = 0 || c >= t.shards * t.ctl_slots then
+      invalid_arg "Partition.owner: oid past the control region";
+    c / t.ctl_slots
+  end
+
+let ctl_oid t ~shard ~slot =
+  if shard < 0 || shard >= t.shards then
+    invalid_arg "Partition.ctl_oid: no such shard";
+  if slot < 0 || slot >= t.ctl_slots then
+    invalid_arg "Partition.ctl_oid: no such slot";
+  Ids.Oid.of_int (t.num_objects + (shard * t.ctl_slots) + slot)
+
+let is_ctl t oid = Ids.Oid.to_int oid >= t.num_objects
+
+let coordinator t ~gtid =
+  if gtid < 0 then invalid_arg "Partition.coordinator: negative gtid";
+  gtid mod t.shards

@@ -1,0 +1,52 @@
+(** The oid-range partitioner: which shard owns which object.
+
+    The data oid space [[0, num_objects)] is split into [shards]
+    contiguous ranges of near-equal width (the first [num_objects mod
+    shards] ranges are one wider), so a transaction's write set maps
+    to the set of shards whose ranges it touches.
+
+    Above the data range lives the {e control region}: [ctl_slots]
+    oids per shard, used by the two-phase-commit machinery for
+    PREPARE marker and decision records.  Control oids route to their
+    owning shard like any other oid, but the workload generator never
+    draws them — its pool stops at [num_objects] — so data traffic
+    and 2PC traffic can never collide.  A 1-shard partition has an
+    empty control region, keeping the solo oid space bit-for-bit
+    unchanged. *)
+
+open El_model
+
+type t
+
+val create : ?ctl_slots:int -> shards:int -> num_objects:int -> unit -> t
+(** [ctl_slots] (default 4096, forced to 0 when [shards = 1]) is the
+    width of each shard's control region.  Raises [Invalid_argument]
+    when [shards < 1] or [num_objects < shards]. *)
+
+val shards : t -> int
+val num_objects : t -> int
+(** The data range — the generator's draw space. *)
+
+val ctl_slots : t -> int
+
+val total_objects : t -> int
+(** [num_objects + shards * ctl_slots] — the sizing every per-shard
+    stable database and flush array uses, so control oids flush like
+    data. *)
+
+val owner : t -> Ids.Oid.t -> int
+(** The shard owning an oid, data or control.  Raises
+    [Invalid_argument] past [total_objects]. *)
+
+val range : t -> int -> int * int
+(** [range t s] is shard [s]'s data range as [[lo, hi)]. *)
+
+val ctl_oid : t -> shard:int -> slot:int -> Ids.Oid.t
+(** The control oid at [slot] of [shard]'s control region. *)
+
+val is_ctl : t -> Ids.Oid.t -> bool
+
+val coordinator : t -> gtid:int -> int
+(** The coordinator shard of a global transaction: [gtid mod shards].
+    Derivable from the tid alone, so recovery can find the decision
+    record without any surviving routing state. *)

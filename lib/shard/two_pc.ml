@@ -1,0 +1,108 @@
+open El_model
+
+exception Protocol_violation of string
+
+type phase =
+  | Running
+  | Preparing of int
+  | Deciding
+  | Acked
+  | Aborted
+  | Killed
+  | Blocked
+
+type t = {
+  gtid : int;
+  coordinator : int;
+  mutable touched : int list;  (* reverse first-touch order *)
+  mutable acked : int list;  (* branches whose local commit is durable *)
+  mutable phase : phase;
+}
+
+let fail t fmt =
+  Printf.ksprintf (fun m ->
+      raise (Protocol_violation (Printf.sprintf "gtid %d: %s" t.gtid m)))
+    fmt
+
+let create ~gtid ~coordinator =
+  if gtid < 0 then invalid_arg "Two_pc.create: negative gtid";
+  { gtid; coordinator; touched = []; acked = []; phase = Running }
+
+let gtid t = t.gtid
+let coordinator t = t.coordinator
+let phase t = t.phase
+let participants t = List.rev t.touched
+
+let touch t ~shard =
+  (match t.phase with
+  | Running -> ()
+  | _ -> fail t "write after commit was requested");
+  if List.mem shard t.touched then `Already
+  else begin
+    t.touched <- shard :: t.touched;
+    `Begun
+  end
+
+let start_commit t =
+  (match t.phase with
+  | Running -> ()
+  | _ -> fail t "commit requested twice");
+  let ps = participants t in
+  if ps = [] then fail t "commit with no participants";
+  t.phase <- Preparing (List.length ps);
+  ps
+
+let branch_acked t ~shard =
+  match t.phase with
+  | Preparing pending ->
+    if not (List.mem shard t.touched) then
+      fail t "branch ack from non-participant shard %d" shard;
+    if List.mem shard t.acked then
+      fail t "duplicate branch ack from shard %d" shard;
+    t.acked <- shard :: t.acked;
+    if pending = 1 then begin
+      t.phase <- Deciding;
+      `Start_decision
+    end
+    else begin
+      t.phase <- Preparing (pending - 1);
+      `Wait
+    end
+  | _ -> fail t "branch ack from shard %d outside the prepare phase" shard
+
+let decision_acked t =
+  match t.phase with
+  | Deciding -> t.phase <- Acked
+  | _ -> fail t "decision ack outside the decide phase"
+
+let abort t =
+  match t.phase with
+  | Running -> t.phase <- Aborted
+  | _ -> fail t "abort after commit was requested"
+
+let kill t =
+  match t.phase with
+  | Running ->
+    t.phase <- Killed;
+    `Kill_generator
+  | Preparing _ | Deciding ->
+    t.phase <- Blocked;
+    `Blocked
+  | Killed | Blocked -> `Blocked
+  | Acked | Aborted -> fail t "kill of a settled transaction"
+
+let decision_tid_base = 0x4000_0000
+
+let decision_tid ~gtid =
+  if gtid < 0 || gtid >= decision_tid_base then
+    invalid_arg "Two_pc.decision_tid: gtid out of range";
+  Ids.Tid.of_int (gtid + decision_tid_base)
+
+let is_decision_tid tid = Ids.Tid.to_int tid >= decision_tid_base
+let gtid_of_decision tid = Ids.Tid.to_int tid - decision_tid_base
+
+let resolve ~decision_durable =
+  if decision_durable then `Committed else `Aborted
+
+let atomic_ok ~decision_durable ~branches_durable =
+  (not decision_durable) || List.for_all Fun.id branches_durable

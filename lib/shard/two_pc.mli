@@ -1,0 +1,101 @@
+(** The cross-shard commit protocol: two-phase commit with presumed
+    abort, as a pure per-transaction state machine.
+
+    A transaction that touched more than one shard commits in two
+    phases.  {b Prepare}: the router writes a PREPARE marker record
+    into every participant's log (a control-region write carrying the
+    gtid) and requests the branch's local commit — a participant's
+    durable COMMIT record {e is} its prepare vote, exactly the
+    standard piggy-backed 2PC optimisation.  {b Decide}: once every
+    branch acknowledgement has fired, a {e decision transaction}
+    (tid = {!decision_tid}) runs on the coordinator shard, writing a
+    decision record into the coordinator's own log; its
+    acknowledgement is the global commit point, and only then does the
+    client's acknowledgement fire.
+
+    In-doubt resolution at recovery is presumed abort: a cross-shard
+    transaction is committed if and only if its decision transaction
+    is in the coordinator's recovered committed set — the coordinator
+    is derivable from the gtid alone ({!Partition.coordinator}), so no
+    routing state needs to survive the crash.  Because the decision is
+    only written after every branch is durable, [decision durable ⟹
+    all branches durable]: no crash point can half-commit
+    (machine-checked by the sharded sweep oracle via {!atomic_ok}).
+
+    This module holds no references to managers or engines — the
+    router drives it with callbacks, and the QCheck state-machine test
+    drives it with random interleavings. *)
+
+exception Protocol_violation of string
+
+type phase =
+  | Running  (** branches still being written *)
+  | Preparing of int  (** branch commits requested; [n] acks pending *)
+  | Deciding  (** all branches durable; decision tx in flight *)
+  | Acked  (** decision durable; client acknowledged *)
+  | Aborted  (** client abort before any commit was requested *)
+  | Killed  (** a branch was killed while [Running]; generator told *)
+  | Blocked
+      (** the protocol died mid-flight (e.g. the decision transaction
+          was killed): branches may be durable, the client is never
+          acknowledged, recovery resolves by presumed abort *)
+
+type t
+
+val create : gtid:int -> coordinator:int -> t
+val gtid : t -> int
+val coordinator : t -> int
+val phase : t -> phase
+
+val participants : t -> int list
+(** Touched shards, in first-touch order. *)
+
+val touch : t -> shard:int -> [ `Begun | `Already ]
+(** Registers a shard on first write.  [`Begun] means the branch must
+    be opened on that shard.  Raises {!Protocol_violation} unless
+    [Running]. *)
+
+val start_commit : t -> int list
+(** [Running] → [Preparing]: returns the participants whose branches
+    must now prepare (write marker + request local commit).  Raises
+    {!Protocol_violation} unless [Running] with ≥ 1 participant. *)
+
+val branch_acked : t -> shard:int -> [ `Wait | `Start_decision ]
+(** One branch's local commit became durable.  The last one moves
+    [Preparing] → [Deciding] and returns [`Start_decision].  Raises
+    {!Protocol_violation} for a non-participant, a duplicate ack, or
+    a wrong phase. *)
+
+val decision_acked : t -> unit
+(** [Deciding] → [Acked]: the decision record is durable — the global
+    commit point; the caller now fires the client acknowledgement.
+    Raises {!Protocol_violation} in any other phase. *)
+
+val abort : t -> unit
+(** Client abort ([Running] → [Aborted]).  Raises otherwise. *)
+
+val kill : t -> [ `Kill_generator | `Blocked ]
+(** A branch (or the decision transaction) was killed by its manager.
+    While [Running] the whole transaction dies with it —
+    [`Kill_generator] tells the router to abort sibling branches and
+    notify the generator.  Mid-protocol ([Preparing]/[Deciding]) the
+    client blocks instead, 2PC's classic failure mode: [`Blocked],
+    resolved by presumed abort at recovery.  Idempotent once dead. *)
+
+(** {2 Recovery-side resolution} *)
+
+val decision_tid_base : int
+(** Decision tids live at [gtid + decision_tid_base], far above any
+    workload tid (the generator allocates densely from 0). *)
+
+val decision_tid : gtid:int -> El_model.Ids.Tid.t
+val is_decision_tid : El_model.Ids.Tid.t -> bool
+val gtid_of_decision : El_model.Ids.Tid.t -> int
+
+val resolve : decision_durable:bool -> [ `Committed | `Aborted ]
+(** Presumed abort: committed iff the coordinator's decision record
+    survived. *)
+
+val atomic_ok : decision_durable:bool -> branches_durable:bool list -> bool
+(** The invariant no crash point may violate: a durable decision
+    implies every branch is durable. *)

@@ -17,7 +17,19 @@ type impl =
   | Mem of mem_state
   | File of file_state
 
-type t = { impl : impl; counters : counters; mutable tap : (op -> unit) option }
+type write_fault = {
+  mutable wf_countdown : int;  (* full pwrites left before the tear *)
+  wf_keep : int;  (* bytes of the torn pwrite that reach the platter *)
+  wf_hook : unit -> unit;  (* fires once, at the tear *)
+}
+
+type t = {
+  impl : impl;
+  counters : counters;
+  mutable tap : (op -> unit) option;
+  mutable fault : write_fault option;
+  mutable dead : bool;
+}
 
 let fresh_counters () =
   { pwrites = 0; preads = 0; barriers = 0; bytes_written = 0 }
@@ -27,6 +39,8 @@ let mem () =
     impl = Mem { buf = Bytes.create 4096; len = 0; freed = false };
     counters = fresh_counters ();
     tap = None;
+    fault = None;
+    dead = false;
   }
 
 let file ~path =
@@ -35,7 +49,20 @@ let file ~path =
     impl = File { fd; fpath = path; closed = false };
     counters = fresh_counters ();
     tap = None;
+    fault = None;
+    dead = false;
   }
+
+let set_write_fault ?(on_tear = fun () -> ()) t ~after_pwrites ~keep_bytes =
+  if after_pwrites < 0 then
+    invalid_arg "El_store.Backend.set_write_fault: negative countdown";
+  if keep_bytes < 0 then
+    invalid_arg "El_store.Backend.set_write_fault: negative keep";
+  t.fault <-
+    Some { wf_countdown = after_pwrites; wf_keep = keep_bytes; wf_hook = on_tear }
+
+let dead t = t.dead
+let revive t = t.dead <- false
 
 let name t = match t.impl with Mem _ -> "mem" | File _ -> "file"
 let path t = match t.impl with Mem _ -> None | File f -> Some f.fpath
@@ -82,13 +109,8 @@ let rec read_all fd b pos len =
     let n = Unix.read fd b pos len in
     if n = 0 then pos else read_all fd b (pos + n) (len - n)
 
-let pwrite t ~off ?(pos = 0) ?len b =
-  check_open t;
-  if off < 0 then invalid_arg "El_store.Backend.pwrite: negative offset";
-  let len = match len with Some l -> l | None -> Bytes.length b - pos in
-  if pos < 0 || len < 0 || pos + len > Bytes.length b then
-    invalid_arg "El_store.Backend.pwrite: slice out of bounds";
-  (match t.impl with
+let write_bytes t ~off ~pos ~len b =
+  match t.impl with
   | Mem m ->
     mem_ensure m (off + len);
     (* Zero-fill any gap between the current end and [off] so Mem and
@@ -98,8 +120,34 @@ let pwrite t ~off ?(pos = 0) ?len b =
     if off + len > m.len then m.len <- off + len
   | File f ->
     ignore (Unix.lseek f.fd off Unix.SEEK_SET);
-    write_all f.fd b pos len);
-  record t (Pwrite len)
+    write_all f.fd b pos len
+
+let pwrite t ~off ?(pos = 0) ?len b =
+  check_open t;
+  if off < 0 then invalid_arg "El_store.Backend.pwrite: negative offset";
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "El_store.Backend.pwrite: slice out of bounds";
+  if t.dead then ()
+  else
+    match t.fault with
+    | Some wf when wf.wf_countdown = 0 ->
+      (* The tear: a prefix of this pwrite reaches the platter and the
+         device is gone — every later op is silently lost, exactly a
+         power cut in the middle of the write.  The valid prefix can
+         end anywhere, including inside a segment header or entry. *)
+      let kept = min wf.wf_keep len in
+      if kept > 0 then write_bytes t ~off ~pos ~len:kept b;
+      t.fault <- None;
+      t.dead <- true;
+      if kept > 0 then record t (Pwrite kept);
+      wf.wf_hook ()
+    | fault ->
+      (match fault with
+      | Some wf -> wf.wf_countdown <- wf.wf_countdown - 1
+      | None -> ());
+      write_bytes t ~off ~pos ~len b;
+      record t (Pwrite len)
 
 let pread t ~off ~len =
   check_open t;
@@ -123,8 +171,11 @@ let pread t ~off ~len =
 
 let barrier t =
   check_open t;
-  (match t.impl with Mem _ -> () | File f -> Unix.fsync f.fd);
-  record t Barrier
+  if t.dead then ()
+  else begin
+    (match t.impl with Mem _ -> () | File f -> Unix.fsync f.fd);
+    record t Barrier
+  end
 
 let size t =
   check_open t;
@@ -135,6 +186,8 @@ let size t =
 let truncate t ~len =
   check_open t;
   if len < 0 then invalid_arg "El_store.Backend.truncate";
+  if t.dead then ()
+  else
   match t.impl with
   | Mem m -> if len < m.len then m.len <- len
   | File f -> if len < (Unix.fstat f.fd).Unix.st_size then Unix.ftruncate f.fd len

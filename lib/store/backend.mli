@@ -77,3 +77,31 @@ val set_tap : t -> (op -> unit) option -> unit
 (** Installs (or clears) an observer called after every counted
     operation — the hook the experiment harness uses to mirror the
     counters into {!El_obs} metrics. *)
+
+(** {2 Crash injection inside the write path}
+
+    A write fault models a power cut in the middle of a [pwrite]: a
+    byte prefix of the torn write reaches the platter and the device
+    is dead from that instant on — later pwrites, barriers and
+    truncates are silently lost (the process issuing them no longer
+    has a disk), while reads and [size] keep working so a test can
+    examine the surviving image post mortem.  Because the segment
+    store issues exactly one [pwrite] per segment, tearing a pwrite
+    tears a {e segment} — the valid prefix can end inside the header
+    or between entries, not merely at a whole-segment boundary. *)
+
+val set_write_fault :
+  ?on_tear:(unit -> unit) -> t -> after_pwrites:int -> keep_bytes:int -> unit
+(** Arms the fault: the next [after_pwrites] pwrites complete
+    normally, then the following one persists only its first
+    [keep_bytes] bytes (clamped to the write length) and kills the
+    device.  [on_tear] fires once, after the prefix has landed — the
+    test hook that captures the simulation state at the tear
+    instant.  Counters record only bytes that actually landed. *)
+
+val dead : t -> bool
+(** True once an armed fault has fired. *)
+
+val revive : t -> unit
+(** Clears {!dead} — the reboot, after which the image can be
+    re-attached and written again. *)

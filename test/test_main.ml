@@ -32,4 +32,5 @@ let () =
       ("alloc", Test_alloc.suite);
       ("store", Test_store.suite);
       ("serve", Test_serve.suite);
+      ("shard", Test_shard.suite);
     ]

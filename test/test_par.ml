@@ -259,6 +259,39 @@ let test_bracket_matches_binary_on_fig4_endpoints () =
         serial_fw bracket_fw)
     [ 5; 40 ]
 
+(* ---- sharded sweep equivalence ---- *)
+
+(* The sharded composite oracle under the pool: a jobs-4 sweep at
+   shards in {2, 4} must produce the whole outcome — including the
+   cross-shard counters and atomic-commit checks — byte-identical to
+   the serial sweep's. *)
+let test_sharded_sweep_serial_equals_parallel () =
+  let kind = List.assoc "el" (Sweep.standard_kinds ()) in
+  List.iter
+    (fun shards ->
+      let cfg =
+        {
+          (Sweep.standard_config ~kind ~runtime:(Time.of_sec 12) ~seed:7 ())
+          with
+          Experiment.shards;
+        }
+      in
+      let serial = Sweep.run ~stride:50 ~spec:true cfg in
+      let parallel = Sweep.run ~pool:(pool ()) ~stride:50 ~spec:true cfg in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d shards: outcome Marshal byte-identical" shards)
+        true
+        (Marshal.to_string serial [] = Marshal.to_string parallel []);
+      Alcotest.(check bool)
+        (Printf.sprintf "%d shards: sweep saw pauses" shards)
+        true
+        (serial.Sweep.points > 10);
+      Alcotest.(check bool)
+        (Printf.sprintf "%d shards: atomic checks ran" shards)
+        true
+        (serial.Sweep.atomic_checks > 0))
+    [ 2; 4 ]
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_map_is_list_map;
@@ -275,6 +308,8 @@ let suite =
       test_sweep_serial_equals_parallel;
     Alcotest.test_case "crash sweep: parallelism cannot mask a failure" `Quick
       test_sweep_failure_not_masked;
+    Alcotest.test_case "sharded sweep: --jobs 4 = serial at 2 and 4 shards"
+      `Quick test_sharded_sweep_serial_equals_parallel;
     QCheck_alcotest.to_alcotest prop_bracket_equals_binary;
     Alcotest.test_case "bracket = binary search on Fig. 4 endpoints (30s runs)"
       `Slow test_bracket_matches_binary_on_fig4_endpoints;

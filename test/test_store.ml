@@ -436,6 +436,223 @@ let test_group_sync_coalesces () =
   Alcotest.(check int) "mode switch issued the barrier" 2
     (Backend.counters b).Backend.barriers
 
+(* ---- crash injection inside the write path ---- *)
+
+(* A pwrite that tears mid-flight: the device keeps a byte prefix of
+   the segment and dies.  The scan must trust exactly the valid
+   record prefix, post-mortem writes must be lost, and [attach] must
+   cut the image back to a clean state. *)
+let test_write_fault_torn_segment () =
+  let b = Backend.mem () in
+  let t = Log_store.create b in
+  Log_store.append_block t ~gen:0 ~slot:0 (records_of 3 0);
+  Log_store.append_block t ~gen:0 ~slot:1 (records_of 4 100);
+  (* arm: the next pwrite lands whole, the one after keeps the header,
+     two entries and half of the third, then the device dies *)
+  let tears = ref 0 in
+  let keep =
+    Codec.header_bytes + (2 * Codec.entry_bytes) + (Codec.entry_bytes / 2)
+  in
+  Backend.set_write_fault
+    ~on_tear:(fun () -> incr tears)
+    b ~after_pwrites:1 ~keep_bytes:keep;
+  Log_store.append_block t ~gen:1 ~slot:0 (records_of 2 200);
+  Alcotest.(check bool) "unfaulted write landed" false (Backend.dead b);
+  Log_store.append_block t ~gen:1 ~slot:1 (records_of 4 300);
+  Alcotest.(check int) "tear fired once" 1 !tears;
+  Alcotest.(check bool) "device dead" true (Backend.dead b);
+  let size_at_death = Backend.size b in
+  (* writes into a dead device are silently lost *)
+  Log_store.append_block t ~gen:2 ~slot:0 (records_of 2 400);
+  Alcotest.(check int) "post-mortem write lost" size_at_death (Backend.size b);
+  Backend.revive b;
+  let s = Log_store.scan b in
+  Alcotest.(check bool) "torn tail detected" true s.Log_store.s_torn_tail;
+  let torn =
+    List.find
+      (fun bl -> bl.Log_store.sb_gen = 1 && bl.Log_store.sb_slot = 1)
+      s.Log_store.s_blocks
+  in
+  Alcotest.(check int) "valid prefix survives the scan" 2
+    (List.length torn.Log_store.sb_records);
+  Alcotest.(check int) "torn suffix discarded" 2 torn.Log_store.sb_discarded;
+  Alcotest.(check int) "every segment visible pre-attach" 4
+    (List.length s.Log_store.s_blocks);
+  (* replay trusts exactly the record-level valid prefix *)
+  let r = Recovery.recover_store ~num_objects:1_000 b in
+  Alcotest.(check int) "replay counts the torn records" 2
+    r.Recovery.torn_records;
+  (* attach cuts the image back to the last complete segment; the
+     rescan is clean and the new epoch appends after the cut *)
+  let t2 = Log_store.attach b in
+  Log_store.append_block t2 ~gen:2 ~slot:0 (records_of 1 500);
+  let s2 = Log_store.scan b in
+  Alcotest.(check bool) "attach cleaned the tail" false
+    s2.Log_store.s_torn_tail;
+  Alcotest.(check int) "full segments + new epoch's block survive" 4
+    (List.length s2.Log_store.s_blocks)
+
+let el_small_kind () =
+  Experiment.Ephemeral (El_core.Policy.default ~generation_sizes:[| 8; 8 |])
+
+let write_fault_cfg ~seed =
+  {
+    (Sweep.standard_config ~kind:(el_small_kind ()) ~runtime:(Time.of_sec 8)
+       ~rate:40.0 ~seed ())
+    with
+    Experiment.backend = Experiment.Mem_store;
+  }
+
+let recovery_view (r : Recovery.result) =
+  ( List.sort compare (El_disk.Stable_db.snapshot r.Recovery.recovered),
+    List.sort compare r.Recovery.committed_tids,
+    r.Recovery.records_scanned,
+    r.Recovery.torn_blocks,
+    r.Recovery.torn_records )
+
+(* Counts the store pwrites of a pristine run of [cfg], so the fault
+   tests can arm the device to die in the middle of the same run. *)
+let pristine_pwrites cfg =
+  let live = Experiment.prepare cfg in
+  ignore (live.Experiment.finish ());
+  let store = Option.get live.Experiment.store in
+  let n = (Backend.counters (Log_store.backend store)).Backend.pwrites in
+  Experiment.dispose live;
+  n
+
+(* Device dies mid-run with the fatal pwrite landing whole: the sim
+   crash image captured at the tear instant and the surviving store
+   image describe the same crash, so replay must agree exactly with
+   simulated recovery. *)
+let test_write_fault_replay_agrees () =
+  List.iter
+    (fun seed ->
+      let cfg = write_fault_cfg ~seed in
+      let total = pristine_pwrites cfg in
+      Alcotest.(check bool) "run writes enough segments" true (total > 4);
+      let live = Experiment.prepare cfg in
+      let store = Option.get live.Experiment.store in
+      let b = Log_store.backend store in
+      let image = ref None in
+      Backend.set_write_fault
+        ~on_tear:(fun () ->
+          image :=
+            Some
+              (Recovery.crash live.Experiment.engine
+                 (Option.get live.Experiment.el)))
+        b
+        ~after_pwrites:(total / 2)
+        ~keep_bytes:max_int;
+      ignore (live.Experiment.finish ());
+      let sim =
+        match !image with
+        | Some i -> Recovery.recover i
+        | None -> Alcotest.fail "fault never fired"
+      in
+      let st =
+        Recovery.recover_store ~num_objects:cfg.Experiment.num_objects b
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: store replay = simulated recovery" seed)
+        (Marshal.to_string (recovery_view sim) [])
+        (Marshal.to_string (recovery_view st) []);
+      Experiment.dispose live)
+    [ 1; 2; 3 ]
+
+(* Device dies tearing the fatal segment mid-entry: the store image is
+   a strict prefix of the simulated crash state.  Everything the
+   truncated image recovers must be durable in the simulated image,
+   the torn tail must be counted, and [attach] must cut back to the
+   valid prefix. *)
+let test_write_fault_torn_prefix () =
+  List.iter
+    (fun seed ->
+      let cfg = write_fault_cfg ~seed in
+      let total = pristine_pwrites cfg in
+      (* most pwrites are one-entry stable installs, which tear
+         without discarding log records; probe forward from the
+         midpoint until the fatal pwrite is a log segment *)
+      let rec tear_log_segment k =
+        if k > 40 then
+          Alcotest.fail
+            (Printf.sprintf "seed %d: no log segment near the midpoint" seed)
+        else begin
+          let live = Experiment.prepare cfg in
+          let store = Option.get live.Experiment.store in
+          let b = Log_store.backend store in
+          let image = ref None in
+          Backend.set_write_fault
+            ~on_tear:(fun () ->
+              image :=
+                Some
+                  (Recovery.crash live.Experiment.engine
+                     (Option.get live.Experiment.el)))
+            b
+            ~after_pwrites:((total / 2) + k)
+            ~keep_bytes:(Codec.header_bytes + (Codec.entry_bytes / 2));
+          ignore (live.Experiment.finish ());
+          let s = Log_store.scan b in
+          let torn_log =
+            List.exists
+              (fun bl -> bl.Log_store.sb_discarded > 0)
+              s.Log_store.s_blocks
+          in
+          if torn_log then (live, b, !image, s)
+          else begin
+            Experiment.dispose live;
+            tear_log_segment (k + 1)
+          end
+        end
+      in
+      let live, b, image, s = tear_log_segment 0 in
+      let sim =
+        match image with
+        | Some i -> Recovery.recover i
+        | None -> Alcotest.fail "fault never fired"
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: torn tail detected" seed)
+        true s.Log_store.s_torn_tail;
+      let st =
+        Recovery.recover_store ~num_objects:cfg.Experiment.num_objects b
+      in
+      (* the torn segment's entries are all discarded: keep ends
+         mid-first-entry *)
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: torn records counted" seed)
+        true
+        (st.Recovery.torn_records > 0);
+      (* prefix property: nothing the truncated image recovers can
+         exceed what the simulated crash knows *)
+      List.iter
+        (fun tid ->
+          if not (List.mem tid sim.Recovery.committed_tids) then
+            Alcotest.fail
+              (Printf.sprintf
+                 "seed %d: store recovered tid %d unknown to the sim image"
+                 seed (Ids.Tid.to_int tid)))
+        st.Recovery.committed_tids;
+      List.iter
+        (fun (oid, v) ->
+          match El_disk.Stable_db.version sim.Recovery.recovered oid with
+          | Some sv when sv >= v -> ()
+          | _ ->
+            Alcotest.fail
+              (Printf.sprintf
+                 "seed %d: store recovered o%d v%d ahead of the sim image"
+                 seed (Ids.Oid.to_int oid) v))
+        (El_disk.Stable_db.snapshot st.Recovery.recovered);
+      (* the reboot: revive the device, then attach cuts the image at
+         the valid prefix *)
+      Backend.revive b;
+      ignore (Log_store.attach b);
+      let s2 = Log_store.scan b in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: attach cleaned the tail" seed)
+        false s2.Log_store.s_torn_tail;
+      Experiment.dispose live)
+    [ 1; 2; 3 ]
+
 let suite =
   [
     Alcotest.test_case "mem backend roundtrip" `Quick test_mem_roundtrip;
@@ -462,4 +679,10 @@ let suite =
       test_grouped_sync_bytes_identical;
     Alcotest.test_case "group sync requests coalesce" `Quick
       test_group_sync_coalesces;
+    Alcotest.test_case "write fault tears a segment" `Quick
+      test_write_fault_torn_segment;
+    Alcotest.test_case "mid-run device death: replay = simulated recovery"
+      `Quick test_write_fault_replay_agrees;
+    Alcotest.test_case "mid-run torn death: store is a strict prefix" `Quick
+      test_write_fault_torn_prefix;
   ]
